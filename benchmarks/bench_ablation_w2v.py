@@ -1,0 +1,77 @@
+"""Ablation C: the word2vec gel-relatedness filter.
+
+Without the Section III-A filter, crispy terms anchored to nut toppings
+("karikari" next to almonds on a mousse) leak into the texture-term
+vocabulary and into fitted topics, contaminating soft-gel topics with
+hard-crisp polarity. The bench runs the pipeline with the filter on and
+off and measures the leaked crispy-term probability mass in φ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.common import BENCH_SEED
+from repro.core.joint_model import JointModelConfig
+from repro.lexicon.dictionary import build_dictionary
+from repro.pipeline.experiment import ExperimentConfig, run_experiment
+from repro.pipeline.reporting import format_table
+from repro.synth.presets import CorpusPreset
+from repro.synth.term_affinity import crispy_terms
+
+_PRESET = CorpusPreset(name="ablation-w2v", n_recipes=2000)
+_MODEL = JointModelConfig(n_topics=10, n_sweeps=150, burn_in=75, thin=5)
+
+
+def _config(use_filter: bool) -> ExperimentConfig:
+    return ExperimentConfig(
+        preset=_PRESET,
+        model=_MODEL,
+        seed=BENCH_SEED,
+        use_w2v_filter=use_filter,
+    )
+
+
+def _crispy_mass(result, crispy_surfaces) -> float:
+    phi = np.asarray(result.model.phi_)
+    indices = [
+        i for i, s in enumerate(result.vocabulary) if s in crispy_surfaces
+    ]
+    if not indices:
+        return 0.0
+    sizes = result.model.topic_sizes().astype(float)
+    weights = sizes / sizes.sum()
+    return float((weights @ phi[:, indices]).sum())
+
+
+def test_ablation_w2v_filter(benchmark):
+    dictionary = build_dictionary()
+    crispy_surfaces = {t.surface for t in crispy_terms(tuple(dictionary))}
+
+    def run_both():
+        return run_experiment(_config(True)), run_experiment(_config(False))
+
+    filtered, unfiltered = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    leaked_on = _crispy_mass(filtered, crispy_surfaces)
+    leaked_off = _crispy_mass(unfiltered, crispy_surfaces)
+    vocab_on = len(crispy_surfaces & set(filtered.vocabulary))
+    vocab_off = len(crispy_surfaces & set(unfiltered.vocabulary))
+
+    print()
+    print("=== Ablation C: word2vec gel-relatedness filter ===")
+    print(
+        format_table(
+            ["filter", "crispy surfaces in vocab", "crispy mass in topics"],
+            [
+                ["on (paper)", str(vocab_on), f"{leaked_on:.4f}"],
+                ["off", str(vocab_off), f"{leaked_off:.4f}"],
+            ],
+        )
+    )
+    print(f"excluded terms: {sorted(filtered.dataset.excluded_terms)}")
+
+    # the filter must remove crispy vocabulary and reduce leaked mass
+    assert vocab_on < vocab_off
+    assert leaked_on <= leaked_off
+    assert len(filtered.dataset.excluded_terms) >= 3

@@ -1,0 +1,40 @@
+"""Fig 4 bench: recipes on the hardness/cohesiveness plane.
+
+Reproduces the paper's scatter reading: low-KL ("red") recipes sit to the
+*right* of the topic star for both dishes (harder than the topic at
+large), and Bavarois' low-KL cloud sits *above* Milk jelly's (more
+cohesive/elastic), matching the measured 0.809 vs 0.27 cohesiveness.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import shared_result
+from repro.pipeline.figures import fig4_data, mean_scores
+from repro.pipeline.reporting import render_fig4
+from repro.rheology.studies import BAVAROIS, MILK_JELLY
+
+
+def test_fig4_scatter(benchmark):
+    result = shared_result()
+    data = benchmark(
+        lambda: {d.name: fig4_data(result, d) for d in (BAVAROIS, MILK_JELLY)}
+    )
+    print()
+    for fig in data.values():
+        print(render_fig4(fig))
+        print()
+
+    bavarois, milk = data["Bavarois"], data["Milk jelly"]
+    bav_low = mean_scores(bavarois.low_kl_points())
+    milk_low = mean_scores(milk.low_kl_points())
+
+    # shape 1: low-KL recipes are at least as hard as the topic star
+    assert bav_low[0] > bavarois.star[0] - 0.05
+    assert milk_low[0] > milk.star[0] - 0.05
+
+    # shape 2: Bavarois' similar recipes are more elastic/cohesive than
+    # Milk jelly's (quantitative cohesiveness 0.809 vs 0.27)
+    assert bav_low[1] > milk_low[1]
+
+    # both dishes live in the same topic, so the stars coincide
+    assert bavarois.topic == milk.topic

@@ -1,0 +1,73 @@
+"""Robustness: the headline results across random seeds.
+
+Everything in EXPERIMENTS.md is reported from seeded runs; this bench
+guards against seed-cherry-picking by rerunning the quick pipeline over
+five seeds and asserting the two headline properties on *every* run:
+gel-band recovery (NMI) and the Table II(b) dish assignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.joint_model import JointModelConfig
+from repro.eval.metrics import normalized_mutual_information
+from repro.pipeline.experiment import ExperimentConfig, run_experiment
+from repro.pipeline.reporting import format_table
+from repro.pipeline.tables import table2a_rows, table2b_rows
+from repro.synth.presets import CorpusPreset
+
+_SEEDS = (7, 11, 23, 42, 99)
+_MODEL = JointModelConfig(n_topics=10, n_sweeps=150, burn_in=75, thin=5)
+
+
+def _config(seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        preset=CorpusPreset(name=f"robust-{seed}", n_recipes=1200),
+        model=_MODEL,
+        seed=seed,
+        use_w2v_filter=False,
+    )
+
+
+def test_robustness_across_seeds(benchmark):
+    def run_all():
+        return {seed: run_experiment(_config(seed)) for seed in _SEEDS}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    nmis = []
+    for seed, result in results.items():
+        nmi = normalized_mutual_information(
+            result.topic_assignments(), result.truth_bands()
+        )
+        nmis.append(nmi)
+        dishes = table2b_rows(result)
+        shared = dishes[0].assigned_topic == dishes[1].assigned_topic
+        table = {r.topic: r for r in table2a_rows(result)}
+        summary = table[dishes[0].assigned_topic].gel_summary
+        gelatin_band = "gelatin" in summary and 0.012 <= summary["gelatin"] <= 0.045
+        rows.append(
+            [str(seed), f"{nmi:.3f}",
+             "yes" if shared else "NO",
+             "yes" if gelatin_band else "NO"]
+        )
+
+    print()
+    print("=== Robustness across seeds (1,200 recipes each) ===")
+    print(
+        format_table(
+            ["seed", "NMI(gel bands)", "dishes share topic",
+             "dish topic is gelatin"],
+            rows,
+        )
+    )
+    print(f"NMI mean {np.mean(nmis):.3f} ± {np.std(nmis):.3f} "
+          f"(min {min(nmis):.3f})")
+
+    # the headline properties must hold at EVERY seed
+    assert min(nmis) > 0.5
+    for seed, result in results.items():
+        dishes = table2b_rows(result)
+        assert dishes[0].assigned_topic == dishes[1].assigned_topic, seed

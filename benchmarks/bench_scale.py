@@ -1,0 +1,93 @@
+"""Throughput benchmarks: how far from paper scale are we?
+
+The paper's raw corpus is 63,000 recipes. These benches measure the
+pipeline's stage throughputs (corpus generation, dataset construction,
+Gibbs sweeps) at a fixed sub-scale, so the wall-clock of a paper-scale
+run (``PAPER_PRESET``) can be extrapolated and regressions in the hot
+loops show up as benchmark deltas.
+"""
+
+from __future__ import annotations
+
+from repro.core.joint_model import JointModelConfig, JointTextureTopicModel
+from repro.pipeline.dataset import DatasetBuilder
+from repro.synth.generator import CorpusGenerator
+from repro.synth.presets import CorpusPreset
+
+_N = 1000
+
+
+def test_scale_corpus_generation(benchmark):
+    """Recipes generated per benchmark round (1,000 at a time)."""
+    generator = CorpusGenerator(rng=3)
+    preset = CorpusPreset(name="scale-gen", n_recipes=_N)
+    corpus = benchmark(lambda: generator.generate(preset))
+    assert len(corpus) == _N
+    per_second = _N / benchmark.stats.stats.mean
+    print(f"\ncorpus generation: {per_second:,.0f} recipes/s "
+          f"(paper scale 63,000 ≈ {63000 / per_second:.0f}s)")
+
+
+def test_scale_dataset_build(benchmark):
+    """Featurisation + filters (word2vec off; it has its own bench)."""
+    corpus = CorpusGenerator(rng=3).generate(
+        CorpusPreset(name="scale-build", n_recipes=_N)
+    )
+    builder = DatasetBuilder(use_w2v_filter=False)
+    dataset = benchmark(lambda: builder.build(corpus.recipes))
+    assert len(dataset) > 0
+    per_second = _N / benchmark.stats.stats.mean
+    print(f"\ndataset build: {per_second:,.0f} recipes/s")
+
+
+def test_scale_word2vec_training(benchmark):
+    """Skip-gram training over sentence units of the fixed corpus."""
+    from repro.corpus.tokenizer import Tokenizer
+    from repro.embedding.skipgram import SkipGramConfig, SkipGramModel
+
+    corpus = CorpusGenerator(rng=3).generate(
+        CorpusPreset(name="scale-w2v", n_recipes=_N)
+    )
+    tokenizer = Tokenizer()
+    sentences = []
+    for recipe in corpus:
+        for part in recipe.description.split("."):
+            tokens = tokenizer.tokenize(part)
+            if tokens:
+                sentences.append(tokens)
+    config = SkipGramConfig(epochs=2, dim=32, min_count=3, window=4)
+
+    def fit():
+        return SkipGramModel(config).fit(sentences, rng=1)
+
+    model = benchmark.pedantic(fit, rounds=2, iterations=1)
+    assert model.vocab is not None and len(model.vocab) > 50
+    per_second = len(sentences) / benchmark.stats.stats.mean
+    print(f"\nword2vec: {per_second:,.0f} sentences/s "
+          f"({len(sentences)} sentences, 2 epochs)")
+
+
+def test_scale_gibbs_sweeps(benchmark):
+    """A short Gibbs run over the fixed dataset (10 sweeps)."""
+    corpus = CorpusGenerator(rng=3).generate(
+        CorpusPreset(name="scale-gibbs", n_recipes=_N)
+    )
+    dataset = DatasetBuilder(use_w2v_filter=False).build(corpus.recipes)
+    config = JointModelConfig(n_topics=10, n_sweeps=10, burn_in=5, thin=2)
+
+    def fit():
+        return JointTextureTopicModel(config).fit(
+            list(dataset.docs),
+            dataset.gel_log,
+            dataset.emulsion_log,
+            dataset.vocab_size,
+            rng=1,
+        )
+
+    model = benchmark.pedantic(fit, rounds=2, iterations=1)
+    assert model.theta_ is not None
+    sweep_seconds = benchmark.stats.stats.mean / config.n_sweeps
+    print(f"\nGibbs: {sweep_seconds * 1000:.0f} ms/sweep over "
+          f"{len(dataset)} docs "
+          f"(paper-scale 400 sweeps ≈ {sweep_seconds * 400 * 20:.0f}s "
+          f"at 20x docs)")

@@ -1,0 +1,55 @@
+"""Sensitivity: number of topics K.
+
+The paper fixes K = 10 without discussion. This bench sweeps K around
+that value and checks the pipeline's conclusions are not an artefact of
+the choice: gel-band recovery stays high, and the headline Table II(b)
+property (both dishes assigned to one gelatin topic) holds at every K.
+"""
+
+from __future__ import annotations
+
+from repro.core.joint_model import JointModelConfig
+from repro.eval.metrics import normalized_mutual_information
+from repro.pipeline.experiment import ExperimentConfig, run_experiment
+from repro.pipeline.reporting import format_table
+from repro.pipeline.tables import table2b_rows
+from repro.synth.presets import CorpusPreset
+
+_KS = (6, 10, 14)
+
+
+def _config(k: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        preset=CorpusPreset(name="sensitivity-k", n_recipes=1200),
+        model=JointModelConfig(n_topics=k, n_sweeps=150, burn_in=75, thin=5),
+        seed=11,
+        use_w2v_filter=False,
+    )
+
+
+def test_sensitivity_to_topic_count(benchmark):
+    def run_all():
+        return {k: run_experiment(_config(k)) for k in _KS}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for k, result in results.items():
+        nmi = normalized_mutual_information(
+            result.topic_assignments(), result.truth_bands()
+        )
+        dishes = table2b_rows(result)
+        same = dishes[0].assigned_topic == dishes[1].assigned_topic
+        rows.append([str(k), f"{nmi:.3f}", "yes" if same else "NO"])
+
+    print()
+    print("=== Sensitivity: number of topics K ===")
+    print(format_table(["K", "NMI(gel bands)", "dishes share topic"], rows))
+
+    for k, result in results.items():
+        nmi = normalized_mutual_information(
+            result.topic_assignments(), result.truth_bands()
+        )
+        assert nmi > 0.45, f"K={k} collapsed"
+        dishes = table2b_rows(result)
+        assert dishes[0].assigned_topic == dishes[1].assigned_topic

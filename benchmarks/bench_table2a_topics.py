@@ -1,0 +1,125 @@
+"""Table II(a) bench: the full joint-topic pipeline.
+
+Regenerates the paper's main table — topics with gel concentrations,
+ranked texture terms, recipe counts, and the assignment of Table I
+settings to topics — and asserts its qualitative shape:
+
+* topics separate gel types and concentration bands (NMI against the
+  generator's ground-truth bands);
+* every Table I row is linked, with pure-gelatin / kanten / agar rows
+  landing on distinct topics;
+* the texture-term polarity of linked topics agrees with the measured
+  rheology (the paper's dictionary-based validation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.common import shared_result
+from repro.eval.metrics import normalized_mutual_information
+from repro.eval.validation import validate_link, validation_summary
+from repro.lexicon.dictionary import build_dictionary
+from repro.pipeline.reporting import render_table2a
+from repro.pipeline.tables import table2a_rows
+from repro.rheology.studies import TABLE_I
+
+
+def test_table2a_topics(benchmark):
+    result = shared_result()
+    rows = benchmark(lambda: table2a_rows(result))
+    print()
+    print("=== Table II(a): acquired topics and Table I assignment ===")
+    print(f"(dataset: {len(result.dataset)} recipes, funnel {dict(result.dataset.funnel)})")
+    print(render_table2a(rows))
+
+    # every Table I row assigned exactly once
+    assigned = sorted(i for r in rows for i in r.linked_data_ids)
+    assert assigned == [s.data_id for s in TABLE_I]
+
+    # gel types do not collide across linked topics
+    def topics_for(gel):
+        return {
+            result.linker.link_setting(s).topic
+            for s in TABLE_I
+            if set(s.gels) == {gel}
+        }
+
+    assert topics_for("gelatin").isdisjoint(topics_for("kanten"))
+    assert topics_for("gelatin").isdisjoint(topics_for("agar"))
+    assert topics_for("kanten").isdisjoint(topics_for("agar"))
+
+    # topics recover the generator's gel bands
+    nmi = normalized_mutual_information(
+        result.topic_assignments(), result.truth_bands()
+    )
+    print(f"NMI(topics, true gel bands) = {nmi:.3f}")
+    assert nmi > 0.5
+
+
+def test_table2a_linkage_validation(benchmark):
+    """Dictionary-based validation of every topic↔Table I linkage."""
+    result = shared_result()
+    dictionary = build_dictionary()
+    phi = np.asarray(result.model.phi_)
+
+    def validate_all():
+        validations = []
+        for setting in TABLE_I:
+            link = result.linker.link_setting(setting)
+            validations.append(
+                validate_link(
+                    phi[link.topic],
+                    result.vocabulary,
+                    dictionary,
+                    setting.texture,
+                )
+            )
+        return validations
+
+    validations = benchmark(validate_all)
+    summary = validation_summary(validations)
+    print()
+    print("=== Linkage validation against dictionary annotations ===")
+    for setting, validation in zip(TABLE_I, validations):
+        axes = {str(a): round(v, 3) for a, v in validation.per_axis.items()}
+        print(f"  data {setting.data_id:>2}: score={validation.score:+.3f} {axes}")
+    print(f"summary: {summary}")
+
+    # The paper's qualitative validation claims (Section V-A), asserted
+    # directly. (Per-row consistency is brittle at band boundaries — 1.8 %
+    # gelatin sits exactly between the soft-jelly and firm-jelly families
+    # — so we check the claims the paper actually makes.)
+    from repro.eval.validation import topic_polarity
+    from repro.lexicon.categories import SensoryAxis
+
+    def hardness_polarity(topic: int) -> float:
+        return topic_polarity(phi[topic], result.vocabulary, dictionary)[
+            SensoryAxis.HARDNESS
+        ]
+
+    # claim 1: the hard kanten settings (H = 2.2–5.67 RU) link to topics
+    # whose terms "incline to texture terms of hardness"
+    kanten_topics = {
+        result.linker.link_setting(s).topic
+        for s in TABLE_I
+        if set(s.gels) == {"kanten"}
+    }
+    for topic in kanten_topics:
+        print(f"kanten-linked topic {topic}: hardness polarity "
+              f"{hardness_polarity(topic):+.3f}")
+        assert hardness_polarity(topic) > 0.15
+
+    # claim 2: the gelatin+agar mixture (row 5) links to a topic whose
+    # terms are soft-elastic (the paper's "purupuru" topic), softer than
+    # the kanten topics
+    row5 = next(s for s in TABLE_I if s.data_id == 5)
+    mixed_topic = result.linker.link_setting(row5).topic
+    print(f"row-5 topic {mixed_topic}: hardness polarity "
+          f"{hardness_polarity(mixed_topic):+.3f}")
+    assert hardness_polarity(mixed_topic) < min(
+        hardness_polarity(t) for t in kanten_topics
+    )
+
+    # claim 3: no wholesale contradiction on average across all links
+    assert summary["mean_score"] > -0.05

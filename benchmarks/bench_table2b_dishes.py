@@ -1,0 +1,37 @@
+"""Table II(b) bench: Bavarois and Milk jelly topic assignment.
+
+The paper's observation: both dishes share data-id-3's gel concentration
+(2.5 % gelatin) and are therefore assigned to the same (hard-gelatin)
+topic despite wildly different emulsions. This bench regenerates the
+table and asserts that shape.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import shared_result
+from repro.pipeline.reporting import render_table2b
+from repro.pipeline.tables import table2a_rows, table2b_rows
+from repro.rheology.studies import TABLE_I
+
+
+def test_table2b_dish_assignment(benchmark):
+    result = shared_result()
+    rows = benchmark(lambda: table2b_rows(result))
+    print()
+    print("=== Table II(b): dish studies and assigned topic ===")
+    print(render_table2b(rows))
+
+    bavarois, milk = rows
+    # same topic for both dishes (same gel concentration)
+    assert bavarois.assigned_topic == milk.assigned_topic
+
+    # that topic is a gelatin topic in the right concentration band
+    table = {r.topic: r for r in table2a_rows(result)}
+    summary = table[bavarois.assigned_topic].gel_summary
+    print(f"assigned topic gels: {summary}")
+    assert "gelatin" in summary
+    assert 0.015 <= summary["gelatin"] <= 0.04
+
+    # and it is the same topic Table I row 3 (2.5 % gelatin) links to
+    row3 = next(s for s in TABLE_I if s.data_id == 3)
+    assert result.linker.link_setting(row3).topic == bavarois.assigned_topic

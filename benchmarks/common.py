@@ -1,0 +1,35 @@
+"""Shared pipeline for the table/figure benchmarks.
+
+Every bench that needs a fitted model calls :func:`shared_result`, which
+runs the full paper pipeline once per process (via the experiment cache)
+at a scale large enough for stable topics but small enough for a laptop:
+3,000 synthetic recipes (≈1/20 of the paper's raw corpus, ≈1,500 dataset
+recipes after the Section IV-A funnel), K = 10 topics, 300 Gibbs sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.core.joint_model import JointModelConfig
+from repro.pipeline.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.synth.presets import CorpusPreset
+
+BENCH_SEED = 11
+
+BENCH_CONFIG = ExperimentConfig(
+    preset=CorpusPreset(name="bench", n_recipes=3000),
+    model=JointModelConfig(n_topics=10, n_sweeps=300, burn_in=150, thin=5),
+    seed=BENCH_SEED,
+    use_w2v_filter=True,
+)
+
+
+def shared_result() -> ExperimentResult:
+    """The fitted benchmark pipeline (cached within the process)."""
+    return run_experiment(BENCH_CONFIG)
+
+
+def topic_gel_summary(result: ExperimentResult) -> dict[int, dict[str, float]]:
+    """topic → {gel: mean concentration among recipes containing it}."""
+    from repro.pipeline.tables import table2a_rows
+
+    return {row.topic: dict(row.gel_summary) for row in table2a_rows(result)}

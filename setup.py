@@ -1,0 +1,7 @@
+"""Legacy setup shim: the sandbox lacks the ``wheel`` package, so PEP 660
+editable installs cannot build; ``pip install -e .`` falls back to
+``setup.py develop`` through this file."""
+
+from setuptools import setup
+
+setup()

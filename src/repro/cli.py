@@ -1,0 +1,264 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``
+    Print Table I, published vs rheometer-simulated.
+``pipeline``
+    Run the full pipeline and print Table II(a)/(b).
+``figures``
+    Run the pipeline and print the Fig 3 / Fig 4 series.
+``estimate``
+    Estimate the texture of a recipe given as ``ingredient=quantity``
+    pairs, e.g. ``python -m repro estimate gelatin=5g water=300ml``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.pipeline.experiment import quick_config, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Detecting Sensory Textures with Rheological "
+            "Characteristics from Recipe Sharing Sites' (ICDE 2022)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I: published vs simulated rheology")
+
+    pipeline = sub.add_parser("pipeline", help="full pipeline + main tables")
+    pipeline.add_argument("--recipes", type=int, default=1500)
+    pipeline.add_argument("--sweeps", type=int, default=300)
+    pipeline.add_argument("--seed", type=int, default=11)
+    pipeline.add_argument(
+        "--method",
+        choices=("gibbs", "collapsed", "vb"),
+        default="gibbs",
+        help="inference method (paper = gibbs)",
+    )
+
+    figures = sub.add_parser("figures", help="Fig 3 and Fig 4 series")
+    figures.add_argument("--recipes", type=int, default=1500)
+    figures.add_argument("--sweeps", type=int, default=300)
+    figures.add_argument("--seed", type=int, default=11)
+
+    estimate = sub.add_parser("estimate", help="estimate a recipe's texture")
+    estimate.add_argument(
+        "ingredients",
+        nargs="+",
+        metavar="NAME=QUANTITY",
+        help="e.g. gelatin=5g water=300ml sugar='oosaji 2'",
+    )
+    estimate.add_argument("--description", default="")
+    estimate.add_argument("--recipes", type=int, default=1500)
+    estimate.add_argument("--seed", type=int, default=11)
+
+    search = sub.add_parser("search", help="find recipes by texture terms")
+    search.add_argument("terms", nargs="+", metavar="TERM")
+    search.add_argument("--top", type=int, default=10)
+    search.add_argument("--recipes", type=int, default=1500)
+    search.add_argument("--seed", type=int, default=11)
+
+    rules = sub.add_parser(
+        "rules", help="mine concentration→texture rules from the corpus"
+    )
+    rules.add_argument("--limit", type=int, default=15)
+    rules.add_argument("--min-effect", type=float, default=1.0)
+    rules.add_argument("--recipes", type=int, default=1500)
+    rules.add_argument("--seed", type=int, default=11)
+
+    dictionary = sub.add_parser(
+        "dictionary", help="print the 288-term texture dictionary"
+    )
+    dictionary.add_argument(
+        "--category",
+        choices=("hardness", "cohesiveness", "adhesiveness"),
+        default=None,
+        help="restrict to one annotation category",
+    )
+    dictionary.add_argument(
+        "--gel-only", action="store_true", help="only gel-related terms"
+    )
+
+    report = sub.add_parser(
+        "report", help="write the full table/figure bundle to a directory"
+    )
+    report.add_argument("directory")
+    report.add_argument("--recipes", type=int, default=1500)
+    report.add_argument("--sweeps", type=int, default=300)
+    report.add_argument("--seed", type=int, default=11)
+    return parser
+
+
+def _cmd_table1() -> int:
+    from repro.pipeline.reporting import render_table1
+    from repro.pipeline.tables import table1_rows
+
+    print(render_table1(table1_rows()))
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    import dataclasses
+
+    from repro.pipeline.reporting import render_table2a, render_table2b
+    from repro.pipeline.tables import table2a_rows, table2b_rows
+
+    config = quick_config(args.recipes, args.sweeps, args.seed)
+    if getattr(args, "method", "gibbs") != "gibbs":
+        config = dataclasses.replace(config, inference=args.method)
+    result = run_experiment(config)
+    print(render_table2a(table2a_rows(result)))
+    print()
+    print(render_table2b(table2b_rows(result)))
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.pipeline.figures import fig3_data, fig4_data
+    from repro.pipeline.reporting import render_fig3, render_fig4
+    from repro.rheology.studies import BAVAROIS, MILK_JELLY
+
+    result = run_experiment(quick_config(args.recipes, args.sweeps, args.seed))
+    for dish in (BAVAROIS, MILK_JELLY):
+        print(render_fig3(fig3_data(result, dish)))
+        print()
+        print(render_fig4(fig4_data(result, dish)))
+        print()
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    from repro.core.estimator import TextureEstimator
+    from repro.corpus.recipe import Ingredient, Recipe
+
+    ingredients = []
+    for pair in args.ingredients:
+        name, _, quantity = pair.partition("=")
+        if not name or not quantity:
+            print(f"cannot parse ingredient {pair!r}; use NAME=QUANTITY",
+                  file=sys.stderr)
+            return 2
+        ingredients.append(Ingredient(name.strip(), quantity.strip()))
+    recipe = Recipe(
+        recipe_id="cli",
+        title="cli recipe",
+        description=args.description,
+        ingredients=tuple(ingredients),
+    )
+    result = run_experiment(quick_config(args.recipes, seed=args.seed))
+    estimate = TextureEstimator(result).estimate(recipe)
+    print(f"topic: {estimate.topic}")
+    print("predicted texture terms:")
+    for surface, probability in estimate.predicted_terms[:6]:
+        print(f"  {surface:<16} {probability:.3f}")
+    rheology = estimate.expected_rheology()
+    if rheology is not None:
+        rows = ", ".join(str(s.data_id) for s in estimate.linked_settings)
+        print(f"linked Table I rows: {rows}")
+        print(f"expected rheology: {rheology}")
+    return 0
+
+
+def _cmd_search(args) -> int:
+    from repro.core.search import TextureSearch
+    from repro.errors import UnknownTermError
+
+    result = run_experiment(quick_config(args.recipes, seed=args.seed))
+    search = TextureSearch(result)
+    try:
+        hits = search.query(args.terms, top=args.top)
+    except UnknownTermError as exc:
+        print(f"term not in the dataset vocabulary: {exc.surface}",
+              file=sys.stderr)
+        return 2
+    print(f"top {len(hits)} recipes for {' + '.join(args.terms)}:")
+    for hit in hits:
+        recipe = next(
+            r for r in result.corpus if r.recipe_id == hit.recipe_id
+        )
+        said = "mentions it" if hit.mentions_query else "inferred"
+        print(f"  {hit.recipe_id}  {recipe.title:<28} p={hit.score:.4f} ({said})")
+    return 0
+
+
+def _cmd_rules(args) -> int:
+    from repro.eval.rules import RuleMiner
+
+    result = run_experiment(quick_config(args.recipes, seed=args.seed))
+    miner = RuleMiner(min_support=10, min_effect=args.min_effect)
+    print(RuleMiner.render(miner.mine(result.dataset), limit=args.limit))
+    return 0
+
+
+def _cmd_dictionary(args) -> int:
+    from repro.errors import ReproError
+    from repro.lexicon.categories import AXES, TextureCategory
+    from repro.lexicon.dictionary import build_dictionary
+    from repro.lexicon.kana import to_katakana
+
+    dictionary = build_dictionary()
+    terms = list(dictionary)
+    if args.category:
+        category = TextureCategory(args.category)
+        terms = [t for t in terms if t.in_category(category)]
+    if args.gel_only:
+        terms = [t for t in terms if t.gel_related]
+    print(f"{'surface':<16} {'katakana':<10} {'gel':<4} "
+          f"{'H':>5} {'C':>5} {'A':>5}  gloss")
+    for term in terms:
+        try:
+            kana = to_katakana(term.surface)
+        except ReproError:
+            kana = "-"
+        h, c, a = (term.polarity_on(axis) for axis in AXES)
+        print(
+            f"{term.surface:<16} {kana:<10} "
+            f"{'yes' if term.gel_related else 'no':<4} "
+            f"{h:+5.2f} {c:+5.2f} {a:+5.2f}  {term.gloss}"
+        )
+    print(f"\n{len(terms)} terms")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.pipeline.bundle import write_report_bundle
+
+    result = run_experiment(quick_config(args.recipes, args.sweeps, args.seed))
+    written = write_report_bundle(result, args.directory)
+    for name, path in sorted(written.items()):
+        print(f"  {name:<14} {path}")
+    print(f"wrote {len(written)} artefacts to {args.directory}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "pipeline":
+        return _cmd_pipeline(args)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "search":
+        return _cmd_search(args)
+    if args.command == "rules":
+        return _cmd_rules(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "dictionary":
+        return _cmd_dictionary(args)
+    return _cmd_estimate(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: the joint texture topic model.
+
+* :mod:`repro.core.priors` / :mod:`repro.core.normal_wishart` — conjugate
+  prior machinery (Dirichlet, Normal–Wishart);
+* :mod:`repro.core.joint_model` — the joint topic model of Section III-B
+  with the Gibbs sampler of Section III-C (equations (2)–(4));
+* :mod:`repro.core.lda` — words-only collapsed-Gibbs LDA baseline;
+* :mod:`repro.core.gmm` — concentrations-only Bayesian GMM baseline;
+* :mod:`repro.core.linkage` — KL-divergence linkage between topics and
+  empirical food-science settings (Section III-C.4).
+"""
+
+from repro.core.gmm import BayesianGaussianMixture
+from repro.core.joint_model import JointTextureTopicModel, JointModelConfig
+from repro.core.lda import LatentDirichletAllocation
+from repro.core.linkage import LinkageResult, TopicLinker
+from repro.core.priors import DirichletPrior, NormalWishartPrior
+
+__all__ = [
+    "JointTextureTopicModel",
+    "JointModelConfig",
+    "LatentDirichletAllocation",
+    "BayesianGaussianMixture",
+    "TopicLinker",
+    "LinkageResult",
+    "DirichletPrior",
+    "NormalWishartPrior",
+]

@@ -1,0 +1,311 @@
+"""Fully-collapsed variant of the joint model (extension, not in paper).
+
+The paper's sampler (equations (2)–(4)) explicitly resamples each topic's
+Gaussian parameters once per sweep. Integrating (μ_k, Λ_k) out instead
+gives a Rao-Blackwellised sampler whose y-updates use the multivariate
+Student-t predictive of the Normal–Wishart — typically better mixing at
+the cost of per-document posterior bookkeeping. Provided as an ablation
+(bench ``ablation A`` companions) and as a correctness cross-check: both
+samplers must agree on the recovered structure.
+
+Sufficient statistics per topic (count, sum, raw scatter) are maintained
+incrementally, so a y-update costs O(K·dim³) rather than a full refit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.core import normal_wishart as nw
+from repro.core.joint_model import JointModelConfig
+from repro.core.priors import DirichletPrior, NormalWishartPrior
+from repro.core.seeding import kmeans_plus_plus
+from repro.core.state import TopicCounts, initialise_assignments, validate_docs
+from repro.errors import ModelError, NotFittedError
+from repro.rng import RngLike, ensure_rng
+
+
+@dataclass
+class _SuffStats:
+    """Incremental Gaussian sufficient statistics for one topic."""
+
+    n: int
+    total: np.ndarray          # Σ x
+    scatter: np.ndarray        # Σ x xᵀ
+
+    @classmethod
+    def empty(cls, dim: int) -> "_SuffStats":
+        return cls(n=0, total=np.zeros(dim), scatter=np.zeros((dim, dim)))
+
+    def add(self, x: np.ndarray) -> None:
+        self.n += 1
+        self.total += x
+        self.scatter += np.outer(x, x)
+
+    def remove(self, x: np.ndarray) -> None:
+        self.n -= 1
+        self.total -= x
+        self.scatter -= np.outer(x, x)
+        if self.n < 0:
+            raise ModelError("sufficient statistics went negative")
+
+    def posterior(self, prior: NormalWishartPrior) -> NormalWishartPrior:
+        """NW posterior from the incremental statistics."""
+        if self.n == 0:
+            return prior
+        mean = self.total / self.n
+        centred_scatter = self.scatter - self.n * np.outer(mean, mean)
+        dmean = mean - prior.mean
+        kappa_c = prior.kappa + self.n
+        scale_inv = (
+            np.linalg.inv(prior.scale)
+            + centred_scatter
+            + (self.n * prior.kappa / kappa_c) * np.outer(dmean, dmean)
+        )
+        scale_c = np.linalg.inv(scale_inv)
+        return NormalWishartPrior(
+            mean=(self.n * mean + prior.kappa * prior.mean) / kappa_c,
+            kappa=kappa_c,
+            dof=prior.dof + self.n,
+            scale=0.5 * (scale_c + scale_c.T),
+        )
+
+
+class _CachedPredictive:
+    """Student-t predictive of a topic's NW posterior, cached.
+
+    The collapsed y-sweep evaluates every topic's predictive for every
+    document, but a document move only changes *two* topics' sufficient
+    statistics — so each topic's posterior (and the expensive matrix
+    inversion/logdet inside the Student-t) is rebuilt lazily on
+    invalidation instead of per evaluation.
+    """
+
+    def __init__(self, prior: NormalWishartPrior) -> None:
+        self.prior = prior
+        self._prior_scale_inv = np.linalg.inv(prior.scale)
+        self._fresh = False
+        self._mean: np.ndarray | None = None
+        self._inv_scale_t: np.ndarray | None = None
+        self._dof_t: float = 1.0
+        self._norm: float = 0.0
+
+    def invalidate(self) -> None:
+        self._fresh = False
+
+    def _rebuild(self, stats: "_SuffStats") -> None:
+        # Posterior parameters computed inline (equation (4)) — the
+        # validated NormalWishartPrior constructor is far too slow for a
+        # per-document hot path.
+        from scipy.special import gammaln
+
+        prior = self.prior
+        n = stats.n
+        if n == 0:
+            mean_c = prior.mean
+            kappa_c, dof_c = prior.kappa, prior.dof
+            scale_inv = self._prior_scale_inv
+        else:
+            mean = stats.total / n
+            centred = stats.scatter - n * np.outer(mean, mean)
+            dmean = mean - prior.mean
+            kappa_c = prior.kappa + n
+            dof_c = prior.dof + n
+            mean_c = (stats.total + prior.kappa * prior.mean) / kappa_c
+            scale_inv = (
+                self._prior_scale_inv
+                + centred
+                + (n * prior.kappa / kappa_c) * np.outer(dmean, dmean)
+            )
+        d = mean_c.size
+        dof_t = dof_c - d + 1.0
+        factor = (kappa_c + 1.0) / (kappa_c * dof_t)
+        # scale_t = scale_inv · factor  ⇒  inv(scale_t) = inv(scale_inv)/factor
+        self._inv_scale_t = np.linalg.inv(scale_inv) / factor
+        _, logdet_scale_inv = np.linalg.slogdet(scale_inv)
+        logdet_t = logdet_scale_inv + d * np.log(factor)
+        self._mean = mean_c
+        self._dof_t = float(dof_t)
+        self._norm = float(
+            gammaln((dof_t + d) / 2.0)
+            - gammaln(dof_t / 2.0)
+            - 0.5 * (d * np.log(dof_t * np.pi) + logdet_t)
+        )
+        self._fresh = True
+
+    def logpdf(self, stats: "_SuffStats", x: np.ndarray) -> float:
+        if not self._fresh:
+            self._rebuild(stats)
+        assert self._mean is not None and self._inv_scale_t is not None
+        diff = x - self._mean
+        quad = float(diff @ self._inv_scale_t @ diff)
+        d = self._mean.size
+        return self._norm - 0.5 * (self._dof_t + d) * np.log1p(
+            quad / self._dof_t
+        )
+
+
+class CollapsedJointModel:
+    """Rao-Blackwellised joint model: Gaussians integrated out."""
+
+    def __init__(self, config: JointModelConfig | None = None) -> None:
+        self.config = config or JointModelConfig()
+        self.phi_: np.ndarray | None = None
+        self.theta_: np.ndarray | None = None
+        self.gel_means_: np.ndarray | None = None
+        self.gel_covs_: np.ndarray | None = None
+        self.emulsion_means_: np.ndarray | None = None
+        self.emulsion_covs_: np.ndarray | None = None
+        self.y_: np.ndarray | None = None
+
+    def fit(
+        self,
+        docs,
+        gels: np.ndarray,
+        emulsions: np.ndarray,
+        vocab_size: int,
+        rng: RngLike = None,
+        gel_prior: NormalWishartPrior | None = None,
+        emulsion_prior: NormalWishartPrior | None = None,
+    ) -> "CollapsedJointModel":
+        """Run the collapsed Gibbs sampler."""
+        cfg = self.config
+        generator = ensure_rng(rng)
+        gels = np.asarray(gels, dtype=float)
+        emulsions = np.asarray(emulsions, dtype=float)
+        n_docs = len(docs)
+        if n_docs == 0:
+            raise ModelError("no documents")
+        validate_docs(docs, vocab_size)
+        gel_prior = gel_prior or NormalWishartPrior.vague(gels, kappa=cfg.kappa)
+        emulsion_prior = emulsion_prior or NormalWishartPrior.vague(
+            emulsions, kappa=cfg.kappa
+        )
+
+        alpha = DirichletPrior(cfg.alpha).vector(cfg.n_topics)
+        gamma, v_total = cfg.gamma, cfg.gamma * vocab_size
+        k_range = cfg.n_topics
+
+        counts = TopicCounts(n_docs, k_range, vocab_size)
+        z = initialise_assignments(docs, counts, generator)
+        if cfg.seed_y_with_kmeans:
+            y = kmeans_plus_plus(gels, k_range, generator).astype(np.int64)
+        else:
+            y = generator.integers(0, k_range, size=n_docs).astype(np.int64)
+
+        gel_stats = [_SuffStats.empty(gels.shape[1]) for _ in range(k_range)]
+        emu_stats = [_SuffStats.empty(emulsions.shape[1]) for _ in range(k_range)]
+        for d in range(n_docs):
+            gel_stats[y[d]].add(gels[d])
+            emu_stats[y[d]].add(emulsions[d])
+        gel_pred = [_CachedPredictive(gel_prior) for _ in range(k_range)]
+        emu_pred = [_CachedPredictive(emulsion_prior) for _ in range(k_range)]
+
+        phi_acc = np.zeros((k_range, vocab_size))
+        theta_acc = np.zeros((n_docs, k_range))
+        y_votes = np.zeros((n_docs, k_range), dtype=np.int64)
+        n_samples = 0
+
+        for sweep in range(cfg.n_sweeps):
+            # -- z updates (identical to the semi-collapsed sampler) --------
+            for d, words in enumerate(docs):
+                zd = z[d]
+                y_d = y[d]
+                uniforms = generator.random(len(words))
+                for n_tok, v in enumerate(words):
+                    counts.remove(d, int(zd[n_tok]), int(v))
+                    weights = (counts.n_dk[d] + alpha).astype(float)
+                    weights[y_d] += 1.0
+                    weights *= (counts.n_kv[:, v] + gamma) / (
+                        counts.n_k + v_total
+                    )
+                    cumulative = np.cumsum(weights)
+                    k_new = int(
+                        np.searchsorted(
+                            cumulative, uniforms[n_tok] * cumulative[-1]
+                        )
+                    )
+                    zd[n_tok] = k_new
+                    counts.add(d, k_new, int(v))
+
+            # -- collapsed y updates: cached Student-t predictives ----------
+            for d in range(n_docs):
+                k_old = int(y[d])
+                gel_stats[k_old].remove(gels[d])
+                emu_stats[k_old].remove(emulsions[d])
+                gel_pred[k_old].invalidate()
+                emu_pred[k_old].invalidate()
+                logits = np.log(counts.n_dk[d] + alpha)
+                for k in range(k_range):
+                    logits[k] += gel_pred[k].logpdf(gel_stats[k], gels[d])
+                    if cfg.use_emulsions:
+                        logits[k] += emu_pred[k].logpdf(
+                            emu_stats[k], emulsions[d]
+                        )
+                logits -= logsumexp(logits)
+                cumulative = np.cumsum(np.exp(logits))
+                k_new = int(
+                    np.searchsorted(
+                        cumulative, generator.random() * cumulative[-1]
+                    )
+                )
+                k_new = min(k_new, k_range - 1)
+                y[d] = k_new
+                gel_stats[k_new].add(gels[d])
+                emu_stats[k_new].add(emulsions[d])
+                gel_pred[k_new].invalidate()
+                emu_pred[k_new].invalidate()
+
+            if sweep >= cfg.burn_in and (sweep - cfg.burn_in) % cfg.thin == 0:
+                phi_acc += (counts.n_kv + gamma) / (counts.n_k[:, None] + v_total)
+                m_dk = np.zeros((n_docs, k_range))
+                m_dk[np.arange(n_docs), y] = 1.0
+                theta_acc += (counts.n_dk + m_dk + alpha) / (
+                    counts.n_d[:, None] + 1.0 + alpha.sum()
+                )
+                y_votes[np.arange(n_docs), y] += 1
+                n_samples += 1
+
+        scale = max(n_samples, 1)
+        self.phi_ = phi_acc / scale
+        self.theta_ = theta_acc / scale
+        self.y_ = y_votes.argmax(axis=1)
+        # report posterior-expected Gaussians for linkage compatibility
+        gel_posts = [s.posterior(gel_prior) for s in gel_stats]
+        emu_posts = [s.posterior(emulsion_prior) for s in emu_stats]
+        self.gel_means_ = np.vstack([p.mean for p in gel_posts])
+        self.gel_covs_ = np.stack(
+            [np.linalg.inv(nw.expected_params(p).precision) for p in gel_posts]
+        )
+        self.emulsion_means_ = np.vstack([p.mean for p in emu_posts])
+        self.emulsion_covs_ = np.stack(
+            [np.linalg.inv(nw.expected_params(p).precision) for p in emu_posts]
+        )
+        return self
+
+    # -- accessors mirroring the semi-collapsed model -------------------------
+
+    @property
+    def n_topics(self) -> int:
+        return self.config.n_topics
+
+    def topic_assignments(self) -> np.ndarray:
+        """Hard per-recipe topic (argmax θ_d)."""
+        if self.theta_ is None:
+            raise NotFittedError("collapsed joint model")
+        return np.asarray(self.theta_).argmax(axis=1)
+
+    def topic_sizes(self) -> np.ndarray:
+        """Recipes per topic."""
+        return np.bincount(self.topic_assignments(), minlength=self.n_topics)
+
+    def top_words(self, k: int, n: int = 10) -> list[tuple[int, float]]:
+        """The ``n`` highest-probability word ids of topic ``k``."""
+        if self.phi_ is None:
+            raise NotFittedError("collapsed joint model")
+        row = np.asarray(self.phi_)[k]
+        order = np.argsort(row)[::-1][:n]
+        return [(int(v), float(row[v])) for v in order]

@@ -1,0 +1,87 @@
+"""Convergence diagnostics for the Gibbs samplers.
+
+The paper runs Gibbs "until convergence" without further detail; these
+helpers make that operational: a likelihood-trace summary, a plateau
+check usable as a stopping heuristic, and a Geweke-style z-score
+comparing early and late segments of the post-burn-in trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Summary statistics of a log-likelihood trace."""
+
+    first: float
+    last: float
+    best: float
+    improved: bool          # last better than first
+    plateau_fraction: float  # share of the trace within tolerance of best
+    geweke_z: float          # |z| < 2 suggests the tail is stationary
+
+    @property
+    def converged(self) -> bool:
+        """Heuristic convergence: improved, long plateau, stationary tail."""
+        return self.improved and self.plateau_fraction > 0.2 and abs(self.geweke_z) < 3.0
+
+
+def summarise_trace(
+    trace: Sequence[float], plateau_tolerance: float = 0.02
+) -> TraceSummary:
+    """Summarise a log-likelihood trace.
+
+    ``plateau_tolerance`` is relative to the trace's dynamic range: a
+    sweep counts as "on the plateau" when it is within that fraction of
+    the best value.
+    """
+    values = np.asarray(list(trace), dtype=float)
+    if values.size < 4:
+        raise ConvergenceError("trace too short to summarise")
+    if not np.all(np.isfinite(values)):
+        raise ConvergenceError("trace contains non-finite values")
+    best = float(values.max())
+    spread = float(values.max() - values.min())
+    if spread <= 0.0:
+        plateau = 1.0
+    else:
+        plateau = float(
+            np.mean(values >= best - plateau_tolerance * spread)
+        )
+    return TraceSummary(
+        first=float(values[0]),
+        last=float(values[-1]),
+        best=best,
+        improved=bool(values[-1] > values[0]),
+        plateau_fraction=plateau,
+        geweke_z=geweke_z(values),
+    )
+
+
+def geweke_z(
+    trace: Sequence[float], head: float = 0.1, tail: float = 0.5
+) -> float:
+    """Geweke diagnostic on the second half of the trace.
+
+    Compares the mean of the first ``head`` fraction against the last
+    ``tail`` fraction of the post-midpoint trace; |z| ≲ 2 is consistent
+    with stationarity.
+    """
+    values = np.asarray(list(trace), dtype=float)
+    half = values[values.size // 2 :]
+    if half.size < 4:
+        raise ConvergenceError("trace too short for a Geweke diagnostic")
+    n_head = max(int(half.size * head), 2)
+    n_tail = max(int(half.size * tail), 2)
+    a, b = half[:n_head], half[-n_tail:]
+    var = a.var(ddof=1) / a.size + b.var(ddof=1) / b.size
+    if var <= 0.0:
+        return 0.0
+    return float((a.mean() - b.mean()) / np.sqrt(var))

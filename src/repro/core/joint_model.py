@@ -1,0 +1,336 @@
+"""The joint texture topic model (paper Sections III-B/III-C).
+
+Each topic k owns three coupled distributions:
+
+* φ_k — a categorical over texture terms (Dirichlet prior γ);
+* (μ_k, Λ_k) — a Gaussian over *gel* concentration vectors in −log
+  space (Normal–Wishart prior);
+* (m_k, L_k) — a Gaussian over *emulsion* concentration vectors
+  (Normal–Wishart prior).
+
+Per recipe d, topic proportions θ_d ~ Dir(α) generate both the per-word
+topics z_dn and the single document-level concentration topic y_d, which
+emits the recipe's gel vector g_d and emulsion vector e_d. Sharing θ_d is
+the paper's core coupling: texture-word patterns and concentration bands
+must co-occur to form a topic.
+
+Inference is the semi-collapsed Gibbs sampler of equations (2)–(4):
+θ and φ are collapsed out; the Gaussians are explicitly resampled from
+their Normal–Wishart posteriors once per sweep.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.core import normal_wishart as nw
+from repro.core.lda import word_log_likelihood
+from repro.core.priors import DirichletPrior, NormalWishartPrior
+from repro.core.seeding import kmeans_plus_plus
+from repro.core.state import TopicCounts, initialise_assignments, validate_docs
+from repro.errors import ModelError, NotFittedError
+from repro.rng import RngLike, ensure_rng
+
+logger = logging.getLogger("repro.core.joint_model")
+
+#: Progress is logged every this many sweeps (at INFO level).
+_LOG_EVERY = 50
+
+
+@dataclass(frozen=True)
+class JointModelConfig:
+    """Configuration of the joint model and its Gibbs sampler."""
+
+    n_topics: int = 10
+    alpha: float = 1.0            # Dir(θ) hyperparameter
+    gamma: float = 0.1            # Dir(φ) hyperparameter
+    kappa: float = 0.1            # NW β: pseudo-count on Gaussian means
+    n_sweeps: int = 400
+    burn_in: int = 200
+    thin: int = 5
+    #: Include the emulsion channel in the y_d likelihood. Equation (3)
+    #: of the paper prints only one Gaussian factor; the generative model
+    #: of Fig 1 emits both g_d and e_d from y_d, which is what we use.
+    use_emulsions: bool = True
+    #: Seed y with k-means++ on the gel vectors instead of uniformly.
+    seed_y_with_kmeans: bool = True
+    #: Independent chains to run; the one with the best final joint
+    #: log-likelihood wins. Gibbs chains on multimodal posteriors can
+    #: settle in different label partitions; restarts are the standard
+    #: cheap insurance.
+    n_restarts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_topics < 1:
+            raise ModelError("n_topics must be >= 1")
+        if not 0 <= self.burn_in < self.n_sweeps:
+            raise ModelError("need 0 <= burn_in < n_sweeps")
+        if self.thin < 1:
+            raise ModelError("thin must be >= 1")
+        if self.n_restarts < 1:
+            raise ModelError("n_restarts must be >= 1")
+
+
+class JointTextureTopicModel:
+    """The paper's joint topic model with Gibbs inference.
+
+    After :meth:`fit`, the estimates of equation (5) are available:
+
+    * ``phi_`` — (K, V) texture-term distributions per topic;
+    * ``theta_`` — (D, K) per-recipe topic distributions;
+    * ``gel_means_`` / ``gel_covs_`` — posterior-averaged gel Gaussians
+      per topic, in −log concentration space;
+    * ``emulsion_means_`` / ``emulsion_covs_`` — ditto for emulsions;
+    * ``y_`` — hard document concentration-topic assignments;
+    * ``log_likelihoods_`` — per-sweep joint log-likelihood trace.
+    """
+
+    def __init__(self, config: JointModelConfig | None = None) -> None:
+        self.config = config or JointModelConfig()
+        self.phi_: np.ndarray | None = None
+        self.theta_: np.ndarray | None = None
+        self.gel_means_: np.ndarray | None = None
+        self.gel_covs_: np.ndarray | None = None
+        self.emulsion_means_: np.ndarray | None = None
+        self.emulsion_covs_: np.ndarray | None = None
+        self.y_: np.ndarray | None = None
+        self.log_likelihoods_: list[float] = []
+
+    # -- fitting ---------------------------------------------------------------
+
+    def fit(
+        self,
+        docs: Sequence[np.ndarray],
+        gels: np.ndarray,
+        emulsions: np.ndarray,
+        vocab_size: int,
+        rng: RngLike = None,
+        gel_prior: NormalWishartPrior | None = None,
+        emulsion_prior: NormalWishartPrior | None = None,
+    ) -> "JointTextureTopicModel":
+        """Run the Gibbs sampler (best of ``n_restarts`` chains).
+
+        ``docs`` are integer word-id arrays (texture-term sequences);
+        ``gels`` is (D, 3) and ``emulsions`` (D, 6), both in −log
+        concentration space. Priors default to the empirical-Bayes vague
+        prior of :meth:`NormalWishartPrior.vague`.
+        """
+        if self.config.n_restarts > 1:
+            return self._fit_restarts(
+                docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
+            )
+        return self._fit_single(
+            docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
+        )
+
+    def _fit_restarts(
+        self, docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
+    ) -> "JointTextureTopicModel":
+        import dataclasses
+
+        from repro.rng import spawn
+
+        single = dataclasses.replace(self.config, n_restarts=1)
+        best: JointTextureTopicModel | None = None
+        for child_rng in spawn(rng, self.config.n_restarts):
+            candidate = JointTextureTopicModel(single)
+            candidate._fit_single(
+                docs, gels, emulsions, vocab_size, child_rng,
+                gel_prior, emulsion_prior,
+            )
+            if (
+                best is None
+                or candidate.log_likelihoods_[-1] > best.log_likelihoods_[-1]
+            ):
+                best = candidate
+        assert best is not None
+        for attr in (
+            "phi_", "theta_", "gel_means_", "gel_covs_",
+            "emulsion_means_", "emulsion_covs_", "y_", "log_likelihoods_",
+        ):
+            setattr(self, attr, getattr(best, attr))
+        return self
+
+    def _fit_single(
+        self,
+        docs: Sequence[np.ndarray],
+        gels: np.ndarray,
+        emulsions: np.ndarray,
+        vocab_size: int,
+        rng: RngLike = None,
+        gel_prior: NormalWishartPrior | None = None,
+        emulsion_prior: NormalWishartPrior | None = None,
+    ) -> "JointTextureTopicModel":
+        cfg = self.config
+        generator = ensure_rng(rng)
+        gels = np.asarray(gels, dtype=float)
+        emulsions = np.asarray(emulsions, dtype=float)
+        n_docs = len(docs)
+        if n_docs == 0:
+            raise ModelError("no documents")
+        if gels.shape[0] != n_docs or emulsions.shape[0] != n_docs:
+            raise ModelError("gels/emulsions must have one row per document")
+        validate_docs(docs, vocab_size)
+
+        gel_prior = gel_prior or NormalWishartPrior.vague(gels, kappa=cfg.kappa)
+        emulsion_prior = emulsion_prior or NormalWishartPrior.vague(
+            emulsions, kappa=cfg.kappa
+        )
+
+        alpha = DirichletPrior(cfg.alpha).vector(cfg.n_topics)
+        gamma, v_total = cfg.gamma, cfg.gamma * vocab_size
+        k_range = cfg.n_topics
+
+        counts = TopicCounts(n_docs, k_range, vocab_size)
+        z = initialise_assignments(docs, counts, generator)
+        # Seed y with k-means++ on the gel vectors (see repro.core.seeding
+        # for why a uniform start mixes badly) unless configured otherwise.
+        if cfg.seed_y_with_kmeans:
+            y = kmeans_plus_plus(gels, k_range, generator).astype(np.int64)
+        else:
+            y = generator.integers(0, k_range, size=n_docs).astype(np.int64)
+
+        # accumulators for the post-burn-in averages of equation (5)
+        phi_acc = np.zeros((k_range, vocab_size))
+        theta_acc = np.zeros((n_docs, k_range))
+        gel_mean_acc = np.zeros((k_range, gels.shape[1]))
+        gel_cov_acc = np.zeros((k_range, gels.shape[1], gels.shape[1]))
+        emu_mean_acc = np.zeros((k_range, emulsions.shape[1]))
+        emu_cov_acc = np.zeros((k_range, emulsions.shape[1], emulsions.shape[1]))
+        y_votes = np.zeros((n_docs, k_range), dtype=np.int64)
+        n_samples = 0
+        self.log_likelihoods_ = []
+
+        for sweep in range(cfg.n_sweeps):
+            # -- equation (4): resample topic Gaussians given y ------------
+            gel_params = [
+                nw.sample(nw.posterior(gel_prior, gels[y == k]), generator)
+                for k in range(k_range)
+            ]
+            emu_params = [
+                nw.sample(nw.posterior(emulsion_prior, emulsions[y == k]), generator)
+                for k in range(k_range)
+            ]
+            # per-doc Gaussian log-likelihood matrices, fixed for the sweep
+            log_gel = np.column_stack(
+                [gel_params[k].log_density(gels) for k in range(k_range)]
+            )
+            if cfg.use_emulsions:
+                log_gel = log_gel + np.column_stack(
+                    [emu_params[k].log_density(emulsions) for k in range(k_range)]
+                )
+
+            # -- equation (2): per-token z updates ---------------------------
+            for d, words in enumerate(docs):
+                zd = z[d]
+                y_d = y[d]
+                uniforms = generator.random(len(words))
+                for n, v in enumerate(words):
+                    k_old = int(zd[n])
+                    counts.remove(d, k_old, int(v))
+                    weights = (counts.n_dk[d] + alpha).astype(float)
+                    weights[y_d] += 1.0  # the M_dk term
+                    weights *= (counts.n_kv[:, v] + gamma) / (
+                        counts.n_k + v_total
+                    )
+                    cumulative = np.cumsum(weights)
+                    k_new = int(
+                        np.searchsorted(cumulative, uniforms[n] * cumulative[-1])
+                    )
+                    zd[n] = k_new
+                    counts.add(d, k_new, int(v))
+
+            # -- equation (3): y updates (independent across docs given the
+            # collapsed θ, so drawn as one vectorised categorical batch) ----
+            logits = np.log(counts.n_dk + alpha) + log_gel
+            logits -= logsumexp(logits, axis=1, keepdims=True)
+            cumulative = np.cumsum(np.exp(logits), axis=1)
+            draws = generator.random(n_docs) * cumulative[:, -1]
+            y = np.minimum(
+                (cumulative < draws[:, None]).sum(axis=1), k_range - 1
+            ).astype(np.int64)
+
+            self.log_likelihoods_.append(
+                word_log_likelihood(docs, counts, alpha, gamma)
+                + float(log_gel[np.arange(n_docs), y].sum())
+            )
+            if (sweep + 1) % _LOG_EVERY == 0 or sweep + 1 == cfg.n_sweeps:
+                logger.info(
+                    "sweep %d/%d log-likelihood %.1f",
+                    sweep + 1,
+                    cfg.n_sweeps,
+                    self.log_likelihoods_[-1],
+                )
+
+            # -- equation (5): accumulate estimates --------------------------
+            if sweep >= cfg.burn_in and (sweep - cfg.burn_in) % cfg.thin == 0:
+                phi_acc += (counts.n_kv + gamma) / (counts.n_k[:, None] + v_total)
+                m_dk = np.zeros((n_docs, k_range))
+                m_dk[np.arange(n_docs), y] = 1.0
+                theta_acc += (counts.n_dk + m_dk + alpha) / (
+                    counts.n_d[:, None] + 1.0 + alpha.sum()
+                )
+                for k in range(k_range):
+                    gel_mean_acc[k] += gel_params[k].mean
+                    gel_cov_acc[k] += gel_params[k].covariance
+                    emu_mean_acc[k] += emu_params[k].mean
+                    emu_cov_acc[k] += emu_params[k].covariance
+                y_votes[np.arange(n_docs), y] += 1
+                n_samples += 1
+
+        scale = max(n_samples, 1)
+        self.phi_ = phi_acc / scale
+        self.theta_ = theta_acc / scale
+        self.gel_means_ = gel_mean_acc / scale
+        self.gel_covs_ = gel_cov_acc / scale
+        self.emulsion_means_ = emu_mean_acc / scale
+        self.emulsion_covs_ = emu_cov_acc / scale
+        self.y_ = y_votes.argmax(axis=1)
+        return self
+
+    # -- fitted accessors ----------------------------------------------------
+
+    @property
+    def n_topics(self) -> int:
+        return self.config.n_topics
+
+    def _require_fit(self) -> None:
+        if self.theta_ is None:
+            raise NotFittedError("joint topic model")
+
+    def topic_assignments(self) -> np.ndarray:
+        """Hard per-recipe topic: argmax of θ_d (paper Section V-A)."""
+        self._require_fit()
+        return np.asarray(self.theta_).argmax(axis=1)
+
+    def topic_sizes(self) -> np.ndarray:
+        """Recipes per topic under :meth:`topic_assignments` (the
+        "# Recipes" column of Table II(a))."""
+        assignment = self.topic_assignments()
+        return np.bincount(assignment, minlength=self.n_topics)
+
+    def top_words(self, k: int, n: int = 10) -> list[tuple[int, float]]:
+        """The ``n`` highest-probability word ids of topic ``k``."""
+        self._require_fit()
+        row = np.asarray(self.phi_)[k]
+        order = np.argsort(row)[::-1][:n]
+        return [(int(v), float(row[v])) for v in order]
+
+    def gel_concentration_means(self) -> np.ndarray:
+        """Topic gel means mapped back from −log space to ratios.
+
+        This is the "gels:concentration" column of Table II(a):
+        exp(−μ_k) per gel component.
+        """
+        self._require_fit()
+        return np.exp(-np.asarray(self.gel_means_))
+
+    def emulsion_concentration_means(self) -> np.ndarray:
+        """Topic emulsion means mapped back to concentration ratios."""
+        self._require_fit()
+        return np.exp(-np.asarray(self.emulsion_means_))

@@ -1,0 +1,125 @@
+"""Normal–Wishart posterior updates, sampling and predictive densities.
+
+Implements equation (4) of the paper: given the concentration vectors
+currently assigned to topic k, the NW posterior over (μ_k, Λ_k) has
+
+    β_c = β + N_k            ν_c = ν + N_k
+    μ_c = (N_k·ḡ + β·μ₀) / (N_k + β)
+    S_c⁻¹ = S⁻¹ + Σ (g − ḡ)(g − ḡ)ᵀ + N_k·β/(N_k+β) (ḡ−μ₀)(ḡ−μ₀)ᵀ
+
+from which (μ_k, Λ_k) are drawn as Λ ~ W(ν_c, S_c), μ ~ N(μ_c, (β_c Λ)⁻¹).
+The fully-collapsed variant integrates (μ, Λ) out, giving a multivariate
+Student-t predictive; both are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+from scipy.special import gammaln
+
+from repro.core.priors import NormalWishartPrior
+from repro.errors import ModelError
+from repro.rng import RngLike, ensure_rng
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+@dataclass(frozen=True)
+class GaussianParams:
+    """A sampled (μ, Λ) pair; Λ is a precision matrix."""
+
+    mean: np.ndarray
+    precision: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.precision.shape != (self.mean.size, self.mean.size):
+            raise ModelError("precision shape mismatch")
+
+    def log_density(self, x: np.ndarray) -> np.ndarray:
+        """log N(x | μ, Λ⁻¹) for one vector or a batch of rows."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        diff = x - self.mean
+        sign, logdet = np.linalg.slogdet(self.precision)
+        if sign <= 0:
+            raise ModelError("precision matrix is not positive definite")
+        quad = np.einsum("ni,ij,nj->n", diff, self.precision, diff)
+        out = 0.5 * (logdet - self.mean.size * _LOG_2PI - quad)
+        return out if out.size > 1 else out[:1]
+
+    @property
+    def covariance(self) -> np.ndarray:
+        """Λ⁻¹."""
+        return np.linalg.inv(self.precision)
+
+
+def posterior(prior: NormalWishartPrior, data: np.ndarray) -> NormalWishartPrior:
+    """The NW posterior after observing the rows of ``data`` (eq. (4))."""
+    data = np.atleast_2d(np.asarray(data, dtype=float))
+    if data.shape[0] == 0:
+        return prior
+    if data.shape[1] != prior.dim:
+        raise ModelError(
+            f"data dim {data.shape[1]} does not match prior dim {prior.dim}"
+        )
+    n = data.shape[0]
+    xbar = data.mean(axis=0)
+    centered = data - xbar
+    scatter = centered.T @ centered
+    dmean = xbar - prior.mean
+
+    kappa_c = prior.kappa + n
+    dof_c = prior.dof + n
+    mean_c = (n * xbar + prior.kappa * prior.mean) / kappa_c
+    scale_inv = (
+        np.linalg.inv(prior.scale)
+        + scatter
+        + (n * prior.kappa / kappa_c) * np.outer(dmean, dmean)
+    )
+    scale_c = np.linalg.inv(scale_inv)
+    scale_c = 0.5 * (scale_c + scale_c.T)  # enforce symmetry numerically
+    return NormalWishartPrior(mean=mean_c, kappa=kappa_c, dof=dof_c, scale=scale_c)
+
+
+def sample(nw: NormalWishartPrior, rng: RngLike = None) -> GaussianParams:
+    """Draw (μ, Λ) ~ NW(μ₀, β, ν, S)."""
+    generator = ensure_rng(rng)
+    precision = stats.wishart.rvs(
+        df=nw.dof, scale=nw.scale, random_state=generator
+    )
+    precision = np.atleast_2d(precision)
+    covariance = np.linalg.inv(nw.kappa * precision)
+    covariance = 0.5 * (covariance + covariance.T)
+    mean = generator.multivariate_normal(nw.mean, covariance)
+    return GaussianParams(mean=mean, precision=precision)
+
+
+def expected_params(nw: NormalWishartPrior) -> GaussianParams:
+    """Posterior-mean parameters: μ = μ₀, E[Λ] = ν·S."""
+    return GaussianParams(mean=nw.mean.copy(), precision=nw.dof * nw.scale)
+
+
+def log_predictive(nw: NormalWishartPrior, x: np.ndarray) -> float:
+    """log p(x | NW) with (μ, Λ) integrated out: multivariate Student-t.
+
+    t has ``ν − d + 1`` degrees of freedom, location μ₀ and scale matrix
+    ``(β+1) / (β (ν − d + 1)) · S⁻¹``.
+    """
+    x = np.asarray(x, dtype=float)
+    d = nw.dim
+    dof_t = nw.dof - d + 1.0
+    if dof_t <= 0:
+        raise ModelError("NW dof too small for predictive density")
+    scale_t = np.linalg.inv(nw.scale) * (nw.kappa + 1.0) / (nw.kappa * dof_t)
+    diff = x - nw.mean
+    solve = np.linalg.solve(scale_t, diff)
+    quad = float(diff @ solve)
+    _, logdet = np.linalg.slogdet(scale_t)
+    return float(
+        gammaln((dof_t + d) / 2.0)
+        - gammaln(dof_t / 2.0)
+        - 0.5 * (d * np.log(dof_t * np.pi) + logdet)
+        - 0.5 * (dof_t + d) * np.log1p(quad / dof_t)
+    )

@@ -1,0 +1,65 @@
+"""k-means++ seeding for mixture initialisation.
+
+Finite-mixture Gibbs samplers are notoriously sticky: starting from a
+uniform random assignment, two well-separated concentration clusters can
+share a topic for thousands of sweeps because no single document gains by
+moving to an empty component with a prior-sampled Gaussian. Seeding the
+document concentration topics with a few Lloyd iterations of k-means++
+removes that failure mode without biasing the stationary distribution
+(it only changes the chain's starting point).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.rng import RngLike, ensure_rng
+
+
+def kmeans_plus_plus(
+    data: np.ndarray,
+    n_clusters: int,
+    rng: RngLike = None,
+    n_iter: int = 10,
+) -> np.ndarray:
+    """Cluster rows of ``data``; returns integer labels.
+
+    Standard k-means++ seeding followed by ``n_iter`` Lloyd iterations.
+    Empty clusters are reseeded from the point farthest from its centre.
+    """
+    generator = ensure_rng(rng)
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2 or data.shape[0] < n_clusters:
+        raise ModelError("need (n, dim) data with n >= n_clusters")
+    n = data.shape[0]
+
+    # -- seeding -----------------------------------------------------------
+    centres = [data[int(generator.integers(n))]]
+    for _ in range(1, n_clusters):
+        d2 = np.min(
+            [np.sum((data - c) ** 2, axis=1) for c in centres], axis=0
+        )
+        total = d2.sum()
+        if total <= 0.0:
+            centres.append(data[int(generator.integers(n))])
+            continue
+        cumulative = np.cumsum(d2)
+        draw = generator.random() * total
+        centres.append(data[int(np.searchsorted(cumulative, draw))])
+    centres = np.array(centres)
+
+    # -- Lloyd -------------------------------------------------------------
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(max(n_iter, 1)):
+        distances = ((data[:, None, :] - centres[None, :, :]) ** 2).sum(axis=2)
+        labels = distances.argmin(axis=1)
+        for k in range(n_clusters):
+            members = data[labels == k]
+            if len(members):
+                centres[k] = members.mean(axis=0)
+            else:  # reseed an empty cluster on the worst-fit point
+                worst = int(distances.min(axis=1).argmax())
+                centres[k] = data[worst]
+                labels[worst] = k
+    return labels

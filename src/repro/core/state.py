@@ -1,0 +1,90 @@
+"""Gibbs count state shared by the topic models.
+
+Keeps the N_dk / N_kv / N_k / N_d count matrices of equations (2)–(3)
+and the document-level concentration-topic assignments y (whose indicator
+counts are the paper's M_dk; each recipe carries exactly one gel vector,
+so M_d = 1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class TopicCounts:
+    """Word-topic count matrices with O(1) increment/decrement."""
+
+    def __init__(self, n_docs: int, n_topics: int, vocab_size: int) -> None:
+        if min(n_docs, n_topics, vocab_size) <= 0:
+            raise ModelError("counts need positive dimensions")
+        self.n_dk = np.zeros((n_docs, n_topics), dtype=np.int64)
+        self.n_kv = np.zeros((n_topics, vocab_size), dtype=np.int64)
+        self.n_k = np.zeros(n_topics, dtype=np.int64)
+        self.n_d = np.zeros(n_docs, dtype=np.int64)
+
+    @property
+    def n_topics(self) -> int:
+        return self.n_kv.shape[0]
+
+    @property
+    def vocab_size(self) -> int:
+        return self.n_kv.shape[1]
+
+    def add(self, d: int, k: int, v: int) -> None:
+        """Count token ``v`` of document ``d`` under topic ``k``."""
+        self.n_dk[d, k] += 1
+        self.n_kv[k, v] += 1
+        self.n_k[k] += 1
+        self.n_d[d] += 1
+
+    def remove(self, d: int, k: int, v: int) -> None:
+        """Remove one (d, k, v) count (the ``-dn`` superscript)."""
+        self.n_dk[d, k] -= 1
+        self.n_kv[k, v] -= 1
+        self.n_k[k] -= 1
+        self.n_d[d] -= 1
+        if self.n_dk[d, k] < 0 or self.n_kv[k, v] < 0:
+            raise ModelError("count went negative; remove() without add()")
+
+    def check(self) -> None:
+        """Internal consistency (used by tests and property checks)."""
+        if not (
+            self.n_dk.sum() == self.n_kv.sum() == self.n_k.sum() == self.n_d.sum()
+        ):
+            raise ModelError("count matrices disagree on the total")
+        if np.any(self.n_dk < 0) or np.any(self.n_kv < 0):
+            raise ModelError("negative counts")
+        if not np.array_equal(self.n_kv.sum(axis=1), self.n_k):
+            raise ModelError("n_k inconsistent with n_kv")
+        if not np.array_equal(self.n_dk.sum(axis=1), self.n_d):
+            raise ModelError("n_d inconsistent with n_dk")
+
+
+def initialise_assignments(
+    docs: Sequence[np.ndarray],
+    counts: TopicCounts,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """Random initial z for every token, registered into ``counts``."""
+    assignments: list[np.ndarray] = []
+    n_topics = counts.n_topics
+    for d, words in enumerate(docs):
+        z = rng.integers(0, n_topics, size=len(words))
+        for v, k in zip(words, z):
+            counts.add(d, int(k), int(v))
+        assignments.append(z.astype(np.int64))
+    return assignments
+
+
+def validate_docs(docs: Sequence[np.ndarray], vocab_size: int) -> None:
+    """Check every doc is an int array of valid word ids."""
+    for d, words in enumerate(docs):
+        arr = np.asarray(words)
+        if arr.size and (arr.min() < 0 or arr.max() >= vocab_size):
+            raise ModelError(
+                f"doc {d} contains word ids outside [0, {vocab_size})"
+            )

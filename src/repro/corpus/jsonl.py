@@ -1,0 +1,80 @@
+"""JSONL import/export for recipe corpora.
+
+A recipe sharing site dump is naturally one JSON object per line; these
+helpers let a :class:`~repro.corpus.store.RecipeStore` (or any recipe
+iterable) round-trip through a ``.jsonl`` file, so a generated corpus can
+be inspected, versioned, or fed to external tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.corpus.recipe import Ingredient, Recipe
+from repro.errors import CorpusError
+
+
+def recipe_to_dict(recipe: Recipe) -> dict:
+    """A JSON-serialisable view of one recipe."""
+    return {
+        "recipe_id": recipe.recipe_id,
+        "title": recipe.title,
+        "description": recipe.description,
+        "ingredients": [
+            {"name": i.name, "quantity": i.quantity_text}
+            for i in recipe.ingredients
+        ],
+        "metadata": dict(recipe.metadata),
+    }
+
+
+def recipe_from_dict(payload: dict) -> Recipe:
+    """Inverse of :func:`recipe_to_dict`.
+
+    Raises :class:`~repro.errors.CorpusError` on malformed payloads.
+    """
+    try:
+        ingredients = tuple(
+            Ingredient(name=i["name"], quantity_text=i["quantity"])
+            for i in payload["ingredients"]
+        )
+        return Recipe(
+            recipe_id=payload["recipe_id"],
+            title=payload.get("title", ""),
+            description=payload.get("description", ""),
+            ingredients=ingredients,
+            metadata=dict(payload.get("metadata", {})),
+        )
+    except (KeyError, TypeError) as exc:
+        raise CorpusError(f"malformed recipe payload: {exc}") from exc
+
+
+def dump_recipes(recipes: Iterable[Recipe], path: str | Path) -> int:
+    """Write recipes to ``path`` as JSONL; returns the count written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for recipe in recipes:
+            handle.write(json.dumps(recipe_to_dict(recipe), ensure_ascii=False))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_recipes(path: str | Path) -> Iterator[Recipe]:
+    """Yield recipes from a JSONL file written by :func:`dump_recipes`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise CorpusError(
+                    f"{path}:{line_number}: invalid JSON"
+                ) from exc
+            yield recipe_from_dict(payload)

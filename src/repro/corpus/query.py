@@ -1,0 +1,149 @@
+"""Composable queries over a :class:`~repro.corpus.store.RecipeStore`.
+
+The collection step of Section IV-A is a conjunction of conditions
+("recipes containing gelatin, kanten or agar whose description mentions a
+dictionary term…"). These combinators express such conditions as a tree
+that evaluates *index-first* — token and ingredient leaves resolve
+through the store's inverted indexes, and boolean nodes combine id sets,
+so queries stay fast on large stores.
+
+Example::
+
+    gel_recipes = store.search(
+        HasAnyIngredient(["gelatin", "kanten", "agar"])
+        & ~HasIngredient("cream_cheese")
+        & MentionsToken("purupuru")
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import StoreError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.corpus.store import RecipeStore
+
+
+class Query:
+    """Base query node; combine with ``&``, ``|`` and ``~``."""
+
+    def ids(self, store: "RecipeStore") -> set[str]:
+        """Recipe ids matching this query in ``store``."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Query") -> "Query":
+        return And(self, other)
+
+    def __or__(self, other: "Query") -> "Query":
+        return Or(self, other)
+
+    def __invert__(self) -> "Query":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class MentionsToken(Query):
+    """Title/description contains ``token`` (index lookup)."""
+
+    token: str
+
+    def ids(self, store) -> set[str]:
+        return set(store.token_ids(self.token))
+
+
+@dataclass(frozen=True)
+class MentionsAnyToken(Query):
+    """Any of ``tokens`` appears (index union)."""
+
+    tokens: tuple[str, ...]
+
+    def __init__(self, tokens) -> None:
+        object.__setattr__(self, "tokens", tuple(tokens))
+
+    def ids(self, store) -> set[str]:
+        out: set[str] = set()
+        for token in self.tokens:
+            out |= store.token_ids(token)
+        return out
+
+
+@dataclass(frozen=True)
+class HasIngredient(Query):
+    """Ingredient list contains ``name`` (index lookup)."""
+
+    name: str
+
+    def ids(self, store) -> set[str]:
+        return set(store.ingredient_ids(self.name))
+
+
+@dataclass(frozen=True)
+class HasAnyIngredient(Query):
+    """Any of ``names`` is listed (index union)."""
+
+    names: tuple[str, ...]
+
+    def __init__(self, names) -> None:
+        object.__setattr__(self, "names", tuple(names))
+
+    def ids(self, store) -> set[str]:
+        out: set[str] = set()
+        for name in self.names:
+            out |= store.ingredient_ids(name)
+        return out
+
+
+@dataclass(frozen=True)
+class MetadataEquals(Query):
+    """``recipe.metadata[key] == value`` (scan)."""
+
+    key: str
+    value: str
+
+    def ids(self, store) -> set[str]:
+        return {
+            r.recipe_id
+            for r in store
+            if r.metadata.get(self.key) == self.value
+        }
+
+
+@dataclass(frozen=True)
+class And(Query):
+    """Both operands match."""
+
+    left: Query
+    right: Query
+
+    def ids(self, store) -> set[str]:
+        return self.left.ids(store) & self.right.ids(store)
+
+
+@dataclass(frozen=True)
+class Or(Query):
+    """Either operand matches."""
+
+    left: Query
+    right: Query
+
+    def ids(self, store) -> set[str]:
+        return self.left.ids(store) | self.right.ids(store)
+
+
+@dataclass(frozen=True)
+class Not(Query):
+    """The operand does not match."""
+
+    operand: Query
+
+    def ids(self, store) -> set[str]:
+        return set(store.ids) - self.operand.ids(store)
+
+
+def validate_query(query: Query) -> None:
+    """Reject non-Query objects early (helps catch `"token"` typos)."""
+    if not isinstance(query, Query):
+        raise StoreError(f"expected a Query, got {type(query).__name__}")

@@ -1,0 +1,126 @@
+"""An in-memory recipe document store with inverted indexes.
+
+Plays the role of the recipe sharing site's searchable backend for the
+collection step of Section IV-A: "gel related posted recipes are
+collected from Cookpad". Recipes are indexed by description/title token
+and by ingredient name, so the dataset builder can pull, e.g., every
+recipe containing gelatin, kanten or agar without scanning the store.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.corpus.recipe import Recipe
+from repro.corpus.tokenizer import Tokenizer
+from repro.errors import StoreError
+
+
+class RecipeStore:
+    """Insert-only document store with token and ingredient indexes."""
+
+    def __init__(self, tokenizer: Tokenizer | None = None) -> None:
+        self._tokenizer = tokenizer or Tokenizer()
+        self._recipes: dict[str, Recipe] = {}
+        self._token_index: dict[str, set[str]] = {}
+        self._ingredient_index: dict[str, set[str]] = {}
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, recipe: Recipe) -> None:
+        """Insert ``recipe``; duplicate ids raise :class:`StoreError`."""
+        if recipe.recipe_id in self._recipes:
+            raise StoreError(f"duplicate recipe id {recipe.recipe_id!r}")
+        self._recipes[recipe.recipe_id] = recipe
+        text = f"{recipe.title} {recipe.description}"
+        for token in set(self._tokenizer.tokenize(text)):
+            self._token_index.setdefault(token, set()).add(recipe.recipe_id)
+        for name in recipe.ingredient_names():
+            self._ingredient_index.setdefault(name, set()).add(recipe.recipe_id)
+
+    def add_all(self, recipes: Iterable[Recipe]) -> None:
+        """Insert every recipe in ``recipes``."""
+        for recipe in recipes:
+            self.add(recipe)
+
+    # -- access ---------------------------------------------------------------
+
+    def get(self, recipe_id: str) -> Recipe:
+        """Fetch one recipe; unknown ids raise :class:`StoreError`."""
+        try:
+            return self._recipes[recipe_id]
+        except KeyError:
+            raise StoreError(f"no recipe with id {recipe_id!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._recipes)
+
+    def __iter__(self) -> Iterator[Recipe]:
+        return iter(self._recipes.values())
+
+    def __contains__(self, recipe_id: object) -> bool:
+        return recipe_id in self._recipes
+
+    @property
+    def ids(self) -> tuple[str, ...]:
+        """All recipe ids in insertion order."""
+        return tuple(self._recipes)
+
+    # -- queries ---------------------------------------------------------------
+
+    def with_ingredient(self, name: str) -> list[Recipe]:
+        """Recipes listing ingredient ``name``."""
+        return self._fetch(self._ingredient_index.get(name, set()))
+
+    def with_any_ingredient(self, names: Iterable[str]) -> list[Recipe]:
+        """Recipes listing at least one of ``names`` (deduplicated)."""
+        ids: set[str] = set()
+        for name in names:
+            ids |= self._ingredient_index.get(name, set())
+        return self._fetch(ids)
+
+    def with_token(self, token: str) -> list[Recipe]:
+        """Recipes whose title/description contains ``token``."""
+        return self._fetch(self._token_index.get(token.lower(), set()))
+
+    def with_all_tokens(self, tokens: Iterable[str]) -> list[Recipe]:
+        """Recipes containing every token in ``tokens``."""
+        ids: set[str] | None = None
+        for token in tokens:
+            found = self._token_index.get(token.lower(), set())
+            ids = found if ids is None else ids & found
+            if not ids:
+                return []
+        return self._fetch(ids or set())
+
+    def filter(self, predicate: Callable[[Recipe], bool]) -> list[Recipe]:
+        """Recipes satisfying ``predicate`` (full scan, insertion order)."""
+        return [r for r in self if predicate(r)]
+
+    def token_ids(self, token: str) -> frozenset[str]:
+        """Ids of recipes whose text contains ``token`` (index lookup)."""
+        return frozenset(self._token_index.get(token.lower(), set()))
+
+    def ingredient_ids(self, name: str) -> frozenset[str]:
+        """Ids of recipes listing ingredient ``name`` (index lookup)."""
+        return frozenset(self._ingredient_index.get(name, set()))
+
+    def search(self, query) -> list[Recipe]:
+        """Evaluate a :class:`~repro.corpus.query.Query` tree.
+
+        Results come back in store insertion order.
+        """
+        from repro.corpus.query import validate_query
+
+        validate_query(query)
+        return self._fetch(query.ids(self))
+
+    def ingredient_counts(self) -> dict[str, int]:
+        """How many recipes list each ingredient."""
+        return {
+            name: len(ids) for name, ids in sorted(self._ingredient_index.items())
+        }
+
+    def _fetch(self, ids: set[str]) -> list[Recipe]:
+        # preserve store insertion order for reproducibility
+        return [self._recipes[i] for i in self._recipes if i in ids]

@@ -1,0 +1,19 @@
+"""word2vec from scratch (skip-gram with negative sampling).
+
+Used for the gel-relatedness filter of Section III-A: a texture term
+whose nearest neighbours in embedding space include gel-unrelated
+ingredients (nuts, biscuits…) describes a topping, not the gel, and is
+excluded from the dataset — the paper's "mousse with topping of nuts
+might create texture terms representing crispy" case.
+"""
+
+from repro.embedding.gel_filter import GelRelatednessFilter
+from repro.embedding.skipgram import SkipGramConfig, SkipGramModel
+from repro.embedding.vocab import Vocabulary
+
+__all__ = [
+    "Vocabulary",
+    "SkipGramModel",
+    "SkipGramConfig",
+    "GelRelatednessFilter",
+]

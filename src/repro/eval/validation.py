@@ -1,0 +1,100 @@
+"""Category-consistency validation of topic→rheology linkages.
+
+Section III-C.4: "the linkages are validated by referring to the
+dictionary […] where each texture term is annotated by the category
+representing quantitative attributes."
+
+Given a topic's term distribution φ_k and an empirical setting's measured
+texture, the validation asks: do the topic's high-probability terms carry
+dictionary polarities whose *sign* agrees with the measured attributes?
+The agreement is scored per axis as the correlation between the
+φ-weighted term polarity and the setting's signed sensory signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.lexicon.categories import AXES, SensoryAxis
+from repro.lexicon.dictionary import TextureDictionary
+from repro.rheology.attributes import TextureProfile
+from repro.synth.term_affinity import axis_signals
+
+
+def topic_polarity(
+    phi_row: np.ndarray,
+    vocabulary: Sequence[str],
+    dictionary: TextureDictionary,
+) -> dict[SensoryAxis, float]:
+    """φ-weighted mean polarity of a topic on each sensory axis."""
+    phi_row = np.asarray(phi_row, dtype=float)
+    if phi_row.size != len(vocabulary):
+        raise ReproError("phi row does not match the vocabulary")
+    polarity = {axis: 0.0 for axis in AXES}
+    for weight, surface in zip(phi_row, vocabulary):
+        term = dictionary.get(surface)
+        if term is None:
+            continue
+        for axis in AXES:
+            polarity[axis] += float(weight) * term.polarity_on(axis)
+    return polarity
+
+
+@dataclass(frozen=True)
+class LinkValidation:
+    """Per-axis agreement between a topic and a measured texture."""
+
+    per_axis: dict[SensoryAxis, float]  # polarity × signal per axis
+
+    @property
+    def score(self) -> float:
+        """Mean signed agreement across axes (positive = consistent)."""
+        return float(np.mean(list(self.per_axis.values())))
+
+    @property
+    def consistent(self) -> bool:
+        """True when no axis *strongly* contradicts the measurement.
+
+        A mild negative product (topic slightly firm, measurement
+        slightly soft) is tolerated — Table I's own rows disagree at that
+        level (e.g. row 3's H = 0.72 linked to the paper's *katai* topic);
+        a product below −0.1 means the topic's terms claim the opposite
+        pole of a clearly-signed measurement.
+        """
+        return all(v > -0.1 for v in self.per_axis.values())
+
+
+def validate_link(
+    phi_row: np.ndarray,
+    vocabulary: Sequence[str],
+    dictionary: TextureDictionary,
+    texture: TextureProfile,
+) -> LinkValidation:
+    """Score one topic ↔ measured-texture linkage.
+
+    For each axis, the product of the topic's φ-weighted polarity and the
+    measurement's signed signal is positive when the qualitative terms
+    point the same way as the quantitative attribute.
+    """
+    polarity = topic_polarity(phi_row, vocabulary, dictionary)
+    signals = axis_signals(texture)
+    return LinkValidation(
+        per_axis={axis: polarity[axis] * signals[axis] for axis in AXES}
+    )
+
+
+def validation_summary(validations: Sequence[LinkValidation]) -> dict[str, float]:
+    """Aggregate validation over many links."""
+    if not validations:
+        raise ReproError("no validations to summarise")
+    scores = [v.score for v in validations]
+    return {
+        "mean_score": float(np.mean(scores)),
+        "consistent_fraction": float(
+            np.mean([1.0 if v.consistent else 0.0 for v in validations])
+        ),
+    }

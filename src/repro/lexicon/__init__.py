@@ -1,0 +1,25 @@
+"""Texture-term dictionary substrate.
+
+This subpackage stands in for the *Comprehensive Japanese Texture Terms*
+dictionary (NARO) the paper uses: a catalogue of Japanese texture
+onomatopoeia, each annotated with the quantitative categories it
+expresses (hardness, cohesiveness, adhesiveness) and a signed polarity on
+each corresponding sensory axis.
+
+The public entry point is :func:`build_dictionary`, which returns the
+288-term :class:`TextureDictionary` described in Section III-A of the
+paper; the 41 gel-related terms the paper actually reports (Table II(a))
+are included verbatim via :mod:`repro.lexicon.paper_terms`.
+"""
+
+from repro.lexicon.categories import SensoryAxis, TextureCategory
+from repro.lexicon.dictionary import TextureDictionary, build_dictionary
+from repro.lexicon.term import TextureTerm
+
+__all__ = [
+    "SensoryAxis",
+    "TextureCategory",
+    "TextureTerm",
+    "TextureDictionary",
+    "build_dictionary",
+]

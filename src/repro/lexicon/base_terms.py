@@ -1,0 +1,158 @@
+"""Base onomatopoeia inventory.
+
+~90 base stems, each annotated with signed polarities on the three
+sensory axes (see :mod:`repro.lexicon.categories`) and a gel-relatedness
+flag. Morphological expansion (:mod:`repro.lexicon.variants`) turns the
+inventory into the hundreds of surface forms the NARO dictionary lists;
+:mod:`repro.lexicon.dictionary` then assembles the paper's 288-entry
+dictionary from the expanded inventory plus the 41 verbatim paper terms.
+
+``gel_related=False`` marks stems whose textures gels do not realise —
+the crispy/crunchy/dry families anchored to nuts, crackers, raw
+vegetables. These are exactly the terms the paper's word2vec filter is
+meant to exclude from gel recipes (the "mousse with nut topping" case of
+Section III-A).
+"""
+
+from __future__ import annotations
+
+from repro.lexicon.categories import SensoryAxis
+from repro.lexicon.variants import BaseTerm, Pattern
+
+H = SensoryAxis.HARDNESS
+C = SensoryAxis.COHESIVENESS
+A = SensoryAxis.ADHESIVENESS
+
+_DEF = (Pattern.REDUP, Pattern.T, Pattern.TTO, Pattern.N)
+_FULL = (Pattern.REDUP, Pattern.T, Pattern.TTO, Pattern.N, Pattern.RI)
+
+
+def _b(stem, gloss, gel=True, patterns=_DEF, **polarity):
+    axes = {"h": H, "c": C, "a": A}
+    mapped = {axes[k]: v for k, v in polarity.items()}
+    return BaseTerm(stem=stem, gloss=gloss, polarity=mapped, gel_related=gel, patterns=patterns)
+
+
+#: Gel-related stems: wobble, softness, elasticity, stickiness, melt.
+GEL_BASES: tuple[BaseTerm, ...] = (
+    _b("puru", "springy, wobbly gel", patterns=_FULL, h=-0.3, c=0.6),
+    _b("furu", "soft wobble, easily broken", patterns=_FULL, h=-0.7, c=-0.2),
+    _b("buru", "elastic, shaking wobble", patterns=_FULL, c=0.7),
+    _b("buri", "firm and resilient", h=0.5, c=0.6),
+    # NB: no Pattern.N here — "purin" is the pudding dish, not a texture term
+    _b("puri", "plump, crisp-biting", patterns=(Pattern.REDUP, Pattern.TTO), h=0.4, c=0.5),
+    _b("puni", "soft, squishy-elastic", h=-0.3, c=0.5, a=0.2),
+    _b("punyu", "very soft, squishy", h=-0.5, c=0.4),
+    _b("fuwa", "soft and fluffy", patterns=_FULL, h=-0.9, c=-0.2),
+    _b("funya", "limp, flabby", h=-0.7, c=-0.3),
+    _b("fuka", "soft, swollen", h=-0.6, c=0.3),
+    _b("yuru", "loose, barely set", h=-0.8),
+    _b("becha", "wet and sticky", h=-0.5, a=0.7),
+    _b("beta", "sticky to the touch", a=0.8),
+    _b("betta", "heavily sticky, clinging", a=0.9),
+    _b("neto", "sticky, stringy", a=0.85),
+    _b("neba", "slimy, mucilaginous", a=0.9),
+    _b("nucha", "wet, sticky chewing", a=0.8),
+    _b("nuru", "slippery-slimy", h=-0.4, a=0.4),
+    _b("nume", "smoothly slimy", h=-0.3, a=0.3),
+    _b("toro", "syrupy, melting", patterns=_FULL, h=-0.6, a=0.6),
+    _b("doro", "muddy, thick", h=-0.5, c=-0.4, a=0.7),
+    _b("dara", "runny, dripping slowly", h=-0.4, a=0.4),
+    _b("churu", "slurpably smooth", h=-0.3, a=-0.6),
+    _b("tsuru", "smooth, slippery surface", h=-0.3, a=-0.5),
+    _b("zuru", "sliding, slippery", h=-0.4, a=-0.4),
+    _b("muchi", "resilient, chewy-firm", h=0.6, c=0.7, a=0.3),
+    _b("mochi", "springy, chewy, sticky", h=0.2, c=0.8, a=0.4),
+    _b("gunya", "softly bending", h=-0.6, c=-0.2),
+    _b("gunyo", "squashy, deforming", h=-0.5, c=-0.3),
+    _b("gucha", "mushy, crushed", h=-0.4, c=-0.8),
+    _b("guchu", "wet, squelching", h=-0.4, c=-0.6, a=0.3),
+    _b("guzu", "collapsed, mushy", h=-0.5, c=-0.7),
+    _b("boso", "dry, crumbly", c=-0.7, a=-0.6),
+    _b("paso", "very dry, powdery-crumbly", c=-0.7, a=-0.7),
+    _b("moso", "mealy, dry-mouthfeel", c=-0.5, a=-0.5),
+    _b("horo", "crumbly-tender", h=-0.5, c=-0.7),
+    _b("poro", "falling apart in grains", c=-0.6),
+    _b("boro", "falling apart in lumps", c=-0.8),
+    _b("kuta", "soft, wilted, not taut", h=-0.6),
+    _b("kunya", "soft, bending limply", h=-0.6),
+    _b("tapu", "jiggly, brimming", h=-0.7, c=0.2),
+    _b("chapu", "watery, sloshing", h=-0.8),
+    _b("puyo", "jelly-like wobble", h=-0.5, c=0.4),
+    _b("kochi", "rock hard", h=1.0),
+    _b("kachi", "hard, clacking", h=0.95),
+    _b("gochi", "very hard, lumpy-hard", h=0.9),
+    _b("kori", "crunchy-firm", h=0.7, c=0.2),
+    _b("shiko", "chewy-firm, al dente", h=0.5, c=0.7),
+    _b("kyu", "squeaky-firm bite", h=0.3, c=0.4, a=-0.2),
+    _b("motta", "thick, viscous", patterns=(Pattern.RI, Pattern.REDUP, Pattern.TTO), h=0.3, a=0.6),
+    _b("potte", "thick, resistant to flow", patterns=(Pattern.RI, Pattern.REDUP, Pattern.TTO), h=0.4, a=0.5),
+    _b("bote", "thick and heavy", h=0.5, a=0.4),
+    _b("dossi", "heavy, dense", patterns=(Pattern.RI, Pattern.REDUP), h=0.9),
+    _b("zussi", "heavy, solid", patterns=(Pattern.RI, Pattern.REDUP), h=0.8),
+    _b("netto", "sticky, viscous, thick", patterns=(Pattern.RI, Pattern.REDUP), h=0.2, a=0.9),
+    _b("necchi", "very sticky, viscous", patterns=(Pattern.RI, Pattern.REDUP), a=1.0),
+    _b("mutchi", "taut, resilient", patterns=(Pattern.RI, Pattern.REDUP), h=0.5, c=0.7),
+    _b("pito", "snugly clinging", h=-0.1, a=0.5),
+    _b("peta", "flatly sticking", a=0.7),
+    _b("petto", "pressed sticky", patterns=(Pattern.RI, Pattern.REDUP), a=0.6),
+    _b("nuta", "slick and coated", h=-0.3, a=0.6),
+    _b("dote", "heavy, slumping", h=0.3, a=0.3),
+    _b("yowa", "weak-bodied", patterns=(Pattern.REDUP, Pattern.N), h=-0.7),
+    _b("fuyo", "wobbling softly", h=-0.6, c=0.3),
+    _b("tayu", "swaying, lax", patterns=(Pattern.REDUP, Pattern.N), h=-0.6),
+    _b("toppu", "thick-bodied", patterns=(Pattern.RI,), h=0.4, a=0.4),
+    _b("gachi", "rigid, locked", h=1.0),
+)
+
+#: Gel-unrelated stems: crisp, crunchy, dry, fibrous, starchy families.
+NON_GEL_BASES: tuple[BaseTerm, ...] = (
+    _b("kari", "fried-crisp", gel=False, patterns=_FULL, h=0.6, c=-0.5, a=-0.5),
+    _b("saku", "flaky-crisp", gel=False, patterns=_FULL, h=0.3, c=-0.7, a=-0.4),
+    _b("pari", "thin, shattering crisp", gel=False, patterns=_FULL, h=0.5, c=-0.8),
+    _b("gari", "hard, gnawing crunch", gel=False, h=0.8, c=-0.4),
+    _b("zaku", "coarse crunch", gel=False, h=0.5, c=-0.6),
+    _b("shaki", "crisp, fresh-vegetable", gel=False, h=0.4, c=-0.5),
+    _b("shari", "icy, granular crunch", gel=False, h=0.4, c=-0.5, a=-0.3),
+    _b("jari", "gritty", gel=False, h=0.3, c=-0.4, a=-0.3),
+    _b("zara", "rough, grainy surface", gel=False, h=0.2, c=-0.3, a=-0.2),
+    _b("bari", "hard, cracking crisp", gel=False, h=0.7, c=-0.7),
+    _b("pori", "light, small crunch", gel=False, h=0.4, c=-0.5),
+    _b("bori", "hard, loud crunch", gel=False, h=0.6, c=-0.5),
+    _b("poki", "clean snapping", gel=False, h=0.5, c=-0.7),
+    _b("paki", "brittle snapping", gel=False, h=0.5, c=-0.8),
+    _b("kasa", "dry, rustling", gel=False, h=0.1, a=-0.8),
+    _b("pasa", "dry, crumbly-powdery", gel=False, c=-0.6, a=-0.8),
+    _b("kara", "dry and crisp", gel=False, h=0.4, a=-0.7),
+    _b("hoku", "steamy-starchy, floury", gel=False, h=-0.3, c=-0.4),
+    _b("poku", "soft starchy bite", gel=False, h=-0.2, c=-0.4),
+    _b("gishi", "squeaky-dense", gel=False, h=0.4, c=0.3, a=-0.3),
+    _b("kishi", "squeaky", gel=False, h=0.3, c=0.3, a=-0.3),
+    _b("suka", "hollow, airy-light", gel=False, h=-0.4, c=-0.5),
+    _b("fuga", "spongy, hollow", gel=False, h=-0.5, c=-0.4),
+    _b("gowa", "stiff, coarse", gel=False, h=0.6, c=-0.2),
+    _b("goso", "coarse and dry", gel=False, c=-0.5, a=-0.6),
+    _b("mosa", "stodgy, dry", gel=False, h=0.1, c=-0.5, a=-0.4),
+    _b("tsubu", "grainy, with whole grains", gel=False, h=0.2, c=-0.3),
+    _b("putsu", "popping bite", gel=False, h=0.2, c=-0.4),
+    _b("buchi", "snapping fibres", gel=False, h=0.3, c=-0.5),
+    _b("shina", "pliant, wilted", gel=False, h=-0.4, c=0.3),
+    _b("kucha", "chewed to mush", gel=False, h=-0.3, c=-0.6, a=0.3),
+    _b("kuchu", "wet chewing", gel=False, c=-0.5, a=0.3),
+    _b("sara", "dry, smooth-flowing", gel=False, a=-0.7),
+    _b("sube", "smooth, frictionless", gel=False, h=-0.2, a=-0.5),
+    _b("shitto", "moist, settled", gel=False, patterns=(Pattern.RI,), h=-0.3, a=0.3),
+    _b("shori", "wet crisp shaving", gel=False, h=0.3, c=-0.4, a=-0.2),
+    _b("gori", "grinding hard bite", gel=False, h=0.8, c=-0.3),
+    _b("gasa", "rough and dry", gel=False, h=0.2, a=-0.7),
+    _b("basa", "dried out, flaky", gel=False, c=-0.6, a=-0.7),
+    _b("howa", "airy-light", gel=False, h=-0.7, c=-0.3),
+    _b("mugyu", "dense squeeze", gel=False, h=0.4, c=0.4),
+    _b("keba", "fibrous, hairy mouthfeel", gel=False, h=0.2, c=-0.3, a=-0.3),
+    _b("gowat", "stiffly coarse bite", gel=False, patterns=(Pattern.REDUP,), h=0.6, c=-0.3),
+    _b("hero", "thin and limp", gel=False, h=-0.5, c=-0.3),
+    _b("beko", "denting, caving in", gel=False, h=-0.4, c=-0.2),
+)
+
+#: Full inventory in canonical order (gel families first).
+ALL_BASES: tuple[BaseTerm, ...] = GEL_BASES + NON_GEL_BASES

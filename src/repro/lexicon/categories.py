@@ -1,0 +1,84 @@
+"""Quantitative texture categories and sensory polarity axes.
+
+The NARO dictionary annotates each texture term with the quantitative
+attribute categories it expresses. The paper restricts its dictionary to
+the three categories a rheometer's texture-profile analysis measures
+(Section III-A): *hardness*, *cohesiveness* and *adhesiveness*.
+
+Each category corresponds to a signed sensory axis:
+
+======================  =======================  ========================
+axis                    positive pole            negative pole
+======================  =======================  ========================
+``HARDNESS``            hard / firm / dense      soft / loose / fluffy
+``COHESIVENESS``        elastic / springy        crumbly / mushy / brittle
+``ADHESIVENESS``        sticky / viscous         dry / slippery / clean
+======================  =======================  ========================
+
+The cohesiveness convention follows Section V-B of the paper: "strong
+elasticity leads to large value of cohesiveness" — springy gels survive
+the second rheometer bite (large c/a area ratio), crumbly ones do not.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TextureCategory(enum.Enum):
+    """NARO-style quantitative annotation category of a texture term."""
+
+    HARDNESS = "hardness"
+    COHESIVENESS = "cohesiveness"
+    ADHESIVENESS = "adhesiveness"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class SensoryAxis(enum.Enum):
+    """Signed sensory axis paired one-to-one with a :class:`TextureCategory`."""
+
+    HARDNESS = "hardness"
+    COHESIVENESS = "cohesiveness"
+    ADHESIVENESS = "adhesiveness"
+
+    @property
+    def category(self) -> TextureCategory:
+        """The annotation category this axis quantifies."""
+        return TextureCategory(self.value)
+
+    @property
+    def positive_label(self) -> str:
+        """Human label of the positive pole (used by the Fig 3 bins)."""
+        return _POSITIVE_LABELS[self]
+
+    @property
+    def negative_label(self) -> str:
+        """Human label of the negative pole (used by the Fig 3 bins)."""
+        return _NEGATIVE_LABELS[self]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_POSITIVE_LABELS = {
+    SensoryAxis.HARDNESS: "hard",
+    SensoryAxis.COHESIVENESS: "elastic",
+    SensoryAxis.ADHESIVENESS: "sticky",
+}
+
+_NEGATIVE_LABELS = {
+    SensoryAxis.HARDNESS: "soft",
+    SensoryAxis.COHESIVENESS: "cohesive",
+    SensoryAxis.ADHESIVENESS: "dry",
+}
+
+#: Stable iteration order used throughout the package.
+AXES: tuple[SensoryAxis, ...] = (
+    SensoryAxis.HARDNESS,
+    SensoryAxis.COHESIVENESS,
+    SensoryAxis.ADHESIVENESS,
+)
+
+CATEGORIES: tuple[TextureCategory, ...] = tuple(axis.category for axis in AXES)

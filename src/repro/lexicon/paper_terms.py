@@ -1,0 +1,89 @@
+"""The 41 gel-related texture terms the paper's dataset retains.
+
+Section IV-A: after filtering, the ~3,000-recipe dataset "include[s] 41
+texture terms out of 288 terms in the dictionary". Table II(a) prints 31
+of them with glosses; those are reproduced verbatim below. The remaining
+10 are common gel-texture onomatopoeia chosen from the same NARO
+categories so the dictionary reaches the paper's published count.
+
+Polarity conventions are documented in :mod:`repro.lexicon.categories`:
+``H`` = hardness (+hard/−soft), ``C`` = cohesiveness (+elastic/−crumbly),
+``A`` = adhesiveness (+sticky/−dry).
+"""
+
+from __future__ import annotations
+
+from repro.lexicon.categories import SensoryAxis
+from repro.lexicon.term import TextureTerm
+
+H = SensoryAxis.HARDNESS
+C = SensoryAxis.COHESIVENESS
+A = SensoryAxis.ADHESIVENESS
+
+
+def _t(surface: str, gloss: str, base: str = "", **polarity: float) -> TextureTerm:
+    axes = {"h": H, "c": C, "a": A}
+    mapped = {axes[k]: v for k, v in polarity.items()}
+    return TextureTerm(surface=surface, gloss=gloss, polarity=mapped, base=base or surface)
+
+
+#: Terms printed in Table II(a), in order of first appearance, with the
+#: paper's glosses.
+TABLE_IIA_TERMS: tuple[TextureTerm, ...] = (
+    _t("furufuru", "Soft and slightly wobbly, easy to break", base="furu", h=-0.7, c=-0.3),
+    _t("katai", "Hard, firm, stiff, tough, rigid", base="katai", h=1.0),
+    _t("muchimuchi", "Resilient, firm and slightly sticky", base="muchi", h=0.6, c=0.7, a=0.3),
+    _t("gucha", "Mushy; having lost its original shape", base="gucha", h=-0.4, c=-0.8),
+    _t("potteri", "Thick, resistant to flow", base="potte", h=0.4, a=0.5),
+    _t("burunburun", "Elastic and slightly wobbly", base="buru", h=-0.1, c=0.8),
+    _t("bosoboso", "Dry, crumbly and not compact", base="boso", c=-0.7, a=-0.6),
+    _t("botet", "Thick and heavy, resistant to flow", base="bote", h=0.5, a=0.4),
+    _t("shakusyaku", "Crisp; material is cut off or shear off easily", base="shaku", h=0.5, c=-0.6),
+    _t("buruburu", "Elastic and slightly wobbly", base="buru", c=0.7),
+    _t("purupuru", "Soft elastic and slightly sticky, slightly wobbly", base="puru", h=-0.4, c=0.6, a=0.3),
+    _t("nettori", "Sticky, viscous and thick", base="netto", h=0.2, a=0.9),
+    _t("purit", "Crispy, sound emitted by biting slightly hard foods", base="puri", h=0.4, c=0.5),
+    _t("mottari", "Thick and viscous, resistant to flow", base="motta", h=0.3, a=0.6),
+    _t("horohoro", "Crumbly and soft", base="horo", h=-0.5, c=-0.7),
+    _t("necchiri", "Very sticky and viscous", base="necchi", a=1.0),
+    _t("fuwafuwa", "Soft and fluffy", base="fuwa", h=-0.9, c=-0.2),
+    _t("yuruyuru", "Thin, loose, easy to deform", base="yuru", h=-0.8),
+    _t("bechat", "Sticky, viscous and watery", base="becha", h=-0.5, a=0.7),
+    _t("fukahuka", "Soft, swollen and somewhat elastic", base="fuka", h=-0.6, c=0.3),
+    _t("burit", "Firm and resilient", base="buri", h=0.5, c=0.6),
+    _t("dossiri", "Heavy, dense", base="dossi", h=0.9),
+    _t("churuchuru", "Slippery, smooth and wet surface", base="churu", h=-0.3, a=-0.6),
+    _t("punipuni", "Soft elastic and slightly sticky", base="puni", h=-0.3, c=0.6, a=0.2),
+    _t("kutat", "Soft, not taut", base="kuta", h=-0.6),
+    _t("burinburin", "Firm and resilient", base="buri", h=0.6, c=0.8),
+    _t("korit", "Crunchy", base="kori", h=0.7, c=0.2),
+    _t("daradara", "Thick, heavy, flowing slowly", base="dara", h=-0.4, a=0.4),
+    _t("karat", "Dry and crispy", base="kara", h=0.4, a=-0.7),
+    _t("hajikeru", "Cracking open, fizzy", base="hajike", h=0.3, c=-0.4),
+    _t("omoi", "Heavy", base="omoi", h=0.6),
+)
+
+#: The 10 additional gel-related terms completing the paper's count of 41
+#: dataset terms. Not printed in Table II(a); standard gel onomatopoeia
+#: annotated with the same conventions.
+EXTRA_GEL_TERMS: tuple[TextureTerm, ...] = (
+    _t("torotoro", "Thick, syrupy, melting", base="toro", h=-0.6, a=0.6),
+    _t("tsurun", "Smooth and slippery, swallowed in one", base="tsuru", h=-0.3, c=0.2, a=-0.5),
+    _t("purun", "Softly springy, wobbling once", base="puru", h=-0.3, c=0.5),
+    _t("mochimochi", "Springy, chewy and slightly sticky", base="mochi", h=0.2, c=0.8, a=0.4),
+    _t("funyafunya", "Limp, flabby, without body", base="funya", h=-0.7, c=-0.3),
+    _t("kochikochi", "Rock hard, stiff throughout", base="kochi", h=1.0, c=0.1),
+    _t("nebaneba", "Slimy and stringily sticky", base="neba", a=0.9),
+    _t("torori", "Thick droplet, slowly flowing", base="toro", h=-0.5, a=0.5),
+    _t("puruntto", "Springy and wobbly, bouncing back", base="puru", h=-0.2, c=0.6),
+    _t("zurut", "Slippery, sliding down easily", base="zuru", h=-0.4, a=-0.4),
+)
+
+#: All 41 gel-related dataset terms (Table II(a) ∪ the completion set).
+PAPER_TERMS: tuple[TextureTerm, ...] = TABLE_IIA_TERMS + EXTRA_GEL_TERMS
+
+#: Surfaces only, for quick membership tests.
+PAPER_SURFACES: frozenset[str] = frozenset(t.surface for t in PAPER_TERMS)
+
+if len(PAPER_TERMS) != 41:  # pragma: no cover - compile-time invariant
+    raise AssertionError(f"expected 41 paper terms, found {len(PAPER_TERMS)}")

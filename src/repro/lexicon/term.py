@@ -1,0 +1,118 @@
+"""The :class:`TextureTerm` record.
+
+A texture term is a (transliterated) Japanese texture word together with
+its dictionary annotations: the quantitative categories it belongs to and
+a signed polarity on each corresponding sensory axis.
+
+Polarity values live in ``[-1.0, +1.0]``; the sign selects the pole (see
+:mod:`repro.lexicon.categories`) and the magnitude encodes intensity
+("katai" is harder than "purit" is crisp). A term is *annotated with* a
+category exactly when its polarity on that axis is non-zero, mirroring
+how the NARO dictionary tags terms with attribute categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.lexicon.categories import AXES, SensoryAxis, TextureCategory
+
+
+@dataclass(frozen=True)
+class TextureTerm:
+    """A dictionary entry for one texture term.
+
+    Parameters
+    ----------
+    surface:
+        The token form as it appears in recipe descriptions (romaji
+        transliteration, e.g. ``"purupuru"``).
+    gloss:
+        Short English gloss ("soft elastic and slightly sticky…").
+    polarity:
+        Mapping from :class:`SensoryAxis` to a signed intensity in
+        ``[-1, 1]``. Axes absent from the mapping have polarity ``0``.
+    gel_related:
+        Whether the term describes textures gels can realise. Terms with
+        ``gel_related=False`` (e.g. the crispy/crunchy family anchored to
+        nuts) are the ones the paper's word2vec filter removes.
+    base:
+        Romaji stem of the base onomatopoeia this surface derives from
+        (``"puru"`` for ``"purupuru"``); equals ``surface`` for bases.
+    """
+
+    surface: str
+    gloss: str
+    polarity: Mapping[SensoryAxis, float] = field(default_factory=dict)
+    gel_related: bool = True
+    base: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.surface:
+            raise ValueError("surface must be non-empty")
+        clean: dict[SensoryAxis, float] = {}
+        for axis, value in self.polarity.items():
+            if not isinstance(axis, SensoryAxis):
+                raise TypeError(f"polarity keys must be SensoryAxis, got {axis!r}")
+            v = float(value)
+            if not -1.0 <= v <= 1.0:
+                raise ValueError(f"polarity for {axis} out of [-1, 1]: {v}")
+            if v != 0.0:
+                clean[axis] = v
+        object.__setattr__(self, "polarity", MappingProxyType(clean))
+        if not self.base:
+            object.__setattr__(self, "base", self.surface)
+
+    @property
+    def categories(self) -> frozenset[TextureCategory]:
+        """NARO-style categories: axes with non-zero polarity."""
+        return frozenset(axis.category for axis in self.polarity)
+
+    def polarity_on(self, axis: SensoryAxis) -> float:
+        """Signed intensity on ``axis`` (``0.0`` when unannotated)."""
+        return self.polarity.get(axis, 0.0)
+
+    def sign_on(self, axis: SensoryAxis) -> int:
+        """``+1`` / ``-1`` / ``0`` classification on ``axis``.
+
+        This is what the Fig 3 histograms bin on: for the hardness axis a
+        ``+1`` term counts as "hard" and a ``-1`` term as "soft".
+        """
+        value = self.polarity_on(axis)
+        if value > 0:
+            return 1
+        if value < 0:
+            return -1
+        return 0
+
+    def in_category(self, category: TextureCategory) -> bool:
+        """Whether the dictionary annotates this term with ``category``."""
+        return category in self.categories
+
+    def as_vector(self) -> tuple[float, float, float]:
+        """Polarity as a fixed ``(hardness, cohesiveness, adhesiveness)`` triple."""
+        return tuple(self.polarity_on(axis) for axis in AXES)  # type: ignore[return-value]
+
+    def derived(self, surface: str, scale: float = 1.0, gloss: str = "") -> "TextureTerm":
+        """Build a morphological variant of this term.
+
+        ``scale`` multiplies every polarity (clipped to ``[-1, 1]``);
+        variant forms such as the clipped ``-t`` form are conventionally a
+        touch lighter than the reduplicated base form.
+        """
+        polarity = {
+            axis: max(-1.0, min(1.0, value * scale))
+            for axis, value in self.polarity.items()
+        }
+        return TextureTerm(
+            surface=surface,
+            gloss=gloss or self.gloss,
+            polarity=polarity,
+            gel_related=self.gel_related,
+            base=self.base,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.surface

@@ -1,0 +1,89 @@
+"""Saving and loading fitted models.
+
+A fitted :class:`~repro.core.joint_model.JointTextureTopicModel` is a set
+of numpy arrays plus its configuration; persistence uses a single
+``.npz`` archive with a JSON-encoded config entry, so a model trained
+once can back a long-lived texture-lookup service without refitting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.joint_model import JointModelConfig, JointTextureTopicModel
+from repro.errors import ModelError
+
+#: Format marker stored inside every archive.
+FORMAT = "repro-joint-model"
+FORMAT_VERSION = 1
+
+_ARRAY_FIELDS = (
+    "phi_",
+    "theta_",
+    "gel_means_",
+    "gel_covs_",
+    "emulsion_means_",
+    "emulsion_covs_",
+    "y_",
+)
+
+
+def save_model(
+    model: JointTextureTopicModel,
+    path: str | Path,
+    vocabulary: tuple[str, ...] = (),
+) -> Path:
+    """Serialise a fitted model (and optionally its vocabulary) to ``path``.
+
+    Raises :class:`~repro.errors.ModelError` when the model is unfitted.
+    """
+    if model.theta_ is None:
+        raise ModelError("cannot save an unfitted model")
+    path = Path(path)
+    header = {
+        "format": FORMAT,
+        "version": FORMAT_VERSION,
+        "config": dataclasses.asdict(model.config),
+        "vocabulary": list(vocabulary),
+        "log_likelihoods": list(model.log_likelihoods_),
+    }
+    arrays = {
+        name: np.asarray(getattr(model, name)) for name in _ARRAY_FIELDS
+    }
+    np.savez_compressed(
+        path, header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        **arrays,
+    )
+    # np.savez appends .npz when missing; normalise the returned path
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_model(
+    path: str | Path,
+) -> tuple[JointTextureTopicModel, tuple[str, ...]]:
+    """Load a model saved by :func:`save_model`.
+
+    Returns ``(model, vocabulary)``; the vocabulary is empty when none
+    was stored.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            header = json.loads(bytes(archive["header"].tobytes()).decode())
+        except (KeyError, ValueError) as exc:
+            raise ModelError(f"{path} is not a repro model archive") from exc
+        if header.get("format") != FORMAT:
+            raise ModelError(f"{path} is not a repro model archive")
+        if header.get("version") != FORMAT_VERSION:
+            raise ModelError(
+                f"unsupported archive version {header.get('version')}"
+            )
+        model = JointTextureTopicModel(JointModelConfig(**header["config"]))
+        for name in _ARRAY_FIELDS:
+            setattr(model, name, archive[name])
+        model.log_likelihoods_ = list(header.get("log_likelihoods", []))
+    return model, tuple(header.get("vocabulary", ()))

@@ -1,0 +1,25 @@
+"""End-to-end pipeline: corpus → dataset → model → linkage → reports.
+
+* :mod:`repro.pipeline.dataset` — Section IV-A dataset construction
+  (term spotting, word2vec filtering, unit normalisation, filters);
+* :mod:`repro.pipeline.experiment` — one-call experiment runner used by
+  the examples and every benchmark;
+* :mod:`repro.pipeline.tables` / :mod:`repro.pipeline.figures` — data
+  behind each of the paper's tables and figures;
+* :mod:`repro.pipeline.reporting` — plain-text renderers.
+"""
+
+from repro.pipeline.dataset import DatasetBuilder, TextureDataset
+from repro.pipeline.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+
+__all__ = [
+    "DatasetBuilder",
+    "TextureDataset",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+]

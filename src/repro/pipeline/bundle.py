@@ -1,0 +1,96 @@
+"""One-call report bundle: every table and figure, text + CSV, on disk.
+
+``write_report_bundle(result, directory)`` materialises the full set of
+paper artefacts for a fitted pipeline:
+
+* ``report.txt`` — all tables and figure series as rendered text;
+* ``table1.csv``, ``table2a.csv``, ``table2b.csv`` — the paper's tables;
+* ``fig3_<dish>.csv``, ``fig4_<dish>.csv`` — per-dish figure series;
+* ``dataset_stats.txt`` — corpus funnel and term statistics;
+* ``model.npz`` — the fitted model (reloadable via
+  :func:`repro.persistence.load_model`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.corpus.stats import dataset_stats, render_stats
+from repro.persistence import save_model
+from repro.pipeline.experiment import ExperimentResult
+from repro.pipeline.export import (
+    export_fig3,
+    export_fig4,
+    export_table1,
+    export_table2a,
+    export_table2b,
+)
+from repro.pipeline.figures import fig3_data, fig4_data
+from repro.pipeline.reporting import (
+    render_fig3,
+    render_fig4,
+    render_table1,
+    render_table2a,
+    render_table2b,
+)
+from repro.pipeline.tables import table1_rows, table2a_rows, table2b_rows
+from repro.rheology.studies import DISH_STUDIES
+
+
+def write_report_bundle(
+    result: ExperimentResult, directory: str | Path
+) -> dict[str, Path]:
+    """Write every artefact for ``result`` into ``directory``.
+
+    Returns a name → path map of everything written. The directory is
+    created if needed; existing files are overwritten.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: dict[str, Path] = {}
+
+    t1 = table1_rows()
+    t2a = table2a_rows(result)
+    t2b = table2b_rows(result)
+    figures3 = {d.name: fig3_data(result, d) for d in DISH_STUDIES}
+    figures4 = {d.name: fig4_data(result, d) for d in DISH_STUDIES}
+
+    sections = [
+        "=== Table I: published vs rheometer-simulated ===",
+        render_table1(t1),
+        "",
+        "=== Table II(a): topics ===",
+        render_table2a(t2a),
+        "",
+        "=== Table II(b): dish assignment ===",
+        render_table2b(t2b),
+    ]
+    for name in figures3:
+        sections += ["", render_fig3(figures3[name])]
+        sections += ["", render_fig4(figures4[name])]
+    report = directory / "report.txt"
+    report.write_text("\n".join(sections) + "\n", encoding="utf-8")
+    written["report"] = report
+
+    written["table1"] = export_table1(t1, directory / "table1.csv")
+    written["table2a"] = export_table2a(t2a, directory / "table2a.csv")
+    written["table2b"] = export_table2b(t2b, directory / "table2b.csv")
+    for name in figures3:
+        slug = name.lower().replace(" ", "_")
+        written[f"fig3_{slug}"] = export_fig3(
+            figures3[name], directory / f"fig3_{slug}.csv"
+        )
+        written[f"fig4_{slug}"] = export_fig4(
+            figures4[name], directory / f"fig4_{slug}.csv"
+        )
+
+    stats = directory / "dataset_stats.txt"
+    stats.write_text(
+        render_stats(dataset_stats(result.dataset)) + "\n", encoding="utf-8"
+    )
+    written["dataset_stats"] = stats
+
+    written["model"] = save_model(
+        result.model, directory / "model.npz", result.dataset.vocabulary
+    )
+    return written

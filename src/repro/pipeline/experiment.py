@@ -1,0 +1,172 @@
+"""One-call experiment runner.
+
+Bundles the full paper pipeline — synthesise corpus, build dataset, fit
+the joint topic model, construct the linker — behind a single seeded
+:func:`run_experiment`. Results are cached per configuration within the
+process so that the five table/figure benchmarks can share one fitted
+model instead of refitting identical pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.joint_model import JointModelConfig, JointTextureTopicModel
+from repro.core.linkage import TopicLinker
+from repro.pipeline.dataset import DatasetBuilder, TextureDataset
+from repro.rng import ensure_rng
+from repro.synth.generator import CorpusGenerator, SyntheticCorpus
+from repro.synth.presets import CorpusPreset, DEFAULT_PRESET
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to reproduce one pipeline run."""
+
+    preset: CorpusPreset = DEFAULT_PRESET
+    model: JointModelConfig = field(default_factory=JointModelConfig)
+    seed: int = 20220501
+    use_w2v_filter: bool = True
+    use_log_transform: bool = True  # ablation B flips this
+    point_sigma: float = 0.35
+    #: Inference method: "gibbs" (paper), "collapsed" (Rao-Blackwellised
+    #: Gibbs) or "vb" (variational CAVI).
+    inference: str = "gibbs"
+
+    def cache_key(self) -> tuple:
+        preset = self.preset
+        return (
+            preset.name,
+            preset.n_recipes,
+            tuple(sorted(preset.archetype_weights.items())),
+            preset.term_presence,
+            preset.extra_term_rate,
+            preset.topping_term_prob,
+            preset.profile_noise_sigma,
+            preset.sharpness,
+            self.model,
+            self.seed,
+            self.use_w2v_filter,
+            self.use_log_transform,
+            self.point_sigma,
+            self.inference,
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A fitted pipeline: corpus + dataset + model + linker."""
+
+    config: ExperimentConfig
+    corpus: SyntheticCorpus
+    dataset: TextureDataset
+    model: JointTextureTopicModel
+    linker: TopicLinker
+
+    @property
+    def vocabulary(self) -> tuple[str, ...]:
+        return self.dataset.vocabulary
+
+    def topic_assignments(self) -> np.ndarray:
+        """Hard topic per dataset recipe (argmax θ_d)."""
+        return self.model.topic_assignments()
+
+    def truth_bands(self) -> list[str]:
+        """Ground-truth gel band per dataset recipe."""
+        return [
+            self.corpus.truth_of(rid).gel_band for rid in self.dataset.recipe_ids
+        ]
+
+
+def _make_model(config: ExperimentConfig):
+    """Instantiate the configured inference method."""
+    if config.inference == "gibbs":
+        return JointTextureTopicModel(config.model)
+    if config.inference == "collapsed":
+        from repro.core.collapsed import CollapsedJointModel
+
+        return CollapsedJointModel(config.model)
+    if config.inference == "vb":
+        from repro.core.variational import VariationalConfig, VariationalJointModel
+
+        return VariationalJointModel(
+            VariationalConfig(
+                n_topics=config.model.n_topics,
+                alpha=config.model.alpha,
+                gamma=config.model.gamma,
+                kappa=config.model.kappa,
+                seed_y_with_kmeans=config.model.seed_y_with_kmeans,
+            )
+        )
+    from repro.errors import ExperimentError
+
+    raise ExperimentError(f"unknown inference method {config.inference!r}")
+
+
+_CACHE: dict[tuple, ExperimentResult] = {}
+
+
+def run_experiment(
+    config: ExperimentConfig | None = None, use_cache: bool = True
+) -> ExperimentResult:
+    """Run (or fetch from the in-process cache) one full pipeline."""
+    config = config or ExperimentConfig()
+    key = config.cache_key()
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    rng = ensure_rng(config.seed)
+    generator = CorpusGenerator(rng=rng)
+    corpus = generator.generate(config.preset)
+
+    builder = DatasetBuilder(
+        dictionary=generator.dictionary,
+        use_w2v_filter=config.use_w2v_filter,
+    )
+    dataset = builder.build(corpus.recipes, rng=rng)
+
+    if config.use_log_transform:
+        gels, emulsions = dataset.gel_log, dataset.emulsion_log
+    else:
+        gels, emulsions = dataset.gel_raw, dataset.emulsion_raw
+
+    model = _make_model(config)
+    model.fit(
+        list(dataset.docs),
+        gels,
+        emulsions,
+        dataset.vocab_size,
+        rng=rng,
+    )
+    linker = TopicLinker(model, point_sigma=config.point_sigma)
+    result = ExperimentResult(
+        config=config,
+        corpus=corpus,
+        dataset=dataset,
+        model=model,
+        linker=linker,
+    )
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def quick_config(n_recipes: int = 1500, n_sweeps: int = 300, seed: int = 11) -> ExperimentConfig:
+    """A laptop-quick configuration used by examples and benches."""
+    return ExperimentConfig(
+        preset=CorpusPreset(name=f"quick{n_recipes}", n_recipes=n_recipes),
+        model=JointModelConfig(
+            n_topics=10,
+            n_sweeps=n_sweeps,
+            burn_in=n_sweeps // 2,
+            thin=5,
+        ),
+        seed=seed,
+    )
+
+
+def clear_cache() -> None:
+    """Drop all cached experiment results (tests use this)."""
+    _CACHE.clear()

@@ -1,0 +1,148 @@
+"""CSV export of every table and figure series.
+
+The text renderers (:mod:`repro.pipeline.reporting`) are for the console;
+these writers produce machine-readable CSV so the paper's artefacts can
+be re-plotted or diffed externally. Column layouts mirror the paper's
+tables.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from repro.pipeline.figures import Fig3Data, Fig4Data
+from repro.pipeline.tables import Table1Row, Table2aRow, Table2bRow
+from repro.rheology.gel_system import GEL_NAMES
+
+
+def _write(path: str | Path, header: list[str], rows: list[list]) -> Path:
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_table1(rows: Sequence[Table1Row], path: str | Path) -> Path:
+    """Table I: one row per empirical setting, published vs simulated."""
+    body = []
+    for row in rows:
+        gels = row.setting.gel_vector()
+        body.append(
+            [
+                row.data_id,
+                *[f"{g:.4f}" for g in gels],
+                row.published.hardness,
+                row.simulated.hardness,
+                row.published.cohesiveness,
+                row.simulated.cohesiveness,
+                row.published.adhesiveness,
+                row.simulated.adhesiveness,
+                row.setting.source,
+            ]
+        )
+    return _write(
+        path,
+        ["data_id", *GEL_NAMES, "hardness_pub", "hardness_sim",
+         "cohesiveness_pub", "cohesiveness_sim",
+         "adhesiveness_pub", "adhesiveness_sim", "source"],
+        body,
+    )
+
+
+def export_table2a(rows: Sequence[Table2aRow], path: str | Path) -> Path:
+    """Table II(a): one row per (topic, term) pair plus topic columns."""
+    body = []
+    for row in rows:
+        gels = ";".join(
+            f"{g}:{c:.4f}" for g, c in sorted(row.gel_summary.items())
+        )
+        linked = ";".join(str(i) for i in row.linked_data_ids)
+        for rank, (surface, probability, gloss) in enumerate(row.top_terms, 1):
+            body.append(
+                [row.topic, row.n_recipes, gels, linked,
+                 rank, surface, f"{probability:.4f}", gloss]
+            )
+    return _write(
+        path,
+        ["topic", "n_recipes", "gel_concentrations", "linked_table1_rows",
+         "term_rank", "term", "probability", "gloss"],
+        body,
+    )
+
+
+def export_table2b(rows: Sequence[Table2bRow], path: str | Path) -> Path:
+    """Table II(b): one row per dish."""
+    body = [
+        [
+            row.dish.name,
+            row.dish.texture.hardness,
+            row.dish.texture.cohesiveness,
+            row.dish.texture.adhesiveness,
+            ";".join(f"{g}:{c:g}" for g, c in row.dish.gels.items()),
+            ";".join(f"{e}:{c:g}" for e, c in row.dish.emulsions.items()),
+            row.assigned_topic,
+            f"{row.divergence:.4f}",
+        ]
+        for row in rows
+    ]
+    return _write(
+        path,
+        ["dish", "hardness", "cohesiveness", "adhesiveness",
+         "gels", "emulsions", "assigned_topic", "kl_divergence"],
+        body,
+    )
+
+
+def export_fig3(data: Fig3Data, path: str | Path) -> Path:
+    """Fig 3: one row per (panel, bin)."""
+    body = []
+    for panel, series in (("a", data.hardness), ("b", data.cohesiveness)):
+        for b in range(len(series.positive)):
+            body.append(
+                [
+                    data.dish_name,
+                    panel,
+                    b,
+                    f"{series.edges[b]:.4f}",
+                    f"{series.edges[b + 1]:.4f}",
+                    series.positive_label,
+                    int(series.positive[b]),
+                    series.negative_label,
+                    int(series.negative[b]),
+                ]
+            )
+    return _write(
+        path,
+        ["dish", "panel", "bin", "kl_low", "kl_high",
+         "positive_label", "positive_count",
+         "negative_label", "negative_count"],
+        body,
+    )
+
+
+def export_fig4(data: Fig4Data, path: str | Path) -> Path:
+    """Fig 4: one row per recipe point, plus a star row."""
+    body = [
+        [
+            data.dish_name, point.recipe_id,
+            f"{point.hardness_score:.4f}",
+            f"{point.cohesiveness_score:.4f}",
+            f"{point.divergence:.4f}",
+            "point",
+        ]
+        for point in data.points
+    ]
+    body.append(
+        [data.dish_name, f"topic-{data.topic}",
+         f"{data.star[0]:.4f}", f"{data.star[1]:.4f}", "", "star"]
+    )
+    return _write(
+        path,
+        ["dish", "recipe_id", "hardness_score", "cohesiveness_score",
+         "kl_divergence", "kind"],
+        body,
+    )

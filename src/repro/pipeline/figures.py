@@ -1,0 +1,166 @@
+"""Data behind the paper's figures 3 and 4.
+
+Fig 3: within a dish's assigned topic, recipes are ranked by emulsion-
+concentration KL divergence to the dish and binned; each bin counts
+recipes whose texture terms classify as hard vs soft (a) and elastic vs
+cohesive (b).
+
+Fig 4: the same recipes scattered on a (hardness, cohesiveness) plane —
+scores derived from term polarities — coloured by KL divergence, with the
+topic's own φ-weighted polarity as the reference star.
+
+Note on naming: the paper uses "elastic" and "cohesive" as the two poles
+of one axis ("elasticity is negative cohesiveness") while simultaneously
+arguing that elastic terms indicate *high* instrumental cohesiveness
+(Bavarois). We follow the quantitative story: the positive pole of the
+cohesiveness axis is "elastic" and the negative pole (crumbly/mushy
+terms) is labelled "cohesive" purely to match the figure's bin names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.eval.binning import BinnedSeries, kl_ordered_bins
+from repro.eval.validation import topic_polarity
+from repro.lexicon.categories import SensoryAxis
+from repro.lexicon.dictionary import TextureDictionary, build_dictionary
+from repro.pipeline.experiment import ExperimentResult
+from repro.pipeline.tables import dish_neighbour_kl
+from repro.rheology.studies import DishStudy
+
+
+@dataclass(frozen=True)
+class Fig3Data:
+    """Fig 3 series for one dish."""
+
+    dish_name: str
+    topic: int
+    hardness: BinnedSeries       # Fig 3(a): hard vs soft
+    cohesiveness: BinnedSeries   # Fig 3(b): elastic vs "cohesive"
+    divergences: np.ndarray
+
+
+def fig3_data(
+    result: ExperimentResult,
+    dish: DishStudy,
+    dictionary: TextureDictionary | None = None,
+    n_bins: int = 8,
+) -> Fig3Data:
+    """Compute the Fig 3 histograms for ``dish``."""
+    dictionary = dictionary or build_dictionary()
+    link = result.linker.link_dish(dish)
+    assignment = result.topic_assignments()
+    members = np.flatnonzero(assignment == link.topic)
+    divergences = dish_neighbour_kl(result, dish, link.topic)
+    term_counts = [result.dataset.features[i].term_counts for i in members]
+    return Fig3Data(
+        dish_name=dish.name,
+        topic=link.topic,
+        hardness=kl_ordered_bins(
+            divergences, term_counts, SensoryAxis.HARDNESS, dictionary, n_bins
+        ),
+        cohesiveness=kl_ordered_bins(
+            divergences, term_counts, SensoryAxis.COHESIVENESS, dictionary, n_bins
+        ),
+        divergences=divergences,
+    )
+
+
+@dataclass(frozen=True)
+class Fig4Point:
+    """One recipe in the Fig 4 scatter."""
+
+    recipe_id: str
+    hardness_score: float
+    cohesiveness_score: float
+    divergence: float
+
+
+@dataclass(frozen=True)
+class Fig4Data:
+    """Fig 4 scatter for one dish, plus the topic-centroid star."""
+
+    dish_name: str
+    topic: int
+    points: tuple[Fig4Point, ...]
+    star: tuple[float, float]    # topic φ-weighted (hardness, cohesiveness)
+
+    def low_kl_points(self, quantile: float = 0.33) -> tuple[Fig4Point, ...]:
+        """The most dish-similar recipes (the paper's red points)."""
+        if not self.points:
+            return ()
+        cut = float(
+            np.quantile([p.divergence for p in self.points], quantile)
+        )
+        return tuple(p for p in self.points if p.divergence <= cut)
+
+
+def recipe_axis_score(
+    term_counts: Mapping[str, int],
+    axis: SensoryAxis,
+    dictionary: TextureDictionary,
+) -> float:
+    """TF-weighted mean polarity of a recipe's terms on ``axis``."""
+    total = sum(term_counts.values())
+    if total == 0:
+        return 0.0
+    score = 0.0
+    for surface, count in term_counts.items():
+        term = dictionary.get(surface)
+        if term is not None:
+            score += count * term.polarity_on(axis)
+    return score / total
+
+
+def fig4_data(
+    result: ExperimentResult,
+    dish: DishStudy,
+    dictionary: TextureDictionary | None = None,
+) -> Fig4Data:
+    """Compute the Fig 4 scatter for ``dish``."""
+    dictionary = dictionary or build_dictionary()
+    link = result.linker.link_dish(dish)
+    assignment = result.topic_assignments()
+    members = np.flatnonzero(assignment == link.topic)
+    divergences = dish_neighbour_kl(result, dish, link.topic)
+    points = []
+    for index, kl in zip(members, divergences):
+        features = result.dataset.features[index]
+        points.append(
+            Fig4Point(
+                recipe_id=features.recipe_id,
+                hardness_score=recipe_axis_score(
+                    features.term_counts, SensoryAxis.HARDNESS, dictionary
+                ),
+                cohesiveness_score=recipe_axis_score(
+                    features.term_counts, SensoryAxis.COHESIVENESS, dictionary
+                ),
+                divergence=float(kl),
+            )
+        )
+    polarity = topic_polarity(
+        np.asarray(result.model.phi_)[link.topic],
+        result.vocabulary,
+        dictionary,
+    )
+    star = (
+        polarity[SensoryAxis.HARDNESS],
+        polarity[SensoryAxis.COHESIVENESS],
+    )
+    return Fig4Data(
+        dish_name=dish.name, topic=link.topic, points=tuple(points), star=star
+    )
+
+
+def mean_scores(points: Sequence[Fig4Point]) -> tuple[float, float]:
+    """Mean (hardness, cohesiveness) scores of a point set."""
+    if not points:
+        return (0.0, 0.0)
+    return (
+        float(np.mean([p.hardness_score for p in points])),
+        float(np.mean([p.cohesiveness_score for p in points])),
+    )

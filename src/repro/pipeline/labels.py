@@ -1,0 +1,90 @@
+"""Human-readable topic labels.
+
+Table II(a)'s raw rows take expertise to read; :func:`topic_label`
+summarises a fitted topic as e.g. ``"firm gelatin 2.1% (elastic)"`` or
+``"soft gelatin+kanten 0.5% (fluffy)"`` by combining the topic's gel
+composition with the φ-weighted polarity of its texture terms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.validation import topic_polarity
+from repro.lexicon.categories import SensoryAxis
+from repro.lexicon.dictionary import TextureDictionary, build_dictionary
+from repro.pipeline.experiment import ExperimentResult
+from repro.pipeline.tables import Table2aRow, table2a_rows
+
+#: Hardness-polarity thresholds → adjective.
+_HARDNESS_BANDS = (
+    (0.25, "hard"),
+    (0.10, "firm"),
+    (-0.10, "medium"),
+    (-0.25, "soft"),
+)
+_HARDNESS_FLOOR = "loose"
+
+#: Secondary descriptor by the strongest non-hardness polarity.
+_SECONDARY = {
+    (SensoryAxis.COHESIVENESS, 1): "elastic",
+    (SensoryAxis.COHESIVENESS, -1): "crumbly",
+    (SensoryAxis.ADHESIVENESS, 1): "sticky",
+    (SensoryAxis.ADHESIVENESS, -1): "slippery",
+}
+#: Minimum |polarity| for the secondary descriptor to appear.
+_SECONDARY_THRESHOLD = 0.08
+
+
+def _hardness_adjective(polarity: float) -> str:
+    for threshold, adjective in _HARDNESS_BANDS:
+        if polarity >= threshold:
+            return adjective
+    return _HARDNESS_FLOOR
+
+
+def _gel_phrase(row: Table2aRow) -> str:
+    if not row.gel_summary:
+        return "gel-free"
+    parts = sorted(row.gel_summary.items(), key=lambda kv: -kv[1])
+    names = "+".join(name for name, _ in parts)
+    total = sum(c for _, c in parts)
+    return f"{names} {total * 100:.1f}%"
+
+
+def topic_label(
+    result: ExperimentResult,
+    topic: int,
+    dictionary: TextureDictionary | None = None,
+) -> str:
+    """A one-phrase label for ``topic`` of a fitted pipeline."""
+    dictionary = dictionary or build_dictionary()
+    rows = {r.topic: r for r in table2a_rows(result, dictionary=dictionary)}
+    row = rows.get(topic)
+    if row is None:
+        return f"topic {topic} (empty)"
+    polarity = topic_polarity(
+        np.asarray(result.model.phi_)[topic], result.vocabulary, dictionary
+    )
+    hardness = _hardness_adjective(polarity[SensoryAxis.HARDNESS])
+    secondary = ""
+    best_axis, best_value = None, 0.0
+    for axis in (SensoryAxis.COHESIVENESS, SensoryAxis.ADHESIVENESS):
+        if abs(polarity[axis]) > abs(best_value):
+            best_axis, best_value = axis, polarity[axis]
+    if best_axis is not None and abs(best_value) >= _SECONDARY_THRESHOLD:
+        descriptor = _SECONDARY[(best_axis, 1 if best_value > 0 else -1)]
+        secondary = f" ({descriptor})"
+    return f"{hardness} {_gel_phrase(row)}{secondary}"
+
+
+def all_topic_labels(
+    result: ExperimentResult,
+    dictionary: TextureDictionary | None = None,
+) -> dict[int, str]:
+    """Labels for every non-empty topic, keyed by topic id."""
+    dictionary = dictionary or build_dictionary()
+    return {
+        row.topic: topic_label(result, row.topic, dictionary)
+        for row in table2a_rows(result, dictionary=dictionary)
+    }

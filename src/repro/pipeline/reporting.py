@@ -1,0 +1,138 @@
+"""Plain-text renderers for tables and figure series.
+
+The benchmarks print through these so the console output carries the
+same rows/series the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.pipeline.figures import Fig3Data, Fig4Data, mean_scores
+from repro.pipeline.tables import Table1Row, Table2aRow, Table2bRow
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width ASCII table."""
+    columns = [list(col) for col in zip(headers, *rows)] if rows else [
+        [h] for h in headers
+    ]
+    widths = [max(len(str(cell)) for cell in col) for col in columns]
+    def line(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line("-" * w for w in widths)]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    """Table I: published vs instrument-simulated attributes."""
+    body = []
+    for row in rows:
+        gels = " ".join(f"{g}:{c:g}" for g, c in row.setting.gels.items())
+        body.append(
+            [
+                str(row.data_id),
+                gels,
+                f"{row.published.hardness:.2f}",
+                f"{row.simulated.hardness:.2f}",
+                f"{row.published.cohesiveness:.2f}",
+                f"{row.simulated.cohesiveness:.2f}",
+                f"{row.published.adhesiveness:.2f}",
+                f"{row.simulated.adhesiveness:.2f}",
+            ]
+        )
+    return format_table(
+        ["id", "gels", "H(pub)", "H(sim)", "C(pub)", "C(sim)", "A(pub)", "A(sim)"],
+        body,
+    )
+
+
+def render_table2a(rows: Sequence[Table2aRow], n_terms: int = 5) -> str:
+    """Table II(a): topics, gel concentrations, terms, linked settings."""
+    body = []
+    for row in rows:
+        gels = " ".join(
+            f"{g}:{c:.4f}" for g, c in sorted(row.gel_summary.items())
+        )
+        terms = " ".join(
+            f"{surface}({p:.2f})" for surface, p, _ in row.top_terms[:n_terms]
+        )
+        linked = ",".join(str(i) for i in row.linked_data_ids) or "-"
+        body.append([str(row.topic), gels, terms, str(row.n_recipes), linked])
+    return format_table(
+        ["Topic", "Gels:concentration", "Texture terms", "#Recipes", "Table I"],
+        body,
+    )
+
+
+def render_table2b(rows: Sequence[Table2bRow]) -> str:
+    """Table II(b): dishes, their measured texture, assigned topic."""
+    body = []
+    for row in rows:
+        tex = row.dish.texture
+        gels = " ".join(f"{g}:{c:g}" for g, c in row.dish.gels.items())
+        emulsions = " ".join(
+            f"{e}:{c:g}" for e, c in row.dish.emulsions.items()
+        )
+        body.append(
+            [
+                row.dish.name,
+                f"{tex.hardness:.3f}",
+                f"{tex.cohesiveness:.3f}",
+                f"{tex.adhesiveness:.3f}",
+                gels,
+                emulsions,
+                str(row.assigned_topic),
+            ]
+        )
+    return format_table(
+        ["Dish", "Hardness", "Cohesiveness", "Adhesiveness", "Gels",
+         "Emulsions", "Assigned topic"],
+        body,
+    )
+
+
+def _bar(count: int, scale: int = 1) -> str:
+    return "#" * max(count // max(scale, 1), 1 if count else 0)
+
+
+def render_fig3(data: Fig3Data) -> str:
+    """Fig 3 histograms as text (one row per KL bin)."""
+    out = [
+        f"Fig 3 — {data.dish_name} (topic {data.topic}), "
+        f"{len(data.divergences)} recipes, bins ordered by emulsion KL:"
+    ]
+    for series, label in (
+        (data.hardness, "(a)"),
+        (data.cohesiveness, "(b)"),
+    ):
+        out.append(
+            f" {label} {series.positive_label} vs {series.negative_label}"
+        )
+        for b in range(len(series.positive)):
+            lo, hi = series.edges[b], series.edges[b + 1]
+            out.append(
+                f"   KL[{lo:6.3f},{hi:6.3f})  "
+                f"{series.positive_label}:{series.positive[b]:4d} {_bar(series.positive[b])}"
+                f" | {series.negative_label}:{series.negative[b]:4d} {_bar(series.negative[b])}"
+            )
+    return "\n".join(out)
+
+
+def render_fig4(data: Fig4Data) -> str:
+    """Fig 4 summary: low-KL centroid vs topic star."""
+    low = data.low_kl_points()
+    low_mean = mean_scores(low)
+    all_mean = mean_scores(data.points)
+    return "\n".join(
+        [
+            f"Fig 4 — {data.dish_name} (topic {data.topic}), "
+            f"{len(data.points)} recipes",
+            f"  topic star (hardness, cohesiveness): "
+            f"({data.star[0]:+.3f}, {data.star[1]:+.3f})",
+            f"  all recipes mean:    ({all_mean[0]:+.3f}, {all_mean[1]:+.3f})",
+            f"  low-KL (red) mean:   ({low_mean[0]:+.3f}, {low_mean[1]:+.3f})"
+            f"   [n={len(low)}]",
+        ]
+    )

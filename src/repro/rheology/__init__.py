@@ -1,0 +1,38 @@
+"""Food-science substrate: quantitative texture.
+
+Implements everything the paper borrows from food-science research:
+
+* :mod:`repro.rheology.attributes` — the texture profile
+  (hardness / cohesiveness / adhesiveness) in rheological units (RU);
+* :mod:`repro.rheology.rheometer` — a two-bite texture-profile-analysis
+  instrument simulation exactly following the paper's Fig 2 semantics;
+* :mod:`repro.rheology.gel_system` — a response-surface model mapping
+  gel + emulsion composition to material parameters and texture,
+  calibrated to the paper's Table I and Table II(b);
+* :mod:`repro.rheology.studies` — the empirical data of Tables I and
+  II(b), transcribed verbatim.
+"""
+
+from repro.rheology.attributes import TextureProfile
+from repro.rheology.gel_system import Composition, GelSystemModel
+from repro.rheology.rheometer import Rheometer, TPACurve
+from repro.rheology.studies import (
+    BAVAROIS,
+    MILK_JELLY,
+    TABLE_I,
+    DishStudy,
+    EmpiricalSetting,
+)
+
+__all__ = [
+    "TextureProfile",
+    "Composition",
+    "GelSystemModel",
+    "Rheometer",
+    "TPACurve",
+    "TABLE_I",
+    "BAVAROIS",
+    "MILK_JELLY",
+    "DishStudy",
+    "EmpiricalSetting",
+]

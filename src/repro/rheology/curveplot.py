@@ -1,0 +1,68 @@
+"""ASCII rendering of a two-bite TPA curve (the paper's Fig 2).
+
+No plotting dependency is available offline, so :func:`render_curve`
+draws the force-time curve as text, with the Fig 2 landmarks (F1, the
+a/c compression areas, the negative adhesion region b) annotated. Used
+by the quickstart-adjacent examples and handy in a terminal session::
+
+    >>> from repro.rheology import Rheometer
+    >>> from repro.rheology.material import MaterialParameters
+    >>> curve = Rheometer().run(MaterialParameters(2.0, adhesion_j_m2=0.5))
+    >>> print(render_curve(curve))
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rheology.rheometer import TPACurve
+
+
+def render_curve(
+    curve: TPACurve, width: int = 72, height: int = 16
+) -> str:
+    """Render ``curve`` as a ``height``×``width`` ASCII chart.
+
+    ``*`` marks bite 1, ``o`` bite 2; the zero-force axis is drawn as
+    ``-``; the first-compression peak is capped with ``F1``.
+    """
+    if width < 20 or height < 6:
+        raise ValueError("chart too small to render")
+    force = curve.force
+    fmax, fmin = float(force.max()), min(float(force.min()), 0.0)
+    span = max(fmax - fmin, 1e-9)
+
+    # resample to the character width
+    columns = np.linspace(0, len(force) - 1, width).astype(int)
+    sampled = force[columns]
+    bites = curve.bite[columns]
+
+    def row_of(value: float) -> int:
+        return int(round((fmax - value) / span * (height - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    zero_row = row_of(0.0)
+    for x in range(width):
+        grid[zero_row][x] = "-"
+    for x, (value, bite) in enumerate(zip(sampled, bites)):
+        marker = "*" if bite == 1 else "o"
+        grid[row_of(float(value))][x] = marker
+
+    # annotate F1 at the first-bite peak (above it, or beside it when the
+    # peak sits on the top row)
+    peak_x = int(np.argmax(np.where(bites == 1, sampled, -np.inf)))
+    peak_row = row_of(float(sampled[peak_x]))
+    label_row = peak_row - 1 if peak_row > 0 else peak_row
+    label_x = peak_x if peak_row > 0 else peak_x + 2
+    if label_x < width - 2:
+        grid[label_row][label_x] = "F"
+        grid[label_row][label_x + 1] = "1"
+
+    lines = ["".join(row) for row in grid]
+    profile = curve.extract()
+    legend = (
+        f"force {fmin:.2f}..{fmax:.2f} RU | * bite1  o bite2  - zero | "
+        f"H={profile.hardness:.2f} C={profile.cohesiveness:.2f} "
+        f"A={profile.adhesiveness:.2f}"
+    )
+    return "\n".join(lines + [legend])

@@ -1,0 +1,67 @@
+"""Viscoelastic material parameters of a gel sample.
+
+These are the knobs the rheometer simulation
+(:mod:`repro.rheology.rheometer`) feels:
+
+* ``modulus_kpa`` — small-strain elastic modulus. Determines the slope of
+  the force ramp during compression and hence F1 (hardness).
+* ``yield_strain`` — strain at which the gel network starts to fracture;
+  beyond it force stops growing and partially collapses (the paper's
+  "food shape begins to collapse" in Fig 2).
+* ``recovery`` — fraction of the network surviving the first bite; the
+  second compression sees ``recovery × modulus``, so the work ratio c/a
+  (cohesiveness) tracks it.
+* ``adhesion_j_m2`` — work of adhesion between probe and sample; sets the
+  negative-force area during the first ascent (adhesiveness).
+* ``viscosity_kpa_s`` — rate-dependent stress term, a minor contribution
+  that keeps curves from being ideal triangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MaterialParameters:
+    """Parameters of the simulated viscoelastic gel."""
+
+    modulus_kpa: float
+    yield_strain: float = 0.45
+    recovery: float = 0.3
+    adhesion_j_m2: float = 0.0
+    viscosity_kpa_s: float = 0.05
+    #: Height-recovery between bites: 1 = sample springs back fully, 0 =
+    #: maximal permanent set. Drives the TPA springiness measurement.
+    springiness: float = 0.7
+
+    def __post_init__(self) -> None:
+        checks = {
+            "modulus_kpa": (self.modulus_kpa, 0.0, np.inf),
+            "yield_strain": (self.yield_strain, 0.01, 0.95),
+            "recovery": (self.recovery, 0.0, 1.0),
+            "adhesion_j_m2": (self.adhesion_j_m2, 0.0, np.inf),
+            "viscosity_kpa_s": (self.viscosity_kpa_s, 0.0, np.inf),
+            "springiness": (self.springiness, 0.0, 1.0),
+        }
+        for name, (value, low, high) in checks.items():
+            if not np.isfinite(value) and high is np.inf and value == np.inf:
+                raise ValueError(f"{name} must be finite")
+            if not (low <= value <= high):
+                raise ValueError(
+                    f"{name} must lie in [{low}, {high}], got {value}"
+                )
+
+    def damaged(self) -> "MaterialParameters":
+        """The material as the second bite sees it (post first fracture)."""
+        return MaterialParameters(
+            modulus_kpa=self.modulus_kpa * self.recovery,
+            yield_strain=self.yield_strain,
+            recovery=self.recovery,
+            # adhesion mostly spent on the first pull-off
+            adhesion_j_m2=self.adhesion_j_m2 * 0.25,
+            viscosity_kpa_s=self.viscosity_kpa_s,
+            springiness=self.springiness,
+        )

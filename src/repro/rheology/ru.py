@@ -1,0 +1,63 @@
+"""Rheological unit (RU) conversions.
+
+Section IV-B: "The unit of measurements for these attributes are
+different depending on the research, because the unit is not necessarily
+standardized among the products of rheometers. So, we converted all the
+values of the measurement to the unit of RU (rheological unit), which is
+the most popular one adopted by related research."
+
+RU descends from the GF Texturometer tradition; we fix the convention
+that 1 RU corresponds to 1 newton of probe force on the reference
+20 cm² plunger, and express other instruments' readings relative to it.
+Adhesiveness, an accumulated force, converts with the same force factor.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import RheologyError
+
+
+class ForceUnit(enum.Enum):
+    """Force units found across the source studies."""
+
+    RU = "RU"                  # reference unit
+    NEWTON = "N"               # 1 N = 1 RU by convention
+    GRAM_FORCE = "gf"          # 1 gf = 9.80665e-3 N
+    KILOGRAM_FORCE = "kgf"     # 1 kgf = 9.80665 N
+    DYNE = "dyn"               # 1 dyn = 1e-5 N
+    KPA_ON_PROBE = "kPa"       # stress on the 20 cm² reference probe
+
+
+#: Newtons per one unit of each force unit.
+_NEWTONS_PER_UNIT: dict[ForceUnit, float] = {
+    ForceUnit.RU: 1.0,
+    ForceUnit.NEWTON: 1.0,
+    ForceUnit.GRAM_FORCE: 9.80665e-3,
+    ForceUnit.KILOGRAM_FORCE: 9.80665,
+    ForceUnit.DYNE: 1e-5,
+    # stress × probe area: 1 kPa × 20 cm² = 1000 Pa × 2e-3 m² = 2 N
+    ForceUnit.KPA_ON_PROBE: 2.0,
+}
+
+#: Area of the reference plunger (m²), used by the stress conversion and
+#: by the rheometer simulation.
+REFERENCE_PROBE_AREA_M2 = 2.0e-3
+
+
+def to_ru(value: float, unit: ForceUnit) -> float:
+    """Convert a force (or accumulated-force) reading to RU."""
+    try:
+        factor = _NEWTONS_PER_UNIT[unit]
+    except KeyError:  # pragma: no cover - enum is closed
+        raise RheologyError(f"no RU conversion for {unit!r}") from None
+    return value * factor
+
+
+def from_ru(value: float, unit: ForceUnit) -> float:
+    """Convert an RU reading into ``unit``."""
+    factor = _NEWTONS_PER_UNIT[unit]
+    if factor == 0:  # pragma: no cover - defensive
+        raise RheologyError(f"degenerate unit {unit!r}")
+    return value / factor

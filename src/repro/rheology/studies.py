@@ -1,0 +1,140 @@
+"""Empirical food-science data, transcribed from the paper.
+
+* :data:`TABLE_I` — the 13 gel settings with rheometer-measured
+  hardness / cohesiveness / adhesiveness (paper Table I), gathered from
+  six food-science studies ([3]–[5], [15]–[17] in the paper).
+* :data:`BAVAROIS` and :data:`MILK_JELLY` — the two emulsion-gel mixture
+  dishes of Table II(b) ([20], [21]).
+
+Values are verbatim. The paper's Table I misprints two consecutive rows
+as "8"; we number rows 1–13 sequentially as the text (which speaks of
+"research results 1 and 2", "data id 3", rows "6,7,8,9" for kanten and
+"10,11,12,13" for agar) requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+import numpy as np
+
+from repro.rheology.attributes import TextureProfile
+from repro.rheology.gel_system import EMULSION_NAMES, GEL_NAMES, Composition
+
+
+@dataclass(frozen=True)
+class EmpiricalSetting:
+    """One Table I row: a gel setting and its measured texture."""
+
+    data_id: int
+    gels: Mapping[str, float]
+    texture: TextureProfile
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        gels = {k: float(v) for k, v in self.gels.items() if v}
+        unknown = set(gels) - set(GEL_NAMES)
+        if unknown:
+            raise ValueError(f"unknown gels in setting {self.data_id}: {unknown}")
+        object.__setattr__(self, "gels", MappingProxyType(gels))
+
+    def gel_vector(self) -> np.ndarray:
+        """Gel concentrations in canonical :data:`GEL_NAMES` order."""
+        return np.array([self.gels.get(n, 0.0) for n in GEL_NAMES])
+
+    def composition(self) -> Composition:
+        """The setting as a :class:`Composition` (no emulsions)."""
+        return Composition(gels=dict(self.gels))
+
+
+def _setting(data_id, gelatin, kanten, agar, hardness, cohesiveness,
+             adhesiveness, source):
+    return EmpiricalSetting(
+        data_id=data_id,
+        gels={"gelatin": gelatin, "kanten": kanten, "agar": agar},
+        texture=TextureProfile(hardness, cohesiveness, adhesiveness),
+        source=source,
+    )
+
+
+#: Paper Table I, verbatim (13 gel settings).
+TABLE_I: tuple[EmpiricalSetting, ...] = (
+    _setting(1, 0.018, 0, 0, 0.20, 0.60, 0.10, "Kawamura & Takayanagi 1980 [4]"),
+    _setting(2, 0.020, 0, 0, 0.30, 0.59, 0.04, "Kawamura & Takayanagi 1980 [4]"),
+    _setting(3, 0.025, 0, 0, 0.72, 0.17, 0.57, "Kawamura, Nakajima & Kouno 1978 [16]"),
+    _setting(4, 0.030, 0, 0, 2.78, 0.31, 0.42, "Kurimoto et al. 1997 [15]"),
+    _setting(5, 0.030, 0, 0.03, 3.01, 0.35, 12.6, "Kurimoto et al. 1997 [15]"),
+    _setting(6, 0, 0.008, 0, 2.20, 0.12, 0.0, "Okuma, Akabane & Nakahama 1978 [5]"),
+    _setting(7, 0, 0.010, 0, 3.50, 0.10, 0.0, "Okuma, Akabane & Nakahama 1978 [5]"),
+    _setting(8, 0, 0.012, 0, 5.00, 0.80, 0.0, "Okuma, Akabane & Nakahama 1978 [5]"),
+    _setting(9, 0, 0.020, 0, 5.67, 0.03, 0.0, "Okuma, Akabane & Nakahama 1978 [5]"),
+    _setting(10, 0, 0, 0.008, 1.00, 0.48, 0.0, "Suzuno, Sawayama & Kawabata 1992 [3]"),
+    _setting(11, 0, 0, 0.010, 1.50, 0.33, 0.01, "Suzuno, Sawayama & Kawabata 1992 [3]"),
+    _setting(12, 0, 0, 0.012, 2.70, 0.28, 0.02, "Murayama 1992 [17]"),
+    _setting(13, 0, 0, 0.030, 2.21, 0.20, 1.95, "Murayama 1992 [17]"),
+)
+
+
+@dataclass(frozen=True)
+class DishStudy:
+    """One Table II(b) row: an emulsion-gel dish with measured texture."""
+
+    name: str
+    texture: TextureProfile
+    gels: Mapping[str, float]
+    emulsions: Mapping[str, float] = field(default_factory=dict)
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        gels = {k: float(v) for k, v in self.gels.items() if v}
+        emulsions = {k: float(v) for k, v in self.emulsions.items() if v}
+        if set(gels) - set(GEL_NAMES):
+            raise ValueError(f"unknown gels for dish {self.name!r}")
+        if set(emulsions) - set(EMULSION_NAMES):
+            raise ValueError(f"unknown emulsions for dish {self.name!r}")
+        object.__setattr__(self, "gels", MappingProxyType(gels))
+        object.__setattr__(self, "emulsions", MappingProxyType(emulsions))
+
+    def gel_vector(self) -> np.ndarray:
+        """Gel concentrations in canonical order."""
+        return np.array([self.gels.get(n, 0.0) for n in GEL_NAMES])
+
+    def emulsion_vector(self) -> np.ndarray:
+        """Emulsion concentrations in canonical order."""
+        return np.array([self.emulsions.get(n, 0.0) for n in EMULSION_NAMES])
+
+    def composition(self) -> Composition:
+        """The dish as a :class:`Composition`."""
+        return Composition(gels=dict(self.gels), emulsions=dict(self.emulsions))
+
+
+#: Table II(b), first row: Bavarois (Kawabata & Sawayama 1974 [20]).
+BAVAROIS = DishStudy(
+    name="Bavarois",
+    texture=TextureProfile(hardness=3.860, cohesiveness=0.809, adhesiveness=0.095),
+    gels={"gelatin": 0.025},
+    emulsions={"egg_yolk": 0.08, "cream": 0.2, "milk": 0.4},
+    source="Kawabata & Sawayama 1974 [20]",
+)
+
+#: Table II(b), second row: Milk jelly (Motegi 1975 [21]).
+MILK_JELLY = DishStudy(
+    name="Milk jelly",
+    texture=TextureProfile(hardness=1.83, cohesiveness=0.27, adhesiveness=0.44),
+    gels={"gelatin": 0.025},
+    emulsions={"sugar": 0.032, "milk": 0.787},
+    source="Motegi 1975 [21]",
+)
+
+#: Both Table II(b) dishes in paper order.
+DISH_STUDIES: tuple[DishStudy, ...] = (BAVAROIS, MILK_JELLY)
+
+
+def setting_by_id(data_id: int) -> EmpiricalSetting:
+    """Look up a Table I row by its data id (1–13)."""
+    for setting in TABLE_I:
+        if setting.data_id == data_id:
+            return setting
+    raise KeyError(f"no Table I setting with id {data_id}")

@@ -1,0 +1,26 @@
+"""Synthetic recipe-sharing-site corpus.
+
+The paper's corpus (63,000 Cookpad recipes) is proprietary; this package
+generates a statistically equivalent substitute. Crucially, texture terms
+in the generated descriptions are *not* random: each synthetic recipe's
+composition is pushed through the Table-I-calibrated rheology model
+(:mod:`repro.rheology.gel_system`) and its texture terms are sampled with
+affinities determined by the resulting quantitative profile. The joint
+topic model therefore faces the same recoverable structure the paper's
+real corpus carries — term patterns co-varying with gel type and
+concentration band, with subordinate emulsion effects — plus realistic
+noise: heterogeneous units, fruit-dominated recipes, crispy terms
+anchored to nut toppings, and recipes with no texture words at all.
+"""
+
+from repro.synth.generator import CorpusGenerator, GroundTruth
+from repro.synth.presets import CorpusPreset, DEFAULT_PRESET, PAPER_PRESET, TINY_PRESET
+
+__all__ = [
+    "CorpusGenerator",
+    "GroundTruth",
+    "CorpusPreset",
+    "DEFAULT_PRESET",
+    "PAPER_PRESET",
+    "TINY_PRESET",
+]

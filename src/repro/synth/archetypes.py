@@ -1,0 +1,239 @@
+"""Dish archetypes: the recipe families of a gel-dessert corpus.
+
+Each archetype fixes the *composition grammar* of a family — which gels
+at which concentration band, which emulsions, which contaminating bulk —
+chosen so the corpus covers the gel-concentration bands the paper's
+Table II(a) topics occupy (gelatin 0.005/0.007/0.012/0.014/0.054,
+agar+gelatin 0.009, agar 0.016, kanten 0.004/0.021, mousse 0.003/0.002).
+
+Three archetypes are deliberate noise, mirroring Section IV-A:
+``fruit_jelly``, ``rare_cheesecake`` and ``anmitsu`` carry >10 %
+gel-unrelated bulk (they exercise the dataset filter), and ``nut_mousse``
+survives the filter but contaminates descriptions with crispy terms
+anchored to nut toppings (it exercises the word2vec filter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class Range:
+    """A closed interval for log-uniform fraction sampling."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.lo <= self.hi:
+            raise ValueError(f"invalid range [{self.lo}, {self.hi}]")
+
+
+@dataclass(frozen=True)
+class Optional_:
+    """An ingredient present with some probability, in a fraction range."""
+
+    prob: float
+    rng: Range
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"invalid probability {self.prob}")
+
+
+def _opt(prob: float, lo: float, hi: float) -> Optional_:
+    return Optional_(prob, Range(lo, hi))
+
+
+@dataclass(frozen=True)
+class Archetype:
+    """The composition grammar of one recipe family."""
+
+    name: str
+    dish_names: tuple[str, ...]
+    gels: Mapping[str, Optional_]
+    emulsions: Mapping[str, Optional_] = field(default_factory=dict)
+    neutrals: tuple[str, ...] = ("water",)
+    fruits: Optional_ | None = None
+    fruit_choices: tuple[str, ...] = (
+        "strawberry", "orange", "peach", "mango", "blueberry", "mandarin",
+    )
+    toppings: Optional_ | None = None
+    bulk: Optional_ | None = None            # non-fruit unrelated bulk
+    bulk_choices: tuple[str, ...] = ()
+    flavor_prob: float = 0.3
+    flavor_choices: tuple[str, ...] = ("vanilla_essence", "matcha", "cocoa")
+
+
+ARCHETYPES: tuple[Archetype, ...] = (
+    Archetype(
+        name="soft_sip_jelly",
+        dish_names=("jure", "drink zerii", "nomu zerii"),
+        gels={"gelatin": _opt(1.0, 0.004, 0.008)},
+        emulsions={"sugar": _opt(0.9, 0.03, 0.07)},
+        neutrals=("juice", "tea", "wine"),
+    ),
+    Archetype(
+        name="standard_jelly",
+        dish_names=("zerii", "coffee zerii", "juice zerii"),
+        gels={"gelatin": _opt(1.0, 0.010, 0.019)},
+        emulsions={"sugar": _opt(0.9, 0.04, 0.09)},
+        neutrals=("water", "juice", "coffee"),
+    ),
+    Archetype(
+        name="firm_plain_jelly",
+        dish_names=("katame zerii", "wine zerii", "crystal jelly"),
+        gels={"gelatin": _opt(1.0, 0.022, 0.035)},
+        emulsions={"sugar": _opt(0.9, 0.04, 0.09)},
+        neutrals=("water", "juice", "wine"),
+    ),
+    Archetype(
+        name="firm_gummy",
+        dish_names=("gummy", "katame zerii", "gummy candy"),
+        gels={"gelatin": _opt(1.0, 0.040, 0.065)},
+        emulsions={"sugar": _opt(0.9, 0.05, 0.12)},
+        neutrals=("juice",),
+        flavor_prob=0.5,
+        flavor_choices=("honey", "vanilla_essence"),
+    ),
+    Archetype(
+        name="bavarois",
+        dish_names=("bavarois", "bavaroa", "custard bavarois"),
+        gels={"gelatin": _opt(1.0, 0.020, 0.030)},
+        emulsions={
+            "egg_yolk": _opt(1.0, 0.05, 0.10),
+            "cream": _opt(1.0, 0.15, 0.25),
+            "milk": _opt(1.0, 0.30, 0.45),
+            "sugar": _opt(1.0, 0.04, 0.08),
+        },
+        neutrals=("water",),
+    ),
+    Archetype(
+        name="milk_pudding",
+        dish_names=("milk zerii", "milk purin", "pannakotta"),
+        gels={"gelatin": _opt(1.0, 0.020, 0.030)},
+        emulsions={
+            "milk": _opt(1.0, 0.60, 0.80),
+            "sugar": _opt(1.0, 0.03, 0.08),
+            "cream": _opt(0.3, 0.05, 0.12),
+        },
+        neutrals=("water",),
+    ),
+    Archetype(
+        name="mousse",
+        dish_names=("mousse", "yogurt mousse", "strawberry mousse"),
+        gels={
+            "gelatin": _opt(1.0, 0.003, 0.006),
+            "kanten": _opt(0.35, 0.001, 0.003),
+        },
+        emulsions={
+            "cream": _opt(1.0, 0.15, 0.30),
+            "egg_white": _opt(0.8, 0.05, 0.15),
+            "sugar": _opt(1.0, 0.04, 0.09),
+            "milk": _opt(0.5, 0.10, 0.20),
+            "yogurt": _opt(0.3, 0.10, 0.25),
+        },
+        neutrals=("water",),
+    ),
+    Archetype(
+        name="purupuru_jelly",
+        dish_names=("purupuru zerii", "mix zerii", "crystal zerii"),
+        gels={
+            "gelatin": _opt(1.0, 0.006, 0.012),
+            "agar": _opt(1.0, 0.006, 0.012),
+        },
+        emulsions={"sugar": _opt(0.9, 0.04, 0.09)},
+        neutrals=("water", "juice"),
+    ),
+    Archetype(
+        name="kanten_soft",
+        dish_names=("yawaraka kanten", "kanten jure"),
+        gels={"kanten": _opt(1.0, 0.003, 0.005)},
+        emulsions={"sugar": _opt(0.8, 0.08, 0.15)},
+        neutrals=("water", "tea"),
+    ),
+    Archetype(
+        name="kanten_medium",
+        dish_names=("mizuyoukan huu", "kanten dessert"),
+        gels={"kanten": _opt(1.0, 0.008, 0.015)},
+        emulsions={"sugar": _opt(0.9, 0.08, 0.18)},
+        neutrals=("water", "tea"),
+    ),
+    Archetype(
+        name="kanten_firm",
+        dish_names=("kanten zerii", "tokoroten huu", "kingyoku"),
+        gels={"kanten": _opt(1.0, 0.016, 0.026)},
+        emulsions={"sugar": _opt(0.9, 0.10, 0.20)},
+        neutrals=("water",),
+    ),
+    Archetype(
+        name="agar_pudding",
+        dish_names=("agar purin", "agar zerii"),
+        gels={"agar": _opt(1.0, 0.007, 0.012)},
+        emulsions={
+            "milk": _opt(0.7, 0.30, 0.60),
+            "sugar": _opt(0.9, 0.04, 0.09),
+        },
+        neutrals=("water",),
+    ),
+    Archetype(
+        name="agar_sticky",
+        dish_names=("agar mochi", "warabi huu", "agar dessert"),
+        gels={"agar": _opt(1.0, 0.013, 0.020)},
+        emulsions={"sugar": _opt(0.9, 0.08, 0.15)},
+        neutrals=("water",),
+        flavor_prob=0.5,
+        flavor_choices=("condensed_milk", "matcha"),
+    ),
+    # ---- noise archetypes -------------------------------------------------
+    Archetype(
+        name="fruit_jelly",
+        dish_names=("fruit zerii", "fruit punch zerii"),
+        gels={"gelatin": _opt(1.0, 0.010, 0.016)},
+        emulsions={"sugar": _opt(0.9, 0.04, 0.08)},
+        neutrals=("water", "juice"),
+        fruits=_opt(1.0, 0.15, 0.35),
+    ),
+    Archetype(
+        name="nut_mousse",
+        dish_names=("nut mousse", "chocolat mousse", "caramel mousse"),
+        gels={"gelatin": _opt(1.0, 0.003, 0.006)},
+        emulsions={
+            "cream": _opt(1.0, 0.15, 0.30),
+            "egg_white": _opt(0.7, 0.05, 0.12),
+            "sugar": _opt(1.0, 0.04, 0.09),
+            "milk": _opt(0.5, 0.10, 0.20),
+        },
+        neutrals=("water",),
+        toppings=_opt(1.0, 0.03, 0.08),
+    ),
+    Archetype(
+        name="rare_cheesecake",
+        dish_names=("rare cheesecake", "rea chiizu keeki"),
+        gels={"gelatin": _opt(1.0, 0.008, 0.012)},
+        emulsions={
+            "cream": _opt(1.0, 0.10, 0.20),
+            "sugar": _opt(1.0, 0.05, 0.10),
+            "yogurt": _opt(0.5, 0.10, 0.20),
+        },
+        neutrals=("water",),
+        bulk=_opt(1.0, 0.25, 0.40),
+        bulk_choices=("cream_cheese",),
+        toppings=_opt(0.6, 0.05, 0.10),
+    ),
+    Archetype(
+        name="anmitsu",
+        dish_names=("anmitsu", "mitsumame"),
+        gels={"kanten": _opt(1.0, 0.010, 0.015)},
+        emulsions={"sugar": _opt(0.9, 0.05, 0.10)},
+        neutrals=("water",),
+        fruits=_opt(1.0, 0.15, 0.30),
+        bulk=_opt(0.8, 0.10, 0.20),
+        bulk_choices=("azuki",),
+    ),
+)
+
+#: Archetypes by name for preset weight tables.
+ARCHETYPE_INDEX: dict[str, Archetype] = {a.name: a for a in ARCHETYPES}

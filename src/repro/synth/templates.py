@@ -1,0 +1,96 @@
+"""Description text templates (romanised Japanese).
+
+Sentences are assembled so that word2vec can later learn the
+co-occurrences the paper's filter relies on: a texture term caused by a
+nut topping is emitted *in the same sentence* as the topping token
+("almond wo chirashite karikari…"), while gel-texture terms co-occur
+with gel and dish tokens. Particles are real romanised Japanese particles
+and get dropped by the tokenizer's stopword list, tightening windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Sentences carrying one gel-texture term. Slots: {term}, {dish}, {gel}.
+TEXTURE_SENTENCES: tuple[str, ...] = (
+    "{term} shita shokkan ga tamaranai desu",
+    "hitokuchi taberu to {term} to shite imasu",
+    "{gel} wo tsukau to {term} na shiagari ni narimasu",
+    "{term} de kuchidoke no ii {dish} desu",
+    "hiyashite taberu to {term} kan ga saikou desu",
+    "kodomo mo daisuki na {term} {dish} ni narimashita",
+    "shokkan wa {term} de totemo oishii desu",
+    "{dish} ga {term} ni katamarimashita",
+    "{term} na nodogoshi wo tanoshinde kudasai",
+    "dekiagari wa {term} to shite ite kanpeki desu",
+)
+
+#: Sentences carrying a topping-texture term next to the topping token.
+#: Slots: {term}, {topping}.
+TOPPING_SENTENCES: tuple[str, ...] = (
+    "ue ni {topping} wo chirashite {term} shita accent ni shimashita",
+    "{topping} no topping ga {term} to shite oishii desu",
+    "kudaita {topping} wo nosete {term} kan wo tanoshimemasu",
+    "saigo ni {topping} wo soete {term} na shokkan wo plus",
+)
+
+#: Openers. Slots: {dish}.
+INTRO_SENTENCES: tuple[str, ...] = (
+    "kantan na {dish} no reshipi desu",
+    "natsu ni pittari no {dish} wo tsukurimashita",
+    "uchi no teiban no {dish} desu",
+    "zairyou sukuname de dekiru {dish} desu",
+    "okashi zukuri shoshinsha demo dekiru {dish}",
+    "oyatsu ni {dish} wa ikaga desu ka",
+)
+
+#: Preparation filler. Slots: {gel}, {emulsion}.
+STEP_SENTENCES: tuple[str, ...] = (
+    "{gel} wo mizu de fuyakashite okimasu",
+    "{gel} wo yoku tokashite kara katamemasu",
+    "reizouko de hiyashite katamereba kansei desu",
+    "{emulsion} wo kuwaete yoku mazemasu",
+    "{emulsion} wo tappuri tsukatta koku no aru aji desu",
+    "awadateta {emulsion} wo sotto mazemasu",
+    "kata ni nagashite hitoban hiyashimasu",
+    "ichido koshite nameraka ni shimasu",
+)
+
+#: Topping preparation sentences with no texture term. Slots: {topping}.
+#: Emitted whenever a topping is present, so topping tokens are frequent
+#: enough for the word2vec filter's anchor vectors to be reliable.
+TOPPING_STEP_SENTENCES: tuple[str, ...] = (
+    "ue ni {topping} wo kazatte dekiagari desu",
+    "kudaita {topping} wo soko ni shikimasu",
+    "osuki de {topping} wo soete kudasai",
+    "{topping} wo karuku itte okimasu",
+)
+
+#: Closers, no slots.
+CLOSING_SENTENCES: tuple[str, ...] = (
+    "zehi tsukutte mite kudasai",
+    "oishiku dekimashita",
+    "minna ni daikoubyou deshita",
+    "amasa wa okonomi de chousei shite kudasai",
+    "tsukurioki ni mo benri desu",
+)
+
+
+def pick(options: tuple[str, ...], rng: np.random.Generator) -> str:
+    """Uniformly pick one template."""
+    return options[int(rng.integers(len(options)))]
+
+
+def sentence_for_term(
+    term: str, dish: str, gel: str, rng: np.random.Generator
+) -> str:
+    """A sentence embedding one gel-texture term."""
+    return pick(TEXTURE_SENTENCES, rng).format(term=term, dish=dish, gel=gel)
+
+
+def sentence_for_topping(
+    term: str, topping: str, rng: np.random.Generator
+) -> str:
+    """A sentence embedding one topping-texture term near its topping."""
+    return pick(TOPPING_SENTENCES, rng).format(term=term, topping=topping)

@@ -1,0 +1,25 @@
+"""Ingredient quantity normalisation.
+
+Recipe sharing sites describe quantities in whatever unit the author
+liked — "100g", "50cc", "2 cups", "oosaji 1" (a Japanese tablespoon),
+"2 mai" (two gelatin sheets). Section III-A of the paper converts all of
+them to grams using national measuring-spoon standards and per-ingredient
+specific gravity, then derives concentration ratios and the information
+quantity −log(x).
+
+Public API: :func:`parse_quantity`, :func:`to_grams`,
+:func:`concentrations`, :func:`information_quantity`.
+"""
+
+from repro.units.convert import concentrations, information_quantity, to_grams
+from repro.units.parser import parse_quantity
+from repro.units.quantity import Quantity, Unit
+
+__all__ = [
+    "Quantity",
+    "Unit",
+    "parse_quantity",
+    "to_grams",
+    "concentrations",
+    "information_quantity",
+]

@@ -1,0 +1,147 @@
+"""Tests for repro.core.collapsed — the Rao-Blackwellised variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.collapsed import CollapsedJointModel, _SuffStats
+from repro.core.joint_model import JointModelConfig
+from repro.core.priors import NormalWishartPrior
+from repro.errors import ModelError, NotFittedError
+from tests.core.test_joint_model import synthetic_joint_data
+
+
+class TestSuffStats:
+    def test_add_remove_round_trip(self, rng):
+        stats = _SuffStats.empty(3)
+        x = rng.normal(size=3)
+        stats.add(x)
+        stats.add(rng.normal(size=3))
+        stats.remove(x)
+        assert stats.n == 1
+
+    def test_remove_below_zero_raises(self):
+        stats = _SuffStats.empty(2)
+        with pytest.raises(ModelError):
+            stats.remove(np.zeros(2))
+
+    def test_posterior_matches_batch(self, rng):
+        """Incremental posterior must equal the batch equation (4)."""
+        from repro.core import normal_wishart as nw
+
+        data = rng.normal(size=(20, 3))
+        prior = NormalWishartPrior.vague(data)
+        stats = _SuffStats.empty(3)
+        for x in data:
+            stats.add(x)
+        incremental = stats.posterior(prior)
+        batch = nw.posterior(prior, data)
+        assert np.allclose(incremental.mean, batch.mean)
+        assert np.allclose(incremental.scale, batch.scale, rtol=1e-8)
+        assert incremental.dof == batch.dof
+
+    def test_empty_posterior_is_prior(self, rng):
+        prior = NormalWishartPrior.vague(rng.normal(size=(10, 2)))
+        assert _SuffStats.empty(2).posterior(prior) is prior
+
+
+class TestCachedPredictive:
+    def test_empty_topic_uses_prior(self, rng):
+        from repro.core import normal_wishart as nw
+        from repro.core.collapsed import _CachedPredictive
+
+        data = rng.normal(size=(30, 3))
+        prior = NormalWishartPrior.vague(data)
+        pred = _CachedPredictive(prior)
+        x = rng.normal(size=3)
+        assert pred.logpdf(_SuffStats.empty(3), x) == pytest.approx(
+            nw.log_predictive(prior, x)
+        )
+
+    def test_cache_invalidation_tracks_moves(self, rng):
+        from repro.core import normal_wishart as nw
+        from repro.core.collapsed import _CachedPredictive
+
+        data = rng.normal(size=(20, 3))
+        prior = NormalWishartPrior.vague(data)
+        stats = _SuffStats.empty(3)
+        pred = _CachedPredictive(prior)
+        x = rng.normal(size=3)
+
+        for point in data[:10]:
+            stats.add(point)
+        first = pred.logpdf(stats, x)
+        assert first == pytest.approx(
+            nw.log_predictive(nw.posterior(prior, data[:10]), x)
+        )
+        # move five more points in; a stale cache would return `first`
+        for point in data[10:15]:
+            stats.add(point)
+        pred.invalidate()
+        second = pred.logpdf(stats, x)
+        assert second == pytest.approx(
+            nw.log_predictive(nw.posterior(prior, data[:15]), x)
+        )
+        assert second != pytest.approx(first)
+
+    def test_repeated_reads_hit_cache(self, rng):
+        from repro.core.collapsed import _CachedPredictive
+
+        data = rng.normal(size=(10, 2))
+        prior = NormalWishartPrior.vague(data)
+        stats = _SuffStats.empty(2)
+        for point in data:
+            stats.add(point)
+        pred = _CachedPredictive(prior)
+        x = rng.normal(size=2)
+        assert pred.logpdf(stats, x) == pred.logpdf(stats, x)
+
+
+class TestCollapsedModel:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(0)
+        docs, gels, emulsions, truth = synthetic_joint_data(rng, n_docs=60)
+        config = JointModelConfig(n_topics=3, n_sweeps=30, burn_in=15, thin=3)
+        model = CollapsedJointModel(config).fit(
+            docs, gels, emulsions, vocab_size=9, rng=1
+        )
+        return model, truth
+
+    def test_recovers_structure(self, fitted):
+        model, truth = fitted
+        from repro.eval.metrics import normalized_mutual_information
+
+        nmi = normalized_mutual_information(model.topic_assignments(), truth)
+        assert nmi > 0.8
+
+    def test_phi_distribution(self, fitted):
+        model, _ = fitted
+        assert np.allclose(model.phi_.sum(axis=1), 1.0)
+
+    def test_linker_compatible(self, fitted):
+        """The collapsed model exposes the gel Gaussians the linker needs."""
+        from repro.core.linkage import TopicLinker
+
+        model, _ = fitted
+        linker = TopicLinker(model)
+        divergences = linker.divergences_from(np.array([0.1, 1e-6, 1e-6]))
+        assert divergences.shape == (3,)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            CollapsedJointModel().topic_assignments()
+
+    def test_agrees_with_semi_collapsed(self):
+        """Both samplers must recover the same partition on easy data."""
+        from repro.core.joint_model import JointTextureTopicModel
+        from repro.eval.metrics import normalized_mutual_information
+
+        rng = np.random.default_rng(3)
+        docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=60)
+        config = JointModelConfig(n_topics=3, n_sweeps=30, burn_in=15, thin=3)
+        semi = JointTextureTopicModel(config).fit(docs, gels, emulsions, 9, rng=4)
+        collapsed = CollapsedJointModel(config).fit(docs, gels, emulsions, 9, rng=4)
+        agreement = normalized_mutual_information(
+            semi.topic_assignments(), collapsed.topic_assignments()
+        )
+        assert agreement > 0.85

@@ -1,0 +1,62 @@
+"""Tests for repro.core.diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import geweke_z, summarise_trace
+from repro.errors import ConvergenceError
+
+
+def converged_trace(rng, n=200):
+    rise = -1000.0 * np.exp(-np.arange(n) / 10.0)
+    return rise + rng.normal(0, 1.0, n) - 50.0
+
+
+class TestSummarise:
+    def test_converged_trace_detected(self, rng):
+        summary = summarise_trace(converged_trace(rng))
+        assert summary.improved
+        assert summary.plateau_fraction > 0.5
+        assert summary.converged
+
+    def test_diverging_trace_not_converged(self, rng):
+        trace = -np.arange(200.0) + rng.normal(0, 0.1, 200)
+        summary = summarise_trace(trace)
+        assert not summary.improved
+        assert not summary.converged
+
+    def test_flat_trace_is_plateau(self):
+        summary = summarise_trace([(-5.0)] * 20)
+        assert summary.plateau_fraction == 1.0
+
+    def test_short_trace_rejected(self):
+        with pytest.raises(ConvergenceError):
+            summarise_trace([1.0, 2.0])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ConvergenceError):
+            summarise_trace([1.0, np.nan, 2.0, 3.0])
+
+    def test_fields(self, rng):
+        trace = converged_trace(rng)
+        summary = summarise_trace(trace)
+        assert summary.first == pytest.approx(trace[0])
+        assert summary.last == pytest.approx(trace[-1])
+        assert summary.best == pytest.approx(trace.max())
+
+
+class TestGeweke:
+    def test_stationary_trace_small_z(self, rng):
+        trace = rng.normal(0, 1, 400)
+        assert abs(geweke_z(trace)) < 3.0
+
+    def test_trending_trace_large_z(self, rng):
+        trace = np.arange(400.0) + rng.normal(0, 0.1, 400)
+        assert abs(geweke_z(trace)) > 3.0
+
+    def test_short_trace_rejected(self):
+        with pytest.raises(ConvergenceError):
+            geweke_z([1.0, 2.0, 3.0])
+
+    def test_constant_trace_zero(self):
+        assert geweke_z([2.0] * 50) == 0.0

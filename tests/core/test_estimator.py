@@ -1,0 +1,122 @@
+"""Tests for repro.core.estimator — fold-in texture estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import TextureEstimator
+from repro.core.joint_model import JointModelConfig
+from repro.corpus.recipe import Ingredient, Recipe
+from repro.errors import ModelError
+from repro.lexicon.categories import SensoryAxis
+from repro.pipeline.experiment import ExperimentConfig, run_experiment
+from repro.synth.presets import CorpusPreset
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    config = ExperimentConfig(
+        preset=CorpusPreset(name="estimator-test", n_recipes=1200),
+        model=JointModelConfig(n_topics=10, n_sweeps=120, burn_in=60, thin=4),
+        seed=11,
+        use_w2v_filter=False,
+    )
+    return TextureEstimator(run_experiment(config))
+
+
+def recipe(rid, ingredients, description="oishii dessert desu"):
+    return Recipe(
+        recipe_id=rid,
+        title=rid,
+        description=description,
+        ingredients=tuple(Ingredient(n, q) for n, q in ingredients),
+    )
+
+
+class TestConstruction:
+    def test_unfitted_model_rejected(self):
+        class FakeResult:
+            class model:
+                theta_ = None
+
+            linker = None
+            vocabulary = ()
+
+        with pytest.raises(ModelError):
+            TextureEstimator(FakeResult())
+
+
+class TestEstimate:
+    def test_posterior_is_distribution(self, estimator):
+        r = recipe("p1", [("gelatin", "5 g"), ("water", "300 ml")])
+        estimate = estimator.estimate(r)
+        assert estimate.topic_distribution.sum() == pytest.approx(1.0)
+        assert np.all(estimate.topic_distribution >= 0)
+
+    def test_cold_start_soft_jelly(self, estimator, dictionary):
+        """No texture words: estimate from concentrations alone."""
+        r = recipe(
+            "soft",
+            [("gelatin", "3 g"), ("juice", "450 ml"), ("sugar", "oosaji 2")],
+        )
+        estimate = estimator.estimate(r)
+        polarity = np.mean(
+            [
+                dictionary[s].polarity_on(SensoryAxis.HARDNESS) * p
+                for s, p in estimate.predicted_terms
+                if s in dictionary
+            ]
+        )
+        assert polarity < 0.02  # soft-leaning terms
+
+    def test_cold_start_hard_kanten(self, estimator, dictionary):
+        r = recipe(
+            "hard",
+            [("kanten", "8 g"), ("water", "400 ml"), ("sugar", "60 g")],
+        )
+        estimate = estimator.estimate(r)
+        top = [s for s, _ in estimate.predicted_terms[:5] if s in dictionary]
+        signs = [dictionary[s].sign_on(SensoryAxis.HARDNESS) for s in top]
+        assert sum(signs) > 0  # hard-leaning terms
+
+    def test_kanten_links_to_kanten_settings(self, estimator):
+        r = recipe(
+            "hard2",
+            [("kanten", "7 g"), ("water", "400 ml"), ("sugar", "50 g")],
+        )
+        estimate = estimator.estimate(r)
+        if estimate.linked_settings:  # kanten rows are 6-9
+            assert {s.data_id for s in estimate.linked_settings} <= {6, 7, 8, 9}
+            rheology = estimate.expected_rheology()
+            assert rheology is not None and rheology.hardness > 1.5
+
+    def test_description_terms_shift_posterior(self, estimator):
+        base = [("gelatin", "4 g"), ("agar", "4 g"), ("water", "400 ml")]
+        plain = estimator.estimate(recipe("m1", base))
+        hinted = estimator.estimate(
+            recipe("m2", base, description="purupuru ni katamarimashita")
+        )
+        if "purupuru" in estimator.vocabulary:
+            k = plain.topic_distribution.argmax()
+            # evidence must not reduce the purupuru-topic posterior
+            phi = np.asarray(estimator.model.phi_)
+            term_id = estimator.vocabulary.index("purupuru")
+            best_topic = int(phi[:, term_id].argmax())
+            assert (
+                hinted.topic_distribution[best_topic]
+                >= plain.topic_distribution[best_topic] - 1e-9
+            )
+
+    def test_top_term_accessor(self, estimator):
+        r = recipe("t", [("gelatin", "5 g"), ("water", "300 ml")])
+        estimate = estimator.estimate(r)
+        assert estimate.top_term == estimate.predicted_terms[0][0]
+
+    def test_expected_rheology_none_when_unlinked(self, estimator):
+        # find any estimate with no linked settings, or skip
+        r = recipe(
+            "mix",
+            [("gelatin", "4 g"), ("agar", "4 g"), ("water", "400 ml")],
+        )
+        estimate = estimator.estimate(r)
+        if not estimate.linked_settings:
+            assert estimate.expected_rheology() is None

@@ -1,0 +1,96 @@
+"""Tests for repro.core.lda — the words-only baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.lda import LDAConfig, LatentDirichletAllocation
+from repro.errors import ModelError, NotFittedError
+
+
+def two_topic_corpus(rng, n_docs=60, doc_len=12):
+    """Vocabulary 0–3 belongs to topic A, 4–7 to topic B."""
+    docs = []
+    truth = []
+    for _ in range(n_docs):
+        if rng.random() < 0.5:
+            docs.append(rng.integers(0, 4, size=doc_len))
+            truth.append("A")
+        else:
+            docs.append(rng.integers(4, 8, size=doc_len))
+            truth.append("B")
+    return docs, truth
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    docs, truth = two_topic_corpus(rng)
+    config = LDAConfig(n_topics=2, n_sweeps=80, burn_in=40, thin=4)
+    model = LatentDirichletAllocation(config).fit(docs, vocab_size=8, rng=1)
+    return model, docs, truth
+
+
+class TestConfig:
+    def test_burn_in_bound(self):
+        with pytest.raises(ModelError):
+            LDAConfig(n_sweeps=10, burn_in=10)
+
+    def test_topics_bound(self):
+        with pytest.raises(ModelError):
+            LDAConfig(n_topics=0)
+
+
+class TestFit:
+    def test_phi_is_distribution(self, fitted):
+        model, _, _ = fitted
+        assert np.allclose(model.phi_.sum(axis=1), 1.0)
+        assert np.all(model.phi_ >= 0)
+
+    def test_theta_is_distribution(self, fitted):
+        model, _, _ = fitted
+        assert np.allclose(model.theta_.sum(axis=1), 1.0)
+
+    def test_recovers_two_topics(self, fitted):
+        model, docs, truth = fitted
+        assignment = model.topic_assignments()
+        # one topic should capture A docs, the other B docs
+        a_topics = {int(assignment[i]) for i, t in enumerate(truth) if t == "A"}
+        b_topics = {int(assignment[i]) for i, t in enumerate(truth) if t == "B"}
+        assert len(a_topics) == 1 and len(b_topics) == 1
+        assert a_topics != b_topics
+
+    def test_top_words_separate_vocabulary(self, fitted):
+        model, _, _ = fitted
+        tops = {k: {v for v, _ in model.top_words(k, 4)} for k in range(2)}
+        assert tops[0].isdisjoint(tops[1])
+
+    def test_log_likelihood_improves(self, fitted):
+        model, _, _ = fitted
+        trace = model.log_likelihoods_
+        assert trace[-1] > trace[0]
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ModelError):
+            LatentDirichletAllocation().fit([], vocab_size=5)
+
+    def test_bad_word_ids_rejected(self):
+        with pytest.raises(ModelError):
+            LatentDirichletAllocation().fit([np.array([9])], vocab_size=5)
+
+    def test_deterministic_per_seed(self):
+        rng = np.random.default_rng(4)
+        docs, _ = two_topic_corpus(rng, n_docs=20)
+        config = LDAConfig(n_topics=2, n_sweeps=10, burn_in=5)
+        a = LatentDirichletAllocation(config).fit(docs, 8, rng=2)
+        b = LatentDirichletAllocation(config).fit(docs, 8, rng=2)
+        assert np.allclose(a.phi_, b.phi_)
+
+
+class TestNotFitted:
+    def test_assignments_require_fit(self):
+        with pytest.raises(NotFittedError):
+            LatentDirichletAllocation().topic_assignments()
+
+    def test_top_words_require_fit(self):
+        with pytest.raises(NotFittedError):
+            LatentDirichletAllocation().top_words(0)

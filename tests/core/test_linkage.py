@@ -1,0 +1,93 @@
+"""Tests for repro.core.linkage."""
+
+import numpy as np
+import pytest
+
+from repro.core.linkage import TopicLinker
+from repro.errors import LinkageError, NotFittedError
+from repro.rheology.studies import BAVAROIS, TABLE_I
+from repro.units.convert import information_quantity
+
+
+class FakeModel:
+    """A model with two hand-placed gel Gaussians in −log space."""
+
+    def __init__(self):
+        # topic 0 ≈ pure gelatin 2.5 %; topic 1 ≈ pure kanten 1 %
+        absent = float(information_quantity(0.0))
+        self.gel_means_ = np.array(
+            [
+                [float(information_quantity(0.025)), absent, absent],
+                [absent, float(information_quantity(0.01)), absent],
+            ]
+        )
+        self.gel_covs_ = np.stack([np.eye(3) * 0.05, np.eye(3) * 0.05])
+
+
+@pytest.fixture()
+def linker():
+    return TopicLinker(FakeModel())
+
+
+class TestConstruction:
+    def test_unfitted_model_rejected(self):
+        class Unfitted:
+            gel_means_ = None
+
+        with pytest.raises(NotFittedError):
+            TopicLinker(Unfitted())
+
+    def test_bad_sigma_rejected(self):
+        with pytest.raises(LinkageError):
+            TopicLinker(FakeModel(), point_sigma=0.0)
+
+    def test_covariance_floored(self, linker):
+        # every topic covariance gains at least σ² on the diagonal
+        assert np.all(np.diagonal(linker.gel_covs, axis1=1, axis2=2) >= 0.35**2)
+
+
+class TestLink:
+    def test_gelatin_setting_links_to_gelatin_topic(self, linker):
+        result = linker.link("x", np.array([0.025, 0.0, 0.0]))
+        assert result.topic == 0
+
+    def test_kanten_setting_links_to_kanten_topic(self, linker):
+        result = linker.link("x", np.array([0.0, 0.01, 0.0]))
+        assert result.topic == 1
+
+    def test_divergence_positive(self, linker):
+        result = linker.link("x", np.array([0.025, 0.0, 0.0]))
+        assert result.divergence >= 0.0
+        assert result.divergences.shape == (2,)
+
+    def test_ranking_orders_by_divergence(self, linker):
+        result = linker.link("x", np.array([0.025, 0.0, 0.0]))
+        ranked = result.ranking()
+        assert ranked[0] == result.topic
+        assert sorted(result.divergences[ranked]) == list(
+            result.divergences[ranked]
+        )
+
+    def test_dimension_mismatch(self, linker):
+        with pytest.raises(LinkageError):
+            linker.link("x", np.array([0.01, 0.02]))
+
+
+class TestStudyHelpers:
+    def test_link_setting(self, linker):
+        result = linker.link_setting(TABLE_I[0])  # gelatin 1.8 %
+        assert result.topic == 0
+        assert result.name == "data 1"
+
+    def test_link_dish_uses_only_gels(self, linker):
+        # Bavarois carries emulsions, but linkage sees only the gel vector
+        result = linker.link_dish(BAVAROIS)
+        assert result.topic == 0
+
+    def test_assignment_table_partitions(self, linker):
+        table = linker.assignment_table(TABLE_I)
+        linked = sorted(i for ids in table.values() for i in ids)
+        assert linked == [s.data_id for s in TABLE_I]
+        # pure-gelatin rows land on topic 0, pure-kanten rows on topic 1
+        assert {1, 2, 3, 4} <= set(table.get(0, []))
+        assert {6, 7, 8, 9} <= set(table.get(1, []))

@@ -1,0 +1,135 @@
+"""Tests for repro.core.normal_wishart — equation (4) machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import normal_wishart as nw
+from repro.core.priors import NormalWishartPrior
+from repro.errors import ModelError
+
+
+@pytest.fixture()
+def prior():
+    return NormalWishartPrior(
+        mean=np.zeros(2), kappa=1.0, dof=4.0, scale=np.eye(2) / 4.0
+    )
+
+
+class TestPosterior:
+    def test_no_data_returns_prior(self, prior):
+        assert nw.posterior(prior, np.empty((0, 2))) is prior
+
+    def test_counts_accumulate(self, prior, rng):
+        data = rng.normal(size=(10, 2))
+        post = nw.posterior(prior, data)
+        assert post.kappa == pytest.approx(11.0)
+        assert post.dof == pytest.approx(14.0)
+
+    def test_posterior_mean_shrinks_toward_data(self, prior, rng):
+        data = rng.normal(5.0, 0.1, size=(100, 2))
+        post = nw.posterior(prior, data)
+        assert np.allclose(post.mean, 5.0, atol=0.2)
+
+    def test_dimension_mismatch(self, prior):
+        with pytest.raises(ModelError):
+            nw.posterior(prior, np.zeros((3, 5)))
+
+    def test_eq4_formula_exact(self, prior):
+        """Check the posterior against the paper's equation (4) by hand."""
+        data = np.array([[1.0, 0.0], [3.0, 2.0]])
+        post = nw.posterior(prior, data)
+        xbar = data.mean(axis=0)
+        expected_mean = (2 * xbar + prior.kappa * prior.mean) / (2 + prior.kappa)
+        assert np.allclose(post.mean, expected_mean)
+        scatter = sum(np.outer(x - xbar, x - xbar) for x in data)
+        dmean = xbar - prior.mean
+        expected_scale_inv = (
+            np.linalg.inv(prior.scale)
+            + scatter
+            + (2 * prior.kappa / (2 + prior.kappa)) * np.outer(dmean, dmean)
+        )
+        assert np.allclose(np.linalg.inv(post.scale), expected_scale_inv)
+
+
+class TestSampling:
+    def test_sample_shapes(self, prior, rng):
+        params = nw.sample(prior, rng)
+        assert params.mean.shape == (2,)
+        assert params.precision.shape == (2, 2)
+
+    def test_sample_deterministic_per_seed(self, prior):
+        a = nw.sample(prior, 3)
+        b = nw.sample(prior, 3)
+        assert np.allclose(a.mean, b.mean)
+
+    def test_posterior_samples_concentrate(self, prior, rng):
+        data = rng.normal([2.0, -1.0], 0.5, size=(500, 2))
+        post = nw.posterior(prior, data)
+        means = np.array([nw.sample(post, rng).mean for _ in range(50)])
+        assert np.allclose(means.mean(axis=0), [2.0, -1.0], atol=0.15)
+
+    def test_sampled_precision_positive_definite(self, prior, rng):
+        for _ in range(10):
+            params = nw.sample(prior, rng)
+            np.linalg.cholesky(params.precision)
+
+
+class TestExpectedParams:
+    def test_expected_precision_is_nu_s(self, prior):
+        params = nw.expected_params(prior)
+        assert np.allclose(params.precision, prior.dof * prior.scale)
+
+    def test_covariance_inverse(self, prior):
+        params = nw.expected_params(prior)
+        assert np.allclose(
+            params.covariance @ params.precision, np.eye(2), atol=1e-10
+        )
+
+
+class TestLogDensity:
+    def test_matches_scipy(self, rng):
+        from scipy import stats
+
+        mean = np.array([1.0, -1.0])
+        cov = np.array([[2.0, 0.3], [0.3, 1.0]])
+        params = nw.GaussianParams(mean=mean, precision=np.linalg.inv(cov))
+        x = rng.normal(size=(5, 2))
+        ours = params.log_density(x)
+        theirs = stats.multivariate_normal(mean, cov).logpdf(x)
+        assert np.allclose(ours, theirs)
+
+    def test_batch_and_single_agree(self):
+        params = nw.GaussianParams(mean=np.zeros(2), precision=np.eye(2))
+        single = params.log_density(np.array([1.0, 1.0]))
+        batch = params.log_density(np.array([[1.0, 1.0], [0.0, 0.0]]))
+        assert single[0] == pytest.approx(batch[0])
+
+
+class TestLogPredictive:
+    def test_matches_monte_carlo(self, prior, rng):
+        """Student-t predictive ≈ average over sampled Gaussians."""
+        data = rng.normal(0.0, 1.0, size=(50, 2))
+        post = nw.posterior(prior, data)
+        x = np.array([0.5, -0.5])
+        exact = nw.log_predictive(post, x)
+        samples = [
+            float(nw.sample(post, rng).log_density(x)[0]) for _ in range(4000)
+        ]
+        monte_carlo = np.log(np.mean(np.exp(samples)))
+        assert exact == pytest.approx(monte_carlo, abs=0.1)
+
+    def test_far_point_less_likely(self, prior, rng):
+        data = rng.normal(0.0, 1.0, size=(50, 2))
+        post = nw.posterior(prior, data)
+        near = nw.log_predictive(post, np.zeros(2))
+        far = nw.log_predictive(post, np.full(2, 10.0))
+        assert near > far
+
+    def test_valid_prior_always_has_positive_t_dof(self):
+        # the NW constructor enforces ν > dim−1, so ν − dim + 1 > 0 and the
+        # predictive is defined for any valid prior
+        tight = NormalWishartPrior(
+            mean=np.zeros(3), kappa=1.0, dof=2.5, scale=np.eye(3)
+        )
+        value = nw.log_predictive(tight, np.zeros(3))
+        assert np.isfinite(value)

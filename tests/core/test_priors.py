@@ -1,0 +1,93 @@
+"""Tests for repro.core.priors."""
+
+import numpy as np
+import pytest
+
+from repro.core.priors import DirichletPrior, NormalWishartPrior
+from repro.errors import ModelError
+
+
+class TestDirichletPrior:
+    def test_scalar_to_vector(self):
+        assert np.allclose(DirichletPrior(0.5).vector(4), [0.5] * 4)
+
+    def test_vector_preserved(self):
+        prior = DirichletPrior(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(prior.vector(3), [1.0, 2.0, 3.0])
+
+    def test_vector_size_mismatch(self):
+        with pytest.raises(ModelError):
+            DirichletPrior(np.array([1.0, 2.0])).vector(3)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ModelError):
+            DirichletPrior(0.0)
+        with pytest.raises(ModelError):
+            DirichletPrior(np.array([1.0, -1.0]))
+
+    def test_total(self):
+        assert DirichletPrior(0.5).total(4) == pytest.approx(2.0)
+
+
+class TestNormalWishartPrior:
+    def test_basic(self):
+        prior = NormalWishartPrior(
+            mean=np.zeros(2), kappa=1.0, dof=3.0, scale=np.eye(2)
+        )
+        assert prior.dim == 2
+
+    def test_dof_bound(self):
+        with pytest.raises(ModelError):
+            NormalWishartPrior(
+                mean=np.zeros(3), kappa=1.0, dof=1.5, scale=np.eye(3)
+            )
+
+    def test_kappa_positive(self):
+        with pytest.raises(ModelError):
+            NormalWishartPrior(
+                mean=np.zeros(2), kappa=0.0, dof=3.0, scale=np.eye(2)
+            )
+
+    def test_scale_shape(self):
+        with pytest.raises(ModelError):
+            NormalWishartPrior(
+                mean=np.zeros(2), kappa=1.0, dof=3.0, scale=np.eye(3)
+            )
+
+    def test_scale_symmetry(self):
+        bad = np.array([[1.0, 0.5], [0.0, 1.0]])
+        with pytest.raises(ModelError):
+            NormalWishartPrior(mean=np.zeros(2), kappa=1.0, dof=3.0, scale=bad)
+
+    def test_scale_positive_definite(self):
+        bad = np.array([[1.0, 0.0], [0.0, -1.0]])
+        with pytest.raises(ModelError):
+            NormalWishartPrior(mean=np.zeros(2), kappa=1.0, dof=3.0, scale=bad)
+
+
+class TestVague:
+    def test_centred_on_data(self, rng):
+        data = rng.normal(5.0, 1.0, size=(200, 3))
+        prior = NormalWishartPrior.vague(data)
+        assert np.allclose(prior.mean, data.mean(axis=0))
+
+    def test_prior_scatter_is_weak(self, rng):
+        """S⁻¹ must equal scatter_weight · diag(var): a fraction of one
+        observation, so tight clusters keep tight posteriors."""
+        data = rng.normal(0.0, 2.0, size=(500, 2))
+        prior = NormalWishartPrior.vague(data, scatter_weight=0.3)
+        expected = np.diag(0.3 * data.var(axis=0))
+        assert np.allclose(np.linalg.inv(prior.scale), expected)
+
+    def test_needs_matrix(self):
+        with pytest.raises(ModelError):
+            NormalWishartPrior.vague(np.zeros(5))
+
+    def test_constant_dimension_survives(self):
+        data = np.column_stack([np.ones(50), np.arange(50.0)])
+        prior = NormalWishartPrior.vague(data)  # no crash on zero variance
+        assert prior.dim == 2
+
+    def test_scatter_weight_positive(self, rng):
+        with pytest.raises(ModelError):
+            NormalWishartPrior.vague(rng.normal(size=(10, 2)), scatter_weight=0.0)

@@ -1,0 +1,50 @@
+"""Tests for repro.core.seeding."""
+
+import numpy as np
+import pytest
+
+from repro.core.seeding import kmeans_plus_plus
+from repro.errors import ModelError
+
+
+def blobs(rng, centres, n_per=30, scale=0.1):
+    data = np.vstack(
+        [rng.normal(c, scale, size=(n_per, len(c))) for c in centres]
+    )
+    return data
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        data = blobs(rng, [(0, 0), (10, 10), (0, 10)])
+        labels = kmeans_plus_plus(data, 3, rng=1)
+        # each blob must be pure
+        for start in range(0, 90, 30):
+            block = labels[start : start + 30]
+            assert len(np.unique(block)) == 1
+        assert len(np.unique(labels)) == 3
+
+    def test_label_range(self, rng):
+        data = rng.normal(size=(40, 2))
+        labels = kmeans_plus_plus(data, 5, rng=0)
+        assert labels.min() >= 0 and labels.max() < 5
+
+    def test_no_empty_clusters_on_spread_data(self, rng):
+        data = rng.normal(size=(100, 3))
+        labels = kmeans_plus_plus(data, 4, rng=0)
+        assert len(np.unique(labels)) == 4
+
+    def test_deterministic(self, rng):
+        data = rng.normal(size=(50, 2))
+        a = kmeans_plus_plus(data, 3, rng=7)
+        b = kmeans_plus_plus(data, 3, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_identical_points_tolerated(self):
+        data = np.ones((20, 2))
+        labels = kmeans_plus_plus(data, 2, rng=0)
+        assert len(labels) == 20
+
+    def test_too_few_points_rejected(self, rng):
+        with pytest.raises(ModelError):
+            kmeans_plus_plus(rng.normal(size=(2, 2)), 3, rng=0)

@@ -1,0 +1,67 @@
+"""Tests for repro.core.state."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import TopicCounts, initialise_assignments, validate_docs
+from repro.errors import ModelError
+
+
+class TestTopicCounts:
+    def test_add_remove_round_trip(self):
+        counts = TopicCounts(n_docs=2, n_topics=3, vocab_size=4)
+        counts.add(0, 1, 2)
+        counts.add(0, 1, 2)
+        counts.remove(0, 1, 2)
+        assert counts.n_dk[0, 1] == 1
+        assert counts.n_kv[1, 2] == 1
+        assert counts.n_k[1] == 1
+        assert counts.n_d[0] == 1
+        counts.check()
+
+    def test_remove_without_add_raises(self):
+        counts = TopicCounts(1, 2, 3)
+        with pytest.raises(ModelError):
+            counts.remove(0, 0, 0)
+
+    def test_degenerate_dimensions_rejected(self):
+        with pytest.raises(ModelError):
+            TopicCounts(0, 2, 3)
+
+    def test_check_detects_corruption(self):
+        counts = TopicCounts(1, 2, 3)
+        counts.add(0, 0, 0)
+        counts.n_k[0] += 1  # corrupt
+        with pytest.raises(ModelError):
+            counts.check()
+
+
+class TestInitialise:
+    def test_counts_match_docs(self, rng):
+        docs = [np.array([0, 1, 1]), np.array([2]), np.array([], dtype=int)]
+        counts = TopicCounts(3, 4, 5)
+        z = initialise_assignments(docs, counts, rng)
+        assert len(z) == 3
+        assert counts.n_d.tolist() == [3, 1, 0]
+        assert counts.n_kv.sum() == 4
+        counts.check()
+
+    def test_assignments_in_range(self, rng):
+        docs = [np.arange(10) % 3]
+        counts = TopicCounts(1, 4, 5)
+        z = initialise_assignments(docs, counts, rng)
+        assert z[0].min() >= 0 and z[0].max() < 4
+
+
+class TestValidateDocs:
+    def test_valid(self):
+        validate_docs([np.array([0, 1]), np.array([4])], vocab_size=5)
+
+    def test_out_of_range(self):
+        with pytest.raises(ModelError):
+            validate_docs([np.array([5])], vocab_size=5)
+        with pytest.raises(ModelError):
+            validate_docs([np.array([-1])], vocab_size=5)
+
+    def test_empty_doc_ok(self):
+        validate_docs([np.array([], dtype=int)], vocab_size=5)

@@ -1,0 +1,113 @@
+"""Tests for repro.core.variational — CAVI inference."""
+
+import numpy as np
+import pytest
+
+from repro.core.variational import VariationalConfig, VariationalJointModel
+from repro.errors import ModelError, NotFittedError
+from tests.core.test_joint_model import synthetic_joint_data
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    docs, gels, emulsions, truth = synthetic_joint_data(rng, n_docs=90)
+    config = VariationalConfig(n_topics=3, max_iter=100)
+    model = VariationalJointModel(config).fit(
+        docs, gels, emulsions, vocab_size=9, rng=1
+    )
+    return model, truth
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            VariationalConfig(n_topics=0)
+        with pytest.raises(ModelError):
+            VariationalConfig(max_iter=0)
+        with pytest.raises(ModelError):
+            VariationalConfig(tol=0.0)
+
+
+class TestFit:
+    def test_elbo_monotone_nondecreasing(self, fitted):
+        """Every CAVI round must not decrease the evidence lower bound."""
+        model, _ = fitted
+        trace = np.array(model.elbo_trace_)
+        diffs = np.diff(trace)
+        assert (diffs >= -1e-6 * np.abs(trace[:-1])).all()
+
+    def test_converges_before_max_iter(self, fitted):
+        model, _ = fitted
+        assert model.n_iter_ < model.config.max_iter
+
+    def test_recovers_coupled_clusters(self, fitted):
+        from repro.eval.metrics import normalized_mutual_information
+
+        model, truth = fitted
+        nmi = normalized_mutual_information(model.topic_assignments(), truth)
+        assert nmi > 0.9
+
+    def test_estimates_are_distributions(self, fitted):
+        model, _ = fitted
+        assert np.allclose(model.phi_.sum(axis=1), 1.0)
+        assert np.allclose(model.theta_.sum(axis=1), 1.0)
+
+    def test_gel_means_near_cluster_centres(self, fitted):
+        model, _ = fitted
+        centres = [
+            np.array([2.0, 12.0, 12.0]),
+            np.array([12.0, 3.0, 12.0]),
+            np.array([12.0, 12.0, 4.0]),
+        ]
+        for centre in centres:
+            distances = np.linalg.norm(model.gel_means_ - centre, axis=1)
+            assert distances.min() < 0.5
+
+    def test_covariances_positive_definite(self, fitted):
+        model, _ = fitted
+        for cov in model.gel_covs_:
+            np.linalg.cholesky(cov)
+
+    def test_deterministic(self, rng):
+        docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=30)
+        config = VariationalConfig(n_topics=3, max_iter=20)
+        a = VariationalJointModel(config).fit(docs, gels, emulsions, 9, rng=5)
+        b = VariationalJointModel(config).fit(docs, gels, emulsions, 9, rng=5)
+        assert np.allclose(a.phi_, b.phi_)
+
+    def test_empty_docs_rejected(self):
+        with pytest.raises(ModelError):
+            VariationalJointModel().fit(
+                [], np.zeros((0, 3)), np.zeros((0, 6)), 5
+            )
+
+
+class TestInterop:
+    def test_linker_compatible(self, fitted):
+        from repro.core.linkage import TopicLinker
+
+        model, _ = fitted
+        linker = TopicLinker(model)
+        divergences = linker.divergences_from(np.array([0.1, 1e-6, 1e-6]))
+        assert divergences.shape == (3,)
+
+    def test_agrees_with_gibbs(self, rng):
+        from repro.core.joint_model import JointModelConfig, JointTextureTopicModel
+        from repro.eval.metrics import normalized_mutual_information
+
+        docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=60)
+        gibbs = JointTextureTopicModel(
+            JointModelConfig(n_topics=3, n_sweeps=30, burn_in=15, thin=3)
+        ).fit(docs, gels, emulsions, 9, rng=2)
+        vb = VariationalJointModel(
+            VariationalConfig(n_topics=3, max_iter=60)
+        ).fit(docs, gels, emulsions, 9, rng=2)
+        agreement = normalized_mutual_information(
+            gibbs.topic_assignments(), vb.topic_assignments()
+        )
+        assert agreement > 0.85
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            VariationalJointModel().topic_assignments()

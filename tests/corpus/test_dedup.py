@@ -1,0 +1,131 @@
+"""Tests for repro.corpus.dedup."""
+
+import pytest
+
+from repro.corpus.dedup import (
+    DuplicatePair,
+    RecipeDeduplicator,
+    jaccard,
+    shingles,
+)
+from repro.corpus.recipe import Ingredient, Recipe
+from repro.errors import CorpusError
+
+
+def recipe(rid, description, ingredients=("gelatin", "water", "sugar")):
+    return Recipe(
+        recipe_id=rid,
+        title="zerii",
+        description=description,
+        ingredients=tuple(Ingredient(n, "5 g") for n in ingredients),
+    )
+
+
+LONG_DESC = (
+    "kantan na zerii no reshipi desu gelatin wo mizu de fuyakashite "
+    "okimasu reizouko de hiyashite katamereba kansei desu purupuru "
+    "shita shokkan ga tamaranai desu zehi tsukutte mite kudasai"
+)
+
+
+class TestShingles:
+    def test_trigrams(self):
+        result = shingles(["a", "b", "c", "d"], size=3)
+        assert result == {"a b c", "b c d"}
+
+    def test_short_text_falls_back(self):
+        assert shingles(["a", "b"], size=3) == {"a", "b"}
+
+    def test_bad_size(self):
+        with pytest.raises(CorpusError):
+            shingles(["a"], size=0)
+
+
+class TestJaccard:
+    def test_identical(self):
+        s = frozenset({"a", "b"})
+        assert jaccard(s, s) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(frozenset({"a"}), frozenset({"b"})) == 0.0
+
+    def test_empty(self):
+        assert jaccard(frozenset(), frozenset()) == 1.0
+
+
+class TestDeduplicator:
+    @pytest.fixture()
+    def dedup(self):
+        return RecipeDeduplicator(threshold=0.7)
+
+    def test_exact_copy_detected(self, dedup):
+        a = recipe("a", LONG_DESC)
+        b = recipe("b", LONG_DESC)
+        pairs = dedup.find_duplicates([a, b])
+        assert pairs == [DuplicatePair(kept="a", duplicate="b", similarity=1.0)]
+
+    def test_near_copy_detected(self, dedup):
+        a = recipe("a", LONG_DESC)
+        b = recipe("b", LONG_DESC.replace("purupuru", "purun"))
+        pairs = dedup.find_duplicates([a, b])
+        assert len(pairs) == 1
+        assert pairs[0].similarity > 0.7
+
+    def test_distinct_recipes_not_flagged(self, dedup):
+        a = recipe("a", LONG_DESC)
+        b = recipe(
+            "b",
+            "mattaku chigau mousse no reshipi cream wo awadatete "
+            "sotto mazeru dake fuwafuwa ni narimasu",
+            ingredients=("cream", "egg_white", "sugar"),
+        )
+        assert dedup.find_duplicates([a, b]) == []
+
+    def test_deduplicate_keeps_first(self, dedup):
+        a = recipe("a", LONG_DESC)
+        b = recipe("b", LONG_DESC)
+        c = recipe("c", LONG_DESC + " omake")
+        kept = dedup.deduplicate([a, b, c])
+        assert [r.recipe_id for r in kept] == ["a"]
+
+    def test_synthetic_corpus_mostly_unique(self, tiny_corpus):
+        dedup = RecipeDeduplicator(threshold=0.8)
+        recipes = list(tiny_corpus.recipes)[:150]
+        pairs = dedup.find_duplicates(recipes)
+        # template-generated text shares phrasing, but whole recipes
+        # should rarely collide at 0.8 Jaccard
+        assert len(pairs) < len(recipes) * 0.05
+
+    def test_injected_duplicates_in_corpus_found(self, tiny_corpus):
+        dedup = RecipeDeduplicator(threshold=0.8)
+        recipes = list(tiny_corpus.recipes)[:100]
+        clone = Recipe(
+            recipe_id="clone",
+            title=recipes[7].title,
+            description=recipes[7].description,
+            ingredients=recipes[7].ingredients,
+        )
+        pairs = dedup.find_duplicates(recipes + [clone])
+        assert any(
+            p.kept == recipes[7].recipe_id and p.duplicate == "clone"
+            for p in pairs
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(CorpusError):
+            RecipeDeduplicator(threshold=0.0)
+        with pytest.raises(CorpusError):
+            RecipeDeduplicator(n_hashes=64, bands=10)
+
+    def test_signature_shape(self, dedup):
+        signature = dedup.minhash(frozenset({"a", "b", "c"}))
+        assert signature.shape == (64,)
+
+    def test_minhash_similarity_tracks_jaccard(self, dedup):
+        import numpy as np
+
+        base = frozenset(f"s{i}" for i in range(100))
+        near = frozenset(list(sorted(base))[:90] + [f"x{i}" for i in range(10)])
+        sig_a, sig_b = dedup.minhash(base), dedup.minhash(near)
+        estimate = float((sig_a == sig_b).mean())
+        assert estimate == pytest.approx(jaccard(base, near), abs=0.15)

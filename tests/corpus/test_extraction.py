@@ -1,0 +1,59 @@
+"""Tests for repro.corpus.extraction."""
+
+import pytest
+
+from repro.corpus.extraction import TextureTermExtractor
+from repro.corpus.recipe import Ingredient, Recipe
+
+
+def recipe_with(description):
+    return Recipe(
+        recipe_id="R1",
+        title="t",
+        description=description,
+        ingredients=(Ingredient("water", "1 cup"),),
+    )
+
+
+@pytest.fixture()
+def extractor(dictionary):
+    return TextureTermExtractor(dictionary)
+
+
+class TestTerms:
+    def test_spots_terms_in_order(self, extractor):
+        terms = extractor.terms(
+            recipe_with("totemo purupuru de katai zerii desu")
+        )
+        assert [t.surface for t in terms] == ["purupuru", "katai"]
+
+    def test_repeats_counted(self, extractor):
+        counts = extractor.term_counts(
+            recipe_with("purupuru purupuru katai")
+        )
+        assert counts == {"purupuru": 2, "katai": 1}
+
+    def test_no_terms(self, extractor):
+        assert extractor.terms(recipe_with("oishii zerii desu")) == []
+
+    def test_term_sequence(self, extractor):
+        seq = extractor.term_sequence(recipe_with("katai purupuru"))
+        assert seq == ["katai", "purupuru"]
+
+
+class TestExclusion:
+    def test_initial_exclusion(self, dictionary):
+        ex = TextureTermExtractor(dictionary, excluded=["purupuru"])
+        terms = ex.terms(recipe_with("purupuru katai"))
+        assert [t.surface for t in terms] == ["katai"]
+
+    def test_exclude_later(self, extractor, dictionary):
+        fresh = TextureTermExtractor(dictionary)
+        fresh.exclude(["katai"])
+        assert "katai" in fresh.excluded
+        terms = fresh.terms(recipe_with("purupuru katai"))
+        assert [t.surface for t in terms] == ["purupuru"]
+
+    def test_excluded_is_frozen_view(self, extractor):
+        view = extractor.excluded
+        assert isinstance(view, frozenset)

@@ -1,0 +1,80 @@
+"""Tests for repro.corpus.jsonl."""
+
+import json
+
+import pytest
+
+from repro.corpus.jsonl import (
+    dump_recipes,
+    load_recipes,
+    recipe_from_dict,
+    recipe_to_dict,
+)
+from repro.corpus.recipe import Ingredient, Recipe
+from repro.errors import CorpusError
+
+
+def sample_recipe(rid="R1"):
+    return Recipe(
+        recipe_id=rid,
+        title="zerii",
+        description="purupuru desu",
+        ingredients=(
+            Ingredient("gelatin", "5 g"),
+            Ingredient("water", "300 ml"),
+        ),
+        metadata={"archetype": "standard_jelly"},
+    )
+
+
+class TestDictRoundTrip:
+    def test_round_trip(self):
+        recipe = sample_recipe()
+        assert recipe_from_dict(recipe_to_dict(recipe)) == recipe
+
+    def test_metadata_preserved(self):
+        back = recipe_from_dict(recipe_to_dict(sample_recipe()))
+        assert back.metadata["archetype"] == "standard_jelly"
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(CorpusError):
+            recipe_from_dict({"recipe_id": "x"})
+
+    def test_missing_quantity_rejected(self):
+        with pytest.raises(CorpusError):
+            recipe_from_dict(
+                {"recipe_id": "x", "ingredients": [{"name": "water"}]}
+            )
+
+
+class TestFileRoundTrip:
+    def test_dump_and_load(self, tmp_path):
+        recipes = [sample_recipe(f"R{i}") for i in range(5)]
+        path = tmp_path / "corpus.jsonl"
+        assert dump_recipes(recipes, path) == 5
+        loaded = list(load_recipes(path))
+        assert loaded == recipes
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        dump_recipes([sample_recipe()], path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(list(load_recipes(path))) == 1
+
+    def test_invalid_json_line_reported_with_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(CorpusError, match=":1"):
+            list(load_recipes(path))
+
+    def test_synthetic_corpus_round_trip(self, tiny_corpus, tmp_path):
+        path = tmp_path / "synth.jsonl"
+        dump_recipes(tiny_corpus.recipes, path)
+        loaded = list(load_recipes(path))
+        assert loaded == list(tiny_corpus.recipes)
+
+    def test_file_is_valid_jsonl(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        dump_recipes([sample_recipe()], path)
+        for line in path.read_text().splitlines():
+            json.loads(line)

@@ -1,0 +1,116 @@
+"""Tests for repro.corpus.query."""
+
+import pytest
+
+from repro.corpus.query import (
+    And,
+    HasAnyIngredient,
+    HasIngredient,
+    MentionsAnyToken,
+    MentionsToken,
+    MetadataEquals,
+    Not,
+    Or,
+)
+from repro.corpus.recipe import Ingredient, Recipe
+from repro.corpus.store import RecipeStore
+from repro.errors import StoreError
+
+
+def recipe(rid, description, ingredients, metadata=None):
+    return Recipe(
+        recipe_id=rid,
+        title="t",
+        description=description,
+        ingredients=tuple(Ingredient(n, q) for n, q in ingredients),
+        metadata=metadata or {},
+    )
+
+
+@pytest.fixture()
+def store():
+    s = RecipeStore()
+    s.add(
+        recipe("a", "purupuru zerii", [("gelatin", "5 g"), ("water", "1 cup")],
+               {"archetype": "standard_jelly"})
+    )
+    s.add(
+        recipe("b", "katai gummy", [("gelatin", "30 g"), ("juice", "200 ml")],
+               {"archetype": "firm_gummy"})
+    )
+    s.add(
+        recipe("c", "yuruyuru kanten", [("kanten", "2 g"), ("water", "2 cups")],
+               {"archetype": "kanten_soft"})
+    )
+    s.add(
+        recipe("d", "purupuru kanten zerii",
+               [("kanten", "4 g"), ("sugar", "30 g"), ("water", "1 cup")],
+               {"archetype": "kanten_firm"})
+    )
+    return s
+
+
+class TestLeaves:
+    def test_mentions_token(self, store):
+        hits = store.search(MentionsToken("purupuru"))
+        assert [r.recipe_id for r in hits] == ["a", "d"]
+
+    def test_mentions_any_token(self, store):
+        hits = store.search(MentionsAnyToken(["katai", "yuruyuru"]))
+        assert [r.recipe_id for r in hits] == ["b", "c"]
+
+    def test_has_ingredient(self, store):
+        hits = store.search(HasIngredient("kanten"))
+        assert [r.recipe_id for r in hits] == ["c", "d"]
+
+    def test_has_any_ingredient(self, store):
+        hits = store.search(HasAnyIngredient(["gelatin", "kanten"]))
+        assert len(hits) == 4
+
+    def test_metadata_equals(self, store):
+        hits = store.search(MetadataEquals("archetype", "firm_gummy"))
+        assert [r.recipe_id for r in hits] == ["b"]
+
+    def test_unknown_values_give_empty(self, store):
+        assert store.search(MentionsToken("nope")) == []
+        assert store.search(HasIngredient("agar")) == []
+
+
+class TestCombinators:
+    def test_and(self, store):
+        q = MentionsToken("purupuru") & HasIngredient("kanten")
+        assert [r.recipe_id for r in store.search(q)] == ["d"]
+
+    def test_or(self, store):
+        q = MentionsToken("katai") | HasIngredient("kanten")
+        assert [r.recipe_id for r in store.search(q)] == ["b", "c", "d"]
+
+    def test_not(self, store):
+        q = ~HasIngredient("gelatin")
+        assert [r.recipe_id for r in store.search(q)] == ["c", "d"]
+
+    def test_nested_section_iv_style(self, store):
+        """The Section IV-A collection: gel recipes, texture-mentioning,
+        not dominated by an unrelated bulk."""
+        q = (
+            HasAnyIngredient(["gelatin", "kanten", "agar"])
+            & MentionsAnyToken(["purupuru", "katai", "yuruyuru"])
+            & ~HasIngredient("cream_cheese")
+        )
+        assert len(store.search(q)) == 4
+
+    def test_operators_build_expected_tree(self):
+        q = MentionsToken("x") & ~HasIngredient("y")
+        assert isinstance(q, And)
+        assert isinstance(q.right, Not)
+
+    def test_de_morgan(self, store):
+        lhs = ~(MentionsToken("purupuru") | HasIngredient("kanten"))
+        rhs = ~MentionsToken("purupuru") & ~HasIngredient("kanten")
+        assert lhs.ids(store) == rhs.ids(store)
+
+
+class TestValidation:
+    def test_non_query_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.search("purupuru")  # type: ignore[arg-type]

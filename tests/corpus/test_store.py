@@ -1,0 +1,94 @@
+"""Tests for repro.corpus.store."""
+
+import pytest
+
+from repro.corpus.recipe import Ingredient, Recipe
+from repro.corpus.store import RecipeStore
+from repro.errors import StoreError
+
+
+def recipe(rid, description, ingredients):
+    return Recipe(
+        recipe_id=rid,
+        title=f"{rid} title",
+        description=description,
+        ingredients=tuple(Ingredient(n, q) for n, q in ingredients),
+    )
+
+
+@pytest.fixture()
+def store():
+    s = RecipeStore()
+    s.add(recipe("a", "purupuru zerii", [("gelatin", "5 g"), ("water", "1 cup")]))
+    s.add(recipe("b", "katai gummy", [("gelatin", "30 g"), ("juice", "200 ml")]))
+    s.add(recipe("c", "yuruyuru kanten", [("kanten", "2 g"), ("water", "2 cups")]))
+    return s
+
+
+class TestMutation:
+    def test_len(self, store):
+        assert len(store) == 3
+
+    def test_duplicate_id_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.add(recipe("a", "dup", [("water", "1 cup")]))
+
+    def test_add_all(self):
+        s = RecipeStore()
+        s.add_all(
+            recipe(str(i), "desc", [("water", "1 cup")]) for i in range(5)
+        )
+        assert len(s) == 5
+
+
+class TestAccess:
+    def test_get(self, store):
+        assert store.get("a").recipe_id == "a"
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(StoreError):
+            store.get("zzz")
+
+    def test_contains(self, store):
+        assert "a" in store
+        assert "zzz" not in store
+
+    def test_iteration_in_insertion_order(self, store):
+        assert [r.recipe_id for r in store] == ["a", "b", "c"]
+
+    def test_ids(self, store):
+        assert store.ids == ("a", "b", "c")
+
+
+class TestQueries:
+    def test_with_ingredient(self, store):
+        assert [r.recipe_id for r in store.with_ingredient("gelatin")] == ["a", "b"]
+
+    def test_with_any_ingredient(self, store):
+        found = store.with_any_ingredient(["gelatin", "kanten"])
+        assert [r.recipe_id for r in found] == ["a", "b", "c"]
+
+    def test_with_token(self, store):
+        assert [r.recipe_id for r in store.with_token("purupuru")] == ["a"]
+
+    def test_with_token_case_insensitive(self, store):
+        assert [r.recipe_id for r in store.with_token("PURUPURU")] == ["a"]
+
+    def test_title_tokens_indexed(self, store):
+        assert [r.recipe_id for r in store.with_token("title")] == ["a", "b", "c"]
+
+    def test_with_all_tokens(self, store):
+        assert [r.recipe_id for r in store.with_all_tokens(["katai", "gummy"])] == ["b"]
+        assert store.with_all_tokens(["katai", "kanten"]) == []
+
+    def test_filter(self, store):
+        heavy = store.filter(lambda r: any(i.name == "kanten" for i in r.ingredients))
+        assert [r.recipe_id for r in heavy] == ["c"]
+
+    def test_ingredient_counts(self, store):
+        counts = store.ingredient_counts()
+        assert counts["gelatin"] == 2
+        assert counts["water"] == 2
+
+    def test_unknown_ingredient_empty(self, store):
+        assert store.with_ingredient("agar") == []

@@ -1,0 +1,77 @@
+"""Tests for repro.embedding.skipgram."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.skipgram import SkipGramConfig, SkipGramModel
+from repro.errors import ModelError, NotFittedError
+
+
+def toy_corpus(rng, n=300):
+    """Two disjoint topic clusters: fruit words and tool words."""
+    fruit = ["apple", "banana", "mango", "berry"]
+    tools = ["hammer", "wrench", "drill", "saw"]
+    sentences = []
+    for _ in range(n):
+        group = fruit if rng.random() < 0.5 else tools
+        sentences.append(list(rng.choice(group, size=4)))
+    return sentences
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(0)
+    sentences = toy_corpus(rng)
+    config = SkipGramConfig(dim=16, window=3, epochs=8, min_count=2)
+    return SkipGramModel(config).fit(sentences, rng=1)
+
+
+class TestConfig:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ModelError):
+            SkipGramConfig(dim=1)
+        with pytest.raises(ModelError):
+            SkipGramConfig(window=0)
+        with pytest.raises(ModelError):
+            SkipGramConfig(epochs=0)
+
+
+class TestTraining:
+    def test_vectors_shape(self, trained):
+        assert trained.input_vectors.shape[1] == 16
+        assert trained.input_vectors.shape[0] == len(trained.vocab)
+
+    def test_clusters_separate(self, trained):
+        """Same-cluster words must be closer than cross-cluster words."""
+        neighbours = [t for t, _ in trained.most_similar("apple", 3)]
+        fruit_hits = len(set(neighbours) & {"banana", "mango", "berry"})
+        assert fruit_hits >= 2
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(0)
+        sentences = toy_corpus(rng, n=100)
+        config = SkipGramConfig(dim=8, epochs=2, min_count=1)
+        a = SkipGramModel(config).fit(sentences, rng=3)
+        b = SkipGramModel(config).fit(sentences, rng=3)
+        assert np.allclose(a.input_vectors, b.input_vectors)
+
+    def test_tiny_corpus_rejected(self):
+        config = SkipGramConfig(min_count=1)
+        with pytest.raises(ModelError):
+            SkipGramModel(config).fit([["solo"]], rng=0)
+
+
+class TestQueries:
+    def test_vector_lookup(self, trained):
+        assert trained.vector("apple").shape == (16,)
+
+    def test_most_similar_excludes_self(self, trained):
+        assert "apple" not in [t for t, _ in trained.most_similar("apple", 5)]
+
+    def test_similarities_sorted(self, trained):
+        scores = [s for _, s in trained.most_similar("apple", 5)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            SkipGramModel().vector("apple")

@@ -1,0 +1,73 @@
+"""Tests for repro.eval.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.validation import (
+    LinkValidation,
+    topic_polarity,
+    validate_link,
+    validation_summary,
+)
+from repro.lexicon.categories import AXES, SensoryAxis
+from repro.rheology.attributes import TextureProfile
+
+HARD_TEXTURE = TextureProfile(hardness=6.0, cohesiveness=0.1, adhesiveness=0.0)
+SOFT_TEXTURE = TextureProfile(hardness=0.05, cohesiveness=0.3, adhesiveness=0.0)
+
+
+class TestTopicPolarity:
+    def test_hard_topic_positive_hardness(self, dictionary):
+        vocabulary = ["katai", "dossiri", "fuwafuwa"]
+        phi = np.array([0.6, 0.3, 0.1])
+        polarity = topic_polarity(phi, vocabulary, dictionary)
+        assert polarity[SensoryAxis.HARDNESS] > 0.5
+
+    def test_soft_topic_negative_hardness(self, dictionary):
+        vocabulary = ["fuwafuwa", "yuruyuru"]
+        phi = np.array([0.5, 0.5])
+        polarity = topic_polarity(phi, vocabulary, dictionary)
+        assert polarity[SensoryAxis.HARDNESS] < -0.5
+
+    def test_unknown_words_contribute_nothing(self, dictionary):
+        polarity = topic_polarity(np.array([1.0]), ["unknown"], dictionary)
+        assert all(v == 0.0 for v in polarity.values())
+
+    def test_size_mismatch_rejected(self, dictionary):
+        with pytest.raises(ReproError):
+            topic_polarity(np.array([1.0, 0.0]), ["katai"], dictionary)
+
+
+class TestValidateLink:
+    def test_consistent_link_scores_positive(self, dictionary):
+        phi = np.array([0.7, 0.3])
+        validation = validate_link(
+            phi, ["katai", "dossiri"], dictionary, HARD_TEXTURE
+        )
+        assert validation.per_axis[SensoryAxis.HARDNESS] > 0
+        assert validation.consistent
+
+    def test_contradictory_link_scores_negative(self, dictionary):
+        phi = np.array([1.0])
+        validation = validate_link(phi, ["fuwafuwa"], dictionary, HARD_TEXTURE)
+        assert validation.per_axis[SensoryAxis.HARDNESS] < 0
+        assert not validation.consistent
+
+    def test_soft_texture_matches_soft_terms(self, dictionary):
+        phi = np.array([1.0])
+        validation = validate_link(phi, ["fuwafuwa"], dictionary, SOFT_TEXTURE)
+        assert validation.per_axis[SensoryAxis.HARDNESS] > 0
+
+
+class TestSummary:
+    def test_aggregates(self):
+        good = LinkValidation(per_axis={axis: 0.5 for axis in AXES})
+        bad = LinkValidation(per_axis={axis: -0.5 for axis in AXES})
+        summary = validation_summary([good, bad])
+        assert summary["mean_score"] == pytest.approx(0.0)
+        assert summary["consistent_fraction"] == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            validation_summary([])

@@ -1,0 +1,90 @@
+"""Cross-module determinism and convergence checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import summarise_trace
+from repro.core.joint_model import JointModelConfig
+from repro.pipeline.experiment import ExperimentConfig, run_experiment
+from repro.synth.generator import CorpusGenerator
+from repro.synth.presets import CorpusPreset
+
+
+def config(seed=3):
+    return ExperimentConfig(
+        preset=CorpusPreset(name="determinism", n_recipes=300),
+        model=JointModelConfig(n_topics=5, n_sweeps=30, burn_in=15, thin=3),
+        seed=seed,
+        use_w2v_filter=False,
+    )
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self):
+        a = run_experiment(config(), use_cache=False)
+        b = run_experiment(config(), use_cache=False)
+        assert np.array_equal(a.topic_assignments(), b.topic_assignments())
+        assert np.allclose(a.model.phi_, b.model.phi_)
+        assert a.dataset.vocabulary == b.dataset.vocabulary
+        assert [r.recipe_id for r in a.corpus] == [r.recipe_id for r in b.corpus]
+
+    def test_corpus_generation_reproducible(self):
+        preset = CorpusPreset(name="det-corpus", n_recipes=50)
+        a = CorpusGenerator(rng=9).generate(preset)
+        b = CorpusGenerator(rng=9).generate(preset)
+        for ra, rb in zip(a.recipes, b.recipes):
+            assert ra == rb
+
+    def test_different_seed_changes_corpus(self):
+        preset = CorpusPreset(name="det-corpus2", n_recipes=50)
+        a = CorpusGenerator(rng=9).generate(preset)
+        b = CorpusGenerator(rng=10).generate(preset)
+        assert any(ra != rb for ra, rb in zip(a.recipes, b.recipes))
+
+
+class TestConvergence:
+    def test_joint_model_trace_improves(self, fitted_joint):
+        summary = summarise_trace(fitted_joint.log_likelihoods_)
+        assert summary.improved
+        assert summary.last > summary.first
+
+    def test_trace_length_matches_sweeps(self, fitted_joint):
+        assert (
+            len(fitted_joint.log_likelihoods_)
+            == fitted_joint.config.n_sweeps
+        )
+
+
+class TestPersistenceIntegration:
+    def test_estimator_works_on_loaded_model(self, tmp_path):
+        """Save → load → estimate must behave like the live model."""
+        from repro.core.estimator import TextureEstimator
+        from repro.corpus.recipe import Ingredient, Recipe
+        from repro.persistence import load_model, save_model
+
+        result = run_experiment(config())
+        path = save_model(
+            result.model, tmp_path / "m.npz", result.dataset.vocabulary
+        )
+        loaded, vocabulary = load_model(path)
+
+        class LoadedResult:
+            model = loaded
+            linker = result.linker
+            vocabulary = result.dataset.vocabulary
+            dataset = result.dataset
+
+        live = TextureEstimator(result)
+        revived = TextureEstimator(LoadedResult())
+        recipe = Recipe(
+            recipe_id="x",
+            title="t",
+            description="",
+            ingredients=(
+                Ingredient("gelatin", "5 g"),
+                Ingredient("water", "300 ml"),
+            ),
+        )
+        assert (
+            live.estimate(recipe).topic == revived.estimate(recipe).topic
+        )

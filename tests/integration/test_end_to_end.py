@@ -1,0 +1,116 @@
+"""Integration tests: the full pipeline, cross-module invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.joint_model import JointModelConfig
+from repro.eval.metrics import normalized_mutual_information, purity
+from repro.pipeline.experiment import ExperimentConfig, run_experiment
+from repro.pipeline.figures import fig3_data, fig4_data
+from repro.pipeline.tables import table2a_rows, table2b_rows
+from repro.rheology.studies import BAVAROIS, MILK_JELLY, TABLE_I
+from repro.synth.presets import CorpusPreset
+
+
+@pytest.fixture(scope="module")
+def result():
+    """One mid-sized pipeline shared by all integration checks."""
+    config = ExperimentConfig(
+        preset=CorpusPreset(name="integration", n_recipes=1500),
+        model=JointModelConfig(n_topics=10, n_sweeps=150, burn_in=75, thin=5),
+        seed=11,
+        use_w2v_filter=True,
+    )
+    return run_experiment(config)
+
+
+class TestStructureRecovery:
+    def test_topics_track_gel_bands(self, result):
+        """The headline claim: topics classify texture terms in accordance
+        with types of gels and their concentrations."""
+        nmi = normalized_mutual_information(
+            result.topic_assignments(), result.truth_bands()
+        )
+        assert nmi > 0.5
+
+    def test_topics_reasonably_pure(self, result):
+        assert purity(result.topic_assignments(), result.truth_bands()) > 0.5
+
+    def test_mixed_gel_band_isolated(self, result):
+        """The gelatin+agar (purupuru) family must own a topic."""
+        assignment = result.topic_assignments()
+        bands = np.array(result.truth_bands())
+        mixed = bands == "gelatin+agar"
+        assert mixed.sum() > 10
+        dominant_topic = np.bincount(assignment[mixed]).argmax()
+        members = assignment == dominant_topic
+        assert (bands[members] == "gelatin+agar").mean() > 0.7
+
+
+class TestLinkageShape:
+    def test_kanten_rows_share_a_topic(self, result):
+        """Table II(a): all four kanten settings map to kanten topics."""
+        topics = {
+            result.linker.link_setting(s).topic
+            for s in TABLE_I
+            if set(s.gels) == {"kanten"}
+        }
+        assert len(topics) <= 2
+
+    def test_gel_types_do_not_collide(self, result):
+        """Pure-gelatin and pure-kanten rows never share a topic."""
+        gelatin_topics = {
+            result.linker.link_setting(s).topic
+            for s in TABLE_I
+            if set(s.gels) == {"gelatin"}
+        }
+        kanten_topics = {
+            result.linker.link_setting(s).topic
+            for s in TABLE_I
+            if set(s.gels) == {"kanten"}
+        }
+        assert gelatin_topics.isdisjoint(kanten_topics)
+
+    def test_dishes_assigned_to_high_gelatin_topic(self, result):
+        rows = table2b_rows(result)
+        assert rows[0].assigned_topic == rows[1].assigned_topic
+        table = {r.topic: r for r in table2a_rows(result)}
+        summary = table[rows[0].assigned_topic].gel_summary
+        assert "gelatin" in summary and summary["gelatin"] > 0.015
+
+
+class TestFigureShape:
+    def test_fig4_bavarois_more_cohesive_than_milk(self, result):
+        from repro.pipeline.figures import mean_scores
+
+        bavarois = mean_scores(fig4_data(result, BAVAROIS).low_kl_points())
+        milk = mean_scores(fig4_data(result, MILK_JELLY).low_kl_points())
+        assert bavarois[1] > milk[1]
+
+    def test_fig3_has_recipes_in_every_bin(self, result):
+        data = fig3_data(result, BAVAROIS, n_bins=6)
+        totals = data.hardness.positive + data.hardness.negative
+        assert totals.sum() > 0
+
+
+class TestW2vFilterIntegration:
+    def test_excluded_terms_absent_from_vocabulary(self, result):
+        for surface in result.dataset.excluded_terms:
+            assert surface not in result.dataset.vocabulary
+
+    def test_crispy_terms_filtered_from_dataset(self, result):
+        """Nut-anchored crispy terms must not survive into the dataset."""
+        crispy = {"karikari", "sakusaku", "zakuzaku", "paripari"}
+        leaked = crispy & set(result.dataset.vocabulary)
+        excluded = crispy & result.dataset.excluded_terms
+        assert len(excluded) >= len(leaked)
+
+
+class TestFunnelShape:
+    def test_funnel_proportions(self, result):
+        """Collected > with-terms > kept, as in Section IV-A."""
+        funnel = result.dataset.funnel
+        assert funnel["collected"] == 1500
+        assert funnel["rejected_no_terms"] > 0
+        assert funnel["rejected_unrelated"] > 0
+        assert 0.2 <= funnel["kept"] / funnel["collected"] <= 0.8

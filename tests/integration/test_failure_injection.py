@@ -1,0 +1,118 @@
+"""Failure injection: hostile inputs through the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.recipe import Ingredient, Recipe
+from repro.errors import CorpusError, ReproError
+from repro.pipeline.dataset import DatasetBuilder
+from repro.synth.generator import CorpusGenerator
+from repro.synth.presets import CorpusPreset
+
+
+def recipe(rid, description="purupuru zerii desu", ingredients=None):
+    return Recipe(
+        recipe_id=rid,
+        title="t",
+        description=description,
+        ingredients=tuple(
+            ingredients
+            or (Ingredient("gelatin", "5 g"), Ingredient("water", "300 ml"))
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def good_recipes():
+    corpus = CorpusGenerator(rng=77).generate(
+        CorpusPreset(name="inject-base", n_recipes=120)
+    )
+    return list(corpus.recipes)
+
+
+class TestHostileRecipes:
+    def test_garbage_quantities_counted_not_fatal(self, good_recipes):
+        bad = [
+            recipe("bad1", ingredients=(Ingredient("water", "about right"),)),
+            recipe("bad2", ingredients=(Ingredient("gelatin", "∞ g"),)),
+            recipe("bad3", ingredients=(Ingredient("water", "-5 g"),)),
+        ]
+        builder = DatasetBuilder(use_w2v_filter=False)
+        dataset = builder.build(good_recipes + bad)
+        assert dataset.funnel["unparseable"] >= 3
+        assert "bad1" not in dataset.recipe_ids
+
+    def test_unicode_descriptions_survive(self, good_recipes):
+        weird = recipe(
+            "uni", description="purupuru ☆ゼリー☆ desu ♥ 100% おいしい"
+        )
+        builder = DatasetBuilder(use_w2v_filter=False)
+        dataset = builder.build(good_recipes + [weird])
+        assert "uni" in dataset.recipe_ids  # purupuru still spotted
+
+    def test_empty_description_recipe_filtered(self, good_recipes):
+        silent = recipe("silent", description="")
+        builder = DatasetBuilder(use_w2v_filter=False)
+        dataset = builder.build(good_recipes + [silent])
+        assert "silent" not in dataset.recipe_ids
+
+    def test_gel_only_brick_is_featurised(self, good_recipes):
+        """A physically absurd 90 % gelatin recipe must not crash."""
+        brick = recipe(
+            "brick",
+            description="katai katai",
+            ingredients=(
+                Ingredient("gelatin", "900 g"),
+                Ingredient("water", "100 ml"),
+            ),
+        )
+        builder = DatasetBuilder(use_w2v_filter=False)
+        dataset = builder.build(good_recipes + [brick])
+        assert "brick" in dataset.recipe_ids
+        index = dataset.recipe_ids.index("brick")
+        assert dataset.gel_raw[index, 0] == pytest.approx(0.9)
+
+    def test_texture_terms_in_title_do_not_count(self, good_recipes):
+        """Section IV-A extracts terms from *descriptions*."""
+        titled = Recipe(
+            recipe_id="title-only",
+            title="purupuru zerii",
+            description="oishii desu",
+            ingredients=(
+                Ingredient("gelatin", "5 g"),
+                Ingredient("water", "300 ml"),
+            ),
+        )
+        builder = DatasetBuilder(use_w2v_filter=False)
+        dataset = builder.build(good_recipes + [titled])
+        assert "title-only" not in dataset.recipe_ids
+
+    def test_all_rejected_raises_cleanly(self):
+        hopeless = [recipe(f"r{i}", description="oishii") for i in range(5)]
+        with pytest.raises(CorpusError):
+            DatasetBuilder(use_w2v_filter=False).build(hopeless)
+
+
+class TestHostileModelInputs:
+    def test_constant_gel_vectors_do_not_crash(self):
+        """All recipes identical in composition: degenerate Gaussians."""
+        from repro.core.joint_model import JointModelConfig, JointTextureTopicModel
+
+        rng = np.random.default_rng(0)
+        docs = [rng.integers(0, 5, size=3) for _ in range(40)]
+        gels = np.tile([4.0, 13.8, 13.8], (40, 1))
+        emulsions = np.tile([2.0, 13.8, 13.8, 13.8, 1.0, 13.8], (40, 1))
+        config = JointModelConfig(n_topics=3, n_sweeps=8, burn_in=4, thin=2)
+        model = JointTextureTopicModel(config).fit(docs, gels, emulsions, 5, rng=1)
+        assert np.isfinite(model.gel_means_).all()
+
+    def test_single_token_vocabulary(self):
+        from repro.core.joint_model import JointModelConfig, JointTextureTopicModel
+
+        rng = np.random.default_rng(0)
+        docs = [np.zeros(2, dtype=int) for _ in range(20)]
+        gels = rng.normal(10, 1, size=(20, 3))
+        emulsions = rng.normal(10, 1, size=(20, 6))
+        config = JointModelConfig(n_topics=2, n_sweeps=8, burn_in=4, thin=2)
+        model = JointTextureTopicModel(config).fit(docs, gels, emulsions, 1, rng=1)
+        assert np.allclose(model.phi_, 1.0)

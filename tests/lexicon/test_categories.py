@@ -1,0 +1,40 @@
+"""Tests for repro.lexicon.categories."""
+
+from repro.lexicon.categories import AXES, CATEGORIES, SensoryAxis, TextureCategory
+
+
+def test_three_axes_in_stable_order():
+    assert AXES == (
+        SensoryAxis.HARDNESS,
+        SensoryAxis.COHESIVENESS,
+        SensoryAxis.ADHESIVENESS,
+    )
+
+
+def test_axis_category_pairing():
+    for axis in AXES:
+        assert isinstance(axis.category, TextureCategory)
+        assert axis.category.value == axis.value
+
+
+def test_categories_match_paper_selection():
+    # Section III-A: hardness, cohesiveness, adhesiveness
+    assert {c.value for c in CATEGORIES} == {
+        "hardness",
+        "cohesiveness",
+        "adhesiveness",
+    }
+
+
+def test_pole_labels_match_figure_bins():
+    assert SensoryAxis.HARDNESS.positive_label == "hard"
+    assert SensoryAxis.HARDNESS.negative_label == "soft"
+    assert SensoryAxis.COHESIVENESS.positive_label == "elastic"
+    assert SensoryAxis.COHESIVENESS.negative_label == "cohesive"
+    assert SensoryAxis.ADHESIVENESS.positive_label == "sticky"
+    assert SensoryAxis.ADHESIVENESS.negative_label == "dry"
+
+
+def test_str_is_value():
+    assert str(SensoryAxis.HARDNESS) == "hardness"
+    assert str(TextureCategory.ADHESIVENESS) == "adhesiveness"

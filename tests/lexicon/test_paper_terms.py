@@ -1,0 +1,62 @@
+"""Tests for repro.lexicon.paper_terms — the verbatim Table II(a) terms."""
+
+from repro.lexicon.categories import SensoryAxis
+from repro.lexicon.paper_terms import (
+    EXTRA_GEL_TERMS,
+    PAPER_TERMS,
+    TABLE_IIA_TERMS,
+)
+
+H, C, A = SensoryAxis.HARDNESS, SensoryAxis.COHESIVENESS, SensoryAxis.ADHESIVENESS
+
+
+def test_paper_count_is_41():
+    assert len(PAPER_TERMS) == 41
+    assert len(TABLE_IIA_TERMS) == 31
+    assert len(EXTRA_GEL_TERMS) == 10
+
+
+def test_all_paper_terms_are_gel_related():
+    assert all(t.gel_related for t in PAPER_TERMS)
+
+
+def test_surfaces_unique():
+    surfaces = [t.surface for t in PAPER_TERMS]
+    assert len(surfaces) == len(set(surfaces))
+
+
+def test_table_iia_verbatim_surfaces_present():
+    surfaces = {t.surface for t in TABLE_IIA_TERMS}
+    # spot-check every topic of Table II(a)
+    for expected in (
+        "furufuru", "katai", "muchimuchi", "purupuru", "nettori",
+        "fuwafuwa", "yuruyuru", "bechat", "dossiri", "churuchuru",
+        "korit", "omoi", "shakusyaku", "necchiri", "hajikeru",
+    ):
+        assert expected in surfaces
+
+
+def test_polarity_conventions_match_glosses():
+    by_surface = {t.surface: t for t in PAPER_TERMS}
+    # hard terms positive on hardness
+    assert by_surface["katai"].sign_on(H) == 1
+    assert by_surface["dossiri"].sign_on(H) == 1
+    # soft terms negative on hardness
+    assert by_surface["fuwafuwa"].sign_on(H) == -1
+    assert by_surface["yuruyuru"].sign_on(H) == -1
+    # elastic terms positive on cohesiveness
+    assert by_surface["burinburin"].sign_on(C) == 1
+    assert by_surface["muchimuchi"].sign_on(C) == 1
+    # crumbly terms negative on cohesiveness
+    assert by_surface["bosoboso"].sign_on(C) == -1
+    assert by_surface["horohoro"].sign_on(C) == -1
+    # sticky terms positive on adhesiveness
+    assert by_surface["nettori"].sign_on(A) == 1
+    assert by_surface["necchiri"].sign_on(A) == 1
+    # dry/slippery terms negative on adhesiveness
+    assert by_surface["karat"].sign_on(A) == -1
+    assert by_surface["churuchuru"].sign_on(A) == -1
+
+
+def test_every_term_carries_a_gloss():
+    assert all(t.gloss for t in PAPER_TERMS)

@@ -1,0 +1,92 @@
+"""Tests for repro.lexicon.term."""
+
+import pytest
+
+from repro.lexicon.categories import SensoryAxis, TextureCategory
+from repro.lexicon.term import TextureTerm
+
+H, C, A = SensoryAxis.HARDNESS, SensoryAxis.COHESIVENESS, SensoryAxis.ADHESIVENESS
+
+
+def make(surface="purupuru", **polarity):
+    axes = {"h": H, "c": C, "a": A}
+    return TextureTerm(
+        surface=surface,
+        gloss="test",
+        polarity={axes[k]: v for k, v in polarity.items()},
+    )
+
+
+class TestConstruction:
+    def test_empty_surface_rejected(self):
+        with pytest.raises(ValueError):
+            make(surface="")
+
+    def test_polarity_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make(h=1.5)
+        with pytest.raises(ValueError):
+            make(h=-1.5)
+
+    def test_non_axis_key_rejected(self):
+        with pytest.raises(TypeError):
+            TextureTerm(surface="x", gloss="g", polarity={"hardness": 0.5})
+
+    def test_zero_polarity_dropped(self):
+        term = make(h=0.0, c=0.5)
+        assert H not in term.polarity
+        assert term.polarity_on(H) == 0.0
+
+    def test_base_defaults_to_surface(self):
+        assert make().base == "purupuru"
+
+    def test_polarity_is_readonly(self):
+        term = make(h=0.5)
+        with pytest.raises(TypeError):
+            term.polarity[H] = 1.0  # type: ignore[index]
+
+
+class TestClassification:
+    def test_categories_derive_from_polarity(self):
+        term = make(h=0.5, a=-0.3)
+        assert term.categories == {
+            TextureCategory.HARDNESS,
+            TextureCategory.ADHESIVENESS,
+        }
+
+    def test_sign_on(self):
+        term = make(h=0.5, c=-0.3)
+        assert term.sign_on(H) == 1
+        assert term.sign_on(C) == -1
+        assert term.sign_on(A) == 0
+
+    def test_in_category(self):
+        term = make(c=0.4)
+        assert term.in_category(TextureCategory.COHESIVENESS)
+        assert not term.in_category(TextureCategory.HARDNESS)
+
+    def test_as_vector_order(self):
+        term = make(h=0.1, c=0.2, a=0.3)
+        assert term.as_vector() == (0.1, 0.2, 0.3)
+
+
+class TestDerived:
+    def test_derived_scales_polarity(self):
+        variant = make(h=0.8).derived("purut", scale=0.5)
+        assert variant.surface == "purut"
+        assert variant.polarity_on(H) == pytest.approx(0.4)
+
+    def test_derived_keeps_base_and_flag(self):
+        base = TextureTerm(
+            surface="kari", gloss="crisp", polarity={H: 0.6}, gel_related=False
+        )
+        variant = base.derived("karikari")
+        assert variant.base == "kari"
+        assert variant.gel_related is False
+
+    def test_derived_clips_scale(self):
+        variant = make(h=0.8).derived("purutto", scale=2.0)
+        assert variant.polarity_on(H) == 1.0
+
+    def test_str_is_surface(self):
+        assert str(make()) == "purupuru"

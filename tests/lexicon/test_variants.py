@@ -1,0 +1,69 @@
+"""Tests for repro.lexicon.variants."""
+
+from repro.lexicon.categories import SensoryAxis
+from repro.lexicon.variants import (
+    DEFAULT_PATTERNS,
+    PATTERN_SCALE,
+    BaseTerm,
+    Pattern,
+    expand_all,
+)
+
+H = SensoryAxis.HARDNESS
+
+
+def test_pattern_surfaces():
+    assert Pattern.REDUP.apply("puru") == "purupuru"
+    assert Pattern.T.apply("becha") == "bechat"
+    assert Pattern.TTO.apply("puru") == "purutto"
+    assert Pattern.N.apply("puru") == "purun"
+    assert Pattern.NN.apply("puru") == "purunpurun"
+    assert Pattern.RI.apply("puru") == "pururi"
+
+
+def test_every_pattern_has_a_scale():
+    assert set(PATTERN_SCALE) == set(Pattern)
+    assert all(0 < s <= 1 for s in PATTERN_SCALE.values())
+
+
+def test_base_expansion_produces_one_term_per_pattern():
+    base = BaseTerm(
+        stem="puru", gloss="springy", polarity={H: 0.5}, patterns=DEFAULT_PATTERNS
+    )
+    terms = base.expand()
+    assert [t.surface for t in terms] == [
+        "purupuru",
+        "purut",
+        "purutto",
+        "purun",
+    ]
+
+
+def test_expansion_scales_polarity():
+    base = BaseTerm(stem="puru", gloss="g", polarity={H: 1.0}, patterns=(Pattern.T,))
+    (term,) = base.expand()
+    assert term.polarity_on(H) == PATTERN_SCALE[Pattern.T]
+
+
+def test_expansion_keeps_base_stem():
+    base = BaseTerm(stem="puru", gloss="g", polarity={H: 0.5})
+    assert all(t.base == "puru" for t in base.expand())
+
+
+def test_extra_surfaces_are_appended():
+    base = BaseTerm(
+        stem="puru",
+        gloss="g",
+        polarity={H: 0.5},
+        patterns=(Pattern.T,),
+        extra_surfaces=("purunpurun",),
+    )
+    assert [t.surface for t in base.expand()] == ["purut", "purunpurun"]
+
+
+def test_expand_all_deduplicates_across_bases():
+    a = BaseTerm(stem="puru", gloss="g", polarity={H: 0.5}, patterns=(Pattern.T,))
+    b = BaseTerm(stem="puru", gloss="other", polarity={H: 0.9}, patterns=(Pattern.T,))
+    terms = expand_all([a, b])
+    assert len(terms) == 1
+    assert terms[0].gloss == "g"  # first wins

@@ -1,0 +1,67 @@
+"""Tests for repro.pipeline.bundle."""
+
+import pytest
+
+from repro.core.joint_model import JointModelConfig
+from repro.pipeline.bundle import write_report_bundle
+from repro.pipeline.experiment import ExperimentConfig, run_experiment
+from repro.synth.presets import CorpusPreset
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(
+        preset=CorpusPreset(name="bundle-test", n_recipes=400),
+        model=JointModelConfig(n_topics=6, n_sweeps=30, burn_in=15, thin=3),
+        seed=2,
+        use_w2v_filter=False,
+    )
+    return run_experiment(config)
+
+
+@pytest.fixture(scope="module")
+def bundle(result, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bundle")
+    return write_report_bundle(result, directory), directory
+
+
+class TestBundle:
+    def test_all_artefacts_written(self, bundle):
+        written, _ = bundle
+        expected = {
+            "report", "table1", "table2a", "table2b",
+            "fig3_bavarois", "fig4_bavarois",
+            "fig3_milk_jelly", "fig4_milk_jelly",
+            "dataset_stats", "model",
+        }
+        assert expected <= set(written)
+        for path in written.values():
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_report_contains_all_sections(self, bundle):
+        written, _ = bundle
+        text = written["report"].read_text()
+        for marker in ("Table I", "Table II(a)", "Table II(b)",
+                       "Fig 3", "Fig 4", "Bavarois", "Milk jelly"):
+            assert marker in text
+
+    def test_model_reloadable(self, bundle, result):
+        import numpy as np
+
+        from repro.persistence import load_model
+
+        written, _ = bundle
+        model, vocabulary = load_model(written["model"])
+        assert vocabulary == result.dataset.vocabulary
+        assert np.allclose(model.phi_, result.model.phi_)
+
+    def test_directory_created(self, result, tmp_path):
+        target = tmp_path / "nested" / "bundle"
+        written = write_report_bundle(result, target)
+        assert target.is_dir()
+        assert written["report"].parent == target
+
+    def test_overwrites_cleanly(self, result, tmp_path):
+        write_report_bundle(result, tmp_path)
+        written = write_report_bundle(result, tmp_path)
+        assert written["report"].exists()

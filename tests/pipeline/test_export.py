@@ -1,0 +1,90 @@
+"""Tests for repro.pipeline.export."""
+
+import csv
+
+import pytest
+
+from repro.core.joint_model import JointModelConfig
+from repro.pipeline.experiment import ExperimentConfig, run_experiment
+from repro.pipeline.export import (
+    export_fig3,
+    export_fig4,
+    export_table1,
+    export_table2a,
+    export_table2b,
+)
+from repro.pipeline.figures import fig3_data, fig4_data
+from repro.pipeline.tables import table1_rows, table2a_rows, table2b_rows
+from repro.rheology.studies import BAVAROIS
+from repro.synth.presets import CorpusPreset
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(
+        preset=CorpusPreset(name="export-test", n_recipes=400),
+        model=JointModelConfig(n_topics=6, n_sweeps=30, burn_in=15, thin=3),
+        seed=2,
+        use_w2v_filter=False,
+    )
+    return run_experiment(config)
+
+
+def read_csv(path):
+    with path.open() as handle:
+        return list(csv.DictReader(handle))
+
+
+class TestTable1Export:
+    def test_thirteen_rows(self, tmp_path):
+        path = export_table1(table1_rows(), tmp_path / "t1.csv")
+        rows = read_csv(path)
+        assert len(rows) == 13
+        assert rows[0]["data_id"] == "1"
+        assert float(rows[4]["adhesiveness_pub"]) == 12.6
+
+    def test_gel_columns(self, tmp_path):
+        path = export_table1(table1_rows(), tmp_path / "t1.csv")
+        rows = read_csv(path)
+        assert float(rows[0]["gelatin"]) == pytest.approx(0.018)
+        assert float(rows[5]["kanten"]) == pytest.approx(0.008)
+
+
+class TestTable2Export:
+    def test_table2a_rows_per_term(self, result, tmp_path):
+        table = table2a_rows(result)
+        path = export_table2a(table, tmp_path / "t2a.csv")
+        rows = read_csv(path)
+        assert len(rows) == sum(len(r.top_terms) for r in table)
+        assert {row["term_rank"] for row in rows} >= {"1"}
+
+    def test_table2b_two_rows(self, result, tmp_path):
+        path = export_table2b(table2b_rows(result), tmp_path / "t2b.csv")
+        rows = read_csv(path)
+        assert [r["dish"] for r in rows] == ["Bavarois", "Milk jelly"]
+        assert rows[0]["assigned_topic"] == rows[1]["assigned_topic"]
+
+
+class TestFigureExport:
+    def test_fig3_rows(self, result, tmp_path):
+        data = fig3_data(result, BAVAROIS, n_bins=5)
+        path = export_fig3(data, tmp_path / "fig3.csv")
+        rows = read_csv(path)
+        assert len(rows) == 10  # 5 bins × 2 panels
+        panels = {r["panel"] for r in rows}
+        assert panels == {"a", "b"}
+
+    def test_fig3_counts_match_series(self, result, tmp_path):
+        data = fig3_data(result, BAVAROIS, n_bins=5)
+        path = export_fig3(data, tmp_path / "fig3.csv")
+        rows = [r for r in read_csv(path) if r["panel"] == "a"]
+        total = sum(int(r["positive_count"]) for r in rows)
+        assert total == int(data.hardness.positive.sum())
+
+    def test_fig4_points_and_star(self, result, tmp_path):
+        data = fig4_data(result, BAVAROIS)
+        path = export_fig4(data, tmp_path / "fig4.csv")
+        rows = read_csv(path)
+        kinds = [r["kind"] for r in rows]
+        assert kinds.count("star") == 1
+        assert kinds.count("point") == len(data.points)

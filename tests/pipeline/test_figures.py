@@ -1,0 +1,102 @@
+"""Tests for repro.pipeline.figures."""
+
+import numpy as np
+import pytest
+
+from repro.core.joint_model import JointModelConfig
+from repro.lexicon.categories import SensoryAxis
+from repro.pipeline.experiment import ExperimentConfig, run_experiment
+from repro.pipeline.figures import (
+    fig3_data,
+    fig4_data,
+    mean_scores,
+    recipe_axis_score,
+)
+from repro.rheology.studies import BAVAROIS, MILK_JELLY
+from repro.synth.presets import CorpusPreset
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(
+        preset=CorpusPreset(name="figures-test", n_recipes=900),
+        model=JointModelConfig(n_topics=8, n_sweeps=80, burn_in=40, thin=4),
+        seed=11,
+        use_w2v_filter=False,
+    )
+    return run_experiment(config)
+
+
+class TestRecipeAxisScore:
+    def test_hard_terms_positive(self, dictionary):
+        assert recipe_axis_score({"katai": 2}, SensoryAxis.HARDNESS, dictionary) > 0
+
+    def test_empty_zero(self, dictionary):
+        assert recipe_axis_score({}, SensoryAxis.HARDNESS, dictionary) == 0.0
+
+    def test_tf_weighted(self, dictionary):
+        light = recipe_axis_score(
+            {"katai": 1, "fuwafuwa": 1}, SensoryAxis.HARDNESS, dictionary
+        )
+        heavy = recipe_axis_score(
+            {"katai": 3, "fuwafuwa": 1}, SensoryAxis.HARDNESS, dictionary
+        )
+        assert heavy > light
+
+
+class TestFig3:
+    def test_series_shapes(self, result):
+        data = fig3_data(result, BAVAROIS, n_bins=6)
+        assert len(data.hardness.positive) == 6
+        assert len(data.cohesiveness.positive) == 6
+        assert len(data.divergences) == (
+            result.topic_assignments() == data.topic
+        ).sum()
+
+    def test_axes_cover_fig3a_and_fig3b(self, result):
+        data = fig3_data(result, MILK_JELLY)
+        assert data.hardness.axis is SensoryAxis.HARDNESS
+        assert data.cohesiveness.axis is SensoryAxis.COHESIVENESS
+
+    def test_topic_matches_linker(self, result):
+        data = fig3_data(result, BAVAROIS)
+        assert data.topic == result.linker.link_dish(BAVAROIS).topic
+
+
+class TestFig4:
+    def test_points_per_topic_member(self, result):
+        data = fig4_data(result, BAVAROIS)
+        members = (result.topic_assignments() == data.topic).sum()
+        assert len(data.points) == members
+
+    def test_scores_bounded(self, result):
+        data = fig4_data(result, BAVAROIS)
+        for point in data.points:
+            assert -1.0 <= point.hardness_score <= 1.0
+            assert -1.0 <= point.cohesiveness_score <= 1.0
+
+    def test_low_kl_subset(self, result):
+        data = fig4_data(result, BAVAROIS)
+        low = data.low_kl_points(0.33)
+        assert 0 < len(low) <= len(data.points)
+        threshold = max(p.divergence for p in low)
+        assert all(
+            p.divergence >= threshold or p in low for p in data.points
+        )
+
+    def test_paper_shape_low_kl_harder_than_star(self, result):
+        """'Red colored plots concentrate in the right area' (Fig 4)."""
+        for dish in (BAVAROIS, MILK_JELLY):
+            data = fig4_data(result, dish)
+            low_mean = mean_scores(data.low_kl_points())
+            assert low_mean[0] > data.star[0] - 0.05
+
+    def test_paper_shape_bavarois_more_elastic_than_milk(self, result):
+        """Fig 4: Bavarois sits upper-right, Milk jelly middle-right."""
+        bavarois = mean_scores(fig4_data(result, BAVAROIS).low_kl_points())
+        milk = mean_scores(fig4_data(result, MILK_JELLY).low_kl_points())
+        assert bavarois[1] > milk[1]
+
+
+def test_mean_scores_empty():
+    assert mean_scores([]) == (0.0, 0.0)

@@ -1,0 +1,57 @@
+"""Tests for repro.pipeline.labels."""
+
+import pytest
+
+from repro.core.joint_model import JointModelConfig
+from repro.pipeline.experiment import ExperimentConfig, run_experiment
+from repro.pipeline.labels import all_topic_labels, topic_label
+from repro.pipeline.tables import table2a_rows
+from repro.synth.presets import CorpusPreset
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(
+        preset=CorpusPreset(name="labels-test", n_recipes=900),
+        model=JointModelConfig(n_topics=8, n_sweeps=80, burn_in=40, thin=4),
+        seed=11,
+        use_w2v_filter=False,
+    )
+    return run_experiment(config)
+
+
+class TestTopicLabel:
+    def test_every_topic_labelled(self, result):
+        labels = all_topic_labels(result)
+        rows = table2a_rows(result)
+        assert set(labels) == {r.topic for r in rows}
+        assert all(isinstance(v, str) and v for v in labels.values())
+
+    def test_labels_name_the_gels(self, result):
+        labels = all_topic_labels(result)
+        rows = {r.topic: r for r in table2a_rows(result)}
+        for topic, label in labels.items():
+            for gel in rows[topic].gel_summary:
+                assert gel in label
+
+    def test_kanten_firm_topic_reads_hard(self, result, dictionary):
+        """The brittle kanten topic must get a hard-family adjective."""
+        rows = table2a_rows(result)
+        kanten_topics = [
+            r.topic
+            for r in rows
+            if set(r.gel_summary) == {"kanten"}
+            and r.gel_summary["kanten"] > 0.012
+        ]
+        if not kanten_topics:
+            pytest.skip("no pure firm-kanten topic at this scale")
+        label = topic_label(result, kanten_topics[0], dictionary)
+        assert label.split()[0] in {"hard", "firm"}
+
+    def test_empty_topic_handled(self, result):
+        missing = result.model.n_topics + 5
+        assert "empty" in topic_label(result, missing)
+
+    def test_concentration_in_percent(self, result):
+        labels = all_topic_labels(result)
+        assert any("%" in label for label in labels.values())

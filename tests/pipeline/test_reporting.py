@@ -1,0 +1,69 @@
+"""Tests for repro.pipeline.reporting."""
+
+import pytest
+
+from repro.core.joint_model import JointModelConfig
+from repro.pipeline.experiment import ExperimentConfig, run_experiment
+from repro.pipeline.figures import fig3_data, fig4_data
+from repro.pipeline.reporting import (
+    format_table,
+    render_fig3,
+    render_fig4,
+    render_table1,
+    render_table2a,
+    render_table2b,
+)
+from repro.pipeline.tables import table1_rows, table2a_rows, table2b_rows
+from repro.rheology.studies import BAVAROIS
+from repro.synth.presets import CorpusPreset
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(
+        preset=CorpusPreset(name="report-test", n_recipes=400),
+        model=JointModelConfig(n_topics=6, n_sweeps=30, burn_in=15, thin=3),
+        seed=2,
+        use_w2v_filter=False,
+    )
+    return run_experiment(config)
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l.rstrip()) for l in lines[2:])) <= 2
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestRenderers:
+    def test_table1_mentions_every_row(self):
+        text = render_table1(table1_rows())
+        for i in range(1, 14):
+            assert f"\n{i} " in "\n" + text or text.splitlines()[i + 1].startswith(str(i))
+
+    def test_table2a_contains_terms_and_counts(self, result):
+        rows = table2a_rows(result)
+        text = render_table2a(rows)
+        assert "Topic" in text and "#Recipes" in text
+        top_surface = rows[0].top_terms[0][0]
+        assert top_surface in text
+
+    def test_table2b_lists_both_dishes(self, result):
+        text = render_table2b(table2b_rows(result))
+        assert "Bavarois" in text and "Milk jelly" in text
+
+    def test_fig3_renders_bins(self, result):
+        text = render_fig3(fig3_data(result, BAVAROIS, n_bins=4))
+        assert "hard" in text and "soft" in text
+        assert text.count("KL[") == 8  # 4 bins × 2 panels
+
+    def test_fig4_renders_star_and_means(self, result):
+        text = render_fig4(fig4_data(result, BAVAROIS))
+        assert "topic star" in text
+        assert "low-KL" in text

@@ -1,0 +1,123 @@
+"""Tests for repro.pipeline.tables."""
+
+import numpy as np
+import pytest
+
+from repro.core.joint_model import JointModelConfig
+from repro.pipeline.experiment import ExperimentConfig, run_experiment
+from repro.pipeline.tables import (
+    dish_neighbour_kl,
+    table1_rows,
+    table2a_rows,
+    table2b_rows,
+)
+from repro.rheology.studies import BAVAROIS, MILK_JELLY, TABLE_I
+from repro.synth.presets import CorpusPreset
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(
+        preset=CorpusPreset(name="tables-test", n_recipes=600),
+        model=JointModelConfig(n_topics=8, n_sweeps=60, burn_in=30, thin=3),
+        seed=11,
+        use_w2v_filter=False,
+    )
+    return run_experiment(config)
+
+
+class TestTable1:
+    def test_all_rows_simulated(self):
+        rows = table1_rows()
+        assert len(rows) == 13
+        assert [r.data_id for r in rows] == list(range(1, 14))
+
+    def test_shape_agreement_with_paper(self):
+        """Who is hard, who is sticky — the qualitative Table I shape."""
+        rows = {r.data_id: r for r in table1_rows()}
+        # hardness rises with gelatin concentration (rows 1→4)
+        hardness = [rows[i].simulated.hardness for i in (1, 2, 3, 4)]
+        assert hardness == sorted(hardness)
+        # kanten is never sticky
+        for i in (6, 7, 8, 9):
+            assert rows[i].simulated.adhesiveness < 0.1
+        # the gelatin+agar mixture spikes adhesiveness (row 5 = 12.6 RU)
+        assert rows[5].simulated.adhesiveness > 5.0
+        # kanten at 2 % is the hardest single-gel setting
+        assert rows[9].simulated.hardness == max(
+            rows[i].simulated.hardness for i in range(6, 14)
+        )
+
+    def test_hardness_within_factor_two_of_published(self):
+        for row in table1_rows():
+            published = row.published.hardness
+            if published >= 0.1:
+                ratio = row.simulated.hardness / published
+                assert 0.4 <= ratio <= 2.5
+
+
+class TestTable2a:
+    def test_rows_cover_all_recipes(self, result):
+        rows = table2a_rows(result)
+        assert sum(r.n_recipes for r in rows) == len(result.dataset)
+
+    def test_rows_sorted_by_size(self, result):
+        rows = table2a_rows(result)
+        sizes = [r.n_recipes for r in rows]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_top_terms_have_probabilities(self, result):
+        for row in table2a_rows(result):
+            for surface, prob, gloss in row.top_terms:
+                assert 0.0 < prob <= 1.0
+                assert surface in result.vocabulary
+
+    def test_gel_summary_only_present_gels(self, result):
+        for row in table2a_rows(result):
+            for gel, concentration in row.gel_summary.items():
+                assert 0.0 < concentration < 0.2
+                assert row.gel_presence[gel] >= 0.25
+
+    def test_every_table1_row_assigned_once(self, result):
+        rows = table2a_rows(result)
+        assigned = sorted(i for r in rows for i in r.linked_data_ids)
+        assert assigned == [s.data_id for s in TABLE_I]
+
+
+class TestTable2b:
+    def test_both_dishes_assigned(self, result):
+        rows = table2b_rows(result)
+        assert [r.dish.name for r in rows] == ["Bavarois", "Milk jelly"]
+        for row in rows:
+            assert 0 <= row.assigned_topic < result.model.n_topics
+            assert row.divergence >= 0
+
+    def test_dishes_share_a_topic(self, result):
+        """Paper: both dishes (same 2.5 % gelatin) land in the same topic."""
+        rows = table2b_rows(result)
+        assert rows[0].assigned_topic == rows[1].assigned_topic
+
+    def test_assigned_topic_is_gelatin_band(self, result):
+        """The dishes' topic must be a gelatin topic near 2.5 %."""
+        rows = table2b_rows(result)
+        topic = rows[0].assigned_topic
+        table = {r.topic: r for r in table2a_rows(result)}
+        gel_summary = table[topic].gel_summary
+        assert "gelatin" in gel_summary
+        assert 0.015 <= gel_summary["gelatin"] <= 0.04
+
+
+class TestDishNeighbourKl:
+    def test_divergences_for_topic_members(self, result):
+        rows = table2b_rows(result)
+        topic = rows[0].assigned_topic
+        divergences = dish_neighbour_kl(result, BAVAROIS, topic)
+        members = (result.topic_assignments() == topic).sum()
+        assert len(divergences) == members
+        assert np.all(divergences >= 0)
+
+    def test_bavarois_and_milk_rankings_differ(self, result):
+        topic = table2b_rows(result)[0].assigned_topic
+        a = dish_neighbour_kl(result, BAVAROIS, topic)
+        b = dish_neighbour_kl(result, MILK_JELLY, topic)
+        assert not np.allclose(a, b)

@@ -1,0 +1,148 @@
+"""Tests for repro.pipeline.tuning."""
+
+import pytest
+
+from repro.core.joint_model import JointModelConfig
+from repro.errors import ExperimentError
+from repro.pipeline.tuning import grid_search
+
+
+@pytest.fixture(scope="module")
+def tuned(request):
+    tiny_dataset = request.getfixturevalue("tiny_dataset_session")
+    base = JointModelConfig(n_sweeps=16, burn_in=8, thin=2)
+    return grid_search(
+        tiny_dataset,
+        n_topics_grid=(3, 5),
+        alpha_grid=(0.5, 1.0),
+        base_config=base,
+        rng=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset_session():
+    from repro.pipeline.dataset import DatasetBuilder
+    from repro.synth.generator import CorpusGenerator
+    from repro.synth.presets import CorpusPreset
+
+    corpus = CorpusGenerator(rng=123).generate(
+        CorpusPreset(name="tuning-test", n_recipes=350)
+    )
+    return DatasetBuilder(use_w2v_filter=False).build(corpus.recipes, rng=7)
+
+
+class TestGridSearch:
+    def test_evaluates_whole_grid(self, tuned):
+        assert len(tuned.rows) == 4
+        combos = {(r.config.n_topics, r.config.alpha) for r in tuned.rows}
+        assert combos == {(3, 0.5), (3, 1.0), (5, 0.5), (5, 1.0)}
+
+    def test_best_by_log_likelihood(self, tuned):
+        best = tuned.best
+        assert best.log_likelihood == max(r.log_likelihood for r in tuned.rows)
+
+    def test_perplexity_criterion(self, tiny_dataset_session):
+        result = grid_search(
+            tiny_dataset_session,
+            n_topics_grid=(3,),
+            base_config=JointModelConfig(n_sweeps=10, burn_in=5, thin=2),
+            rng=1,
+            criterion="perplexity",
+        )
+        assert result.best.perplexity == min(r.perplexity for r in result.rows)
+
+    def test_perplexities_beat_uniform(self, tuned, tiny_dataset_session):
+        for row in tuned.rows:
+            assert row.perplexity < tiny_dataset_session.vocab_size
+
+    def test_table_renders(self, tuned):
+        text = tuned.table()
+        assert "perplexity" in text
+        assert len(text.splitlines()) == 5
+
+    def test_empty_grid_rejected(self, tiny_dataset_session):
+        with pytest.raises(ExperimentError):
+            grid_search(tiny_dataset_session, n_topics_grid=())
+
+    def test_unknown_criterion_rejected(self, tiny_dataset_session):
+        with pytest.raises(ExperimentError):
+            grid_search(tiny_dataset_session, criterion="vibes")
+
+    def test_heldout_criterion(self, tiny_dataset_session):
+        result = grid_search(
+            tiny_dataset_session,
+            n_topics_grid=(3, 5),
+            base_config=JointModelConfig(n_sweeps=12, burn_in=6, thin=2),
+            rng=2,
+            criterion="heldout",
+        )
+        assert all(r.heldout_perplexity is not None for r in result.rows)
+        best = result.best
+        assert best.heldout_perplexity == min(
+            r.heldout_perplexity for r in result.rows
+        )
+        # sanity: finite and in a plausible range (this 165-recipe toy
+        # dataset has more word types than training documents, so the
+        # uniform baseline is not necessarily beaten here)
+        for row in result.rows:
+            assert 1.0 < row.heldout_perplexity < 10 * tiny_dataset_session.vocab_size
+        assert "heldout" in result.table()
+
+
+class TestCrossValidation:
+    def test_three_folds(self, tiny_dataset_session):
+        from repro.pipeline.tuning import cross_validate
+
+        config = JointModelConfig(n_topics=4, n_sweeps=10, burn_in=5, thin=2)
+        result = cross_validate(tiny_dataset_session, config, k=3, rng=4)
+        assert len(result.fold_perplexities) == 3
+        assert all(p > 1.0 for p in result.fold_perplexities)
+        assert result.mean > 0 and result.std >= 0
+
+    def test_deterministic(self, tiny_dataset_session):
+        from repro.pipeline.tuning import cross_validate
+
+        config = JointModelConfig(n_topics=4, n_sweeps=8, burn_in=4, thin=2)
+        a = cross_validate(tiny_dataset_session, config, k=3, rng=4)
+        b = cross_validate(tiny_dataset_session, config, k=3, rng=4)
+        assert a.fold_perplexities == b.fold_perplexities
+
+    def test_validation(self, tiny_dataset_session):
+        from repro.pipeline.tuning import cross_validate
+
+        with pytest.raises(ExperimentError):
+            cross_validate(tiny_dataset_session, k=1)
+        with pytest.raises(ExperimentError):
+            cross_validate(tiny_dataset_session, k=1000)
+
+
+class TestDatasetSplit:
+    def test_split_partitions(self, tiny_dataset_session):
+        train, heldout = tiny_dataset_session.split(0.25, rng=1)
+        assert len(train) + len(heldout) == len(tiny_dataset_session)
+        assert set(train.recipe_ids).isdisjoint(heldout.recipe_ids)
+
+    def test_split_preserves_vocabulary(self, tiny_dataset_session):
+        train, heldout = tiny_dataset_session.split(0.25, rng=1)
+        assert train.vocabulary == tiny_dataset_session.vocabulary
+        assert heldout.vocabulary == tiny_dataset_session.vocabulary
+
+    def test_split_deterministic(self, tiny_dataset_session):
+        a = tiny_dataset_session.split(0.25, rng=5)
+        b = tiny_dataset_session.split(0.25, rng=5)
+        assert a[1].recipe_ids == b[1].recipe_ids
+
+    def test_bad_fraction_rejected(self, tiny_dataset_session):
+        from repro.errors import CorpusError
+
+        with pytest.raises(CorpusError):
+            tiny_dataset_session.split(0.0)
+        with pytest.raises(CorpusError):
+            tiny_dataset_session.split(1.0)
+
+    def test_subset_alignment(self, tiny_dataset_session):
+        subset = tiny_dataset_session.subset([0, 2, 4])
+        assert len(subset) == 3
+        assert subset.features[1] is tiny_dataset_session.features[2]
+        assert (subset.gel_log[1] == tiny_dataset_session.gel_log[2]).all()

@@ -1,0 +1,60 @@
+"""Tests for repro.rheology.curveplot."""
+
+import pytest
+
+from repro.rheology.curveplot import render_curve
+from repro.rheology.material import MaterialParameters
+from repro.rheology.rheometer import Rheometer
+
+
+@pytest.fixture(scope="module")
+def curve():
+    material = MaterialParameters(
+        modulus_kpa=2.0, recovery=0.5, adhesion_j_m2=0.8
+    )
+    return Rheometer().run(material)
+
+
+class TestRenderCurve:
+    def test_dimensions(self, curve):
+        text = render_curve(curve, width=60, height=12)
+        lines = text.splitlines()
+        assert len(lines) == 13  # chart + legend
+        assert all(len(line) == 60 for line in lines[:-1])
+
+    def test_both_bites_drawn(self, curve):
+        text = render_curve(curve)
+        assert "*" in text and "o" in text
+
+    def test_zero_axis_drawn(self, curve):
+        text = render_curve(curve)
+        assert "-" in text.splitlines()[0] or any(
+            "-" in line for line in text.splitlines()[:-1]
+        )
+
+    def test_f1_annotated(self, curve):
+        chart = "\n".join(render_curve(curve).splitlines()[:-1])
+        assert "F1" in chart
+
+    def test_legend_carries_profile(self, curve):
+        legend = render_curve(curve).splitlines()[-1]
+        assert "H=" in legend and "C=" in legend and "A=" in legend
+
+    def test_adhesive_region_below_axis(self, curve):
+        """The sticky pull-off must put bite-1 marks below the zero row."""
+        lines = render_curve(curve, width=60, height=12).splitlines()[:-1]
+        zero_row = next(i for i, l in enumerate(lines) if l.count("-") > 10)
+        below = "".join(lines[zero_row + 1 :])
+        assert "*" in below
+
+    def test_too_small_rejected(self, curve):
+        with pytest.raises(ValueError):
+            render_curve(curve, width=10, height=4)
+
+    def test_no_adhesion_stays_above_axis(self):
+        material = MaterialParameters(modulus_kpa=2.0, adhesion_j_m2=0.0)
+        curve = Rheometer().run(material)
+        lines = render_curve(curve, width=60, height=12).splitlines()[:-1]
+        zero_row = next(i for i, l in enumerate(lines) if l.count("-") > 10)
+        below = "".join(lines[zero_row + 1 :])
+        assert "*" not in below

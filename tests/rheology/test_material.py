@@ -1,0 +1,45 @@
+"""Tests for repro.rheology.material."""
+
+import pytest
+
+from repro.rheology.material import MaterialParameters
+
+
+class TestValidation:
+    def test_basic(self):
+        m = MaterialParameters(modulus_kpa=1.0)
+        assert m.yield_strain == 0.45
+
+    def test_negative_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            MaterialParameters(modulus_kpa=-1.0)
+
+    def test_recovery_bounds(self):
+        with pytest.raises(ValueError):
+            MaterialParameters(modulus_kpa=1.0, recovery=1.5)
+        with pytest.raises(ValueError):
+            MaterialParameters(modulus_kpa=1.0, recovery=-0.1)
+
+    def test_yield_strain_bounds(self):
+        with pytest.raises(ValueError):
+            MaterialParameters(modulus_kpa=1.0, yield_strain=0.0)
+        with pytest.raises(ValueError):
+            MaterialParameters(modulus_kpa=1.0, yield_strain=0.99)
+
+
+class TestDamaged:
+    def test_modulus_scaled_by_recovery(self):
+        m = MaterialParameters(modulus_kpa=2.0, recovery=0.5)
+        assert m.damaged().modulus_kpa == pytest.approx(1.0)
+
+    def test_adhesion_mostly_spent(self):
+        m = MaterialParameters(modulus_kpa=2.0, adhesion_j_m2=1.0)
+        assert m.damaged().adhesion_j_m2 == pytest.approx(0.25)
+
+    def test_fully_cohesive_material_unchanged_modulus(self):
+        m = MaterialParameters(modulus_kpa=2.0, recovery=1.0)
+        assert m.damaged().modulus_kpa == pytest.approx(2.0)
+
+    def test_zero_recovery_collapses(self):
+        m = MaterialParameters(modulus_kpa=2.0, recovery=0.0)
+        assert m.damaged().modulus_kpa == 0.0

@@ -1,0 +1,37 @@
+"""Tests for repro.rheology.ru."""
+
+import pytest
+
+from repro.rheology.ru import (
+    REFERENCE_PROBE_AREA_M2,
+    ForceUnit,
+    from_ru,
+    to_ru,
+)
+
+
+def test_newton_is_identity():
+    assert to_ru(2.5, ForceUnit.NEWTON) == 2.5
+
+
+def test_gram_force():
+    assert to_ru(1000.0, ForceUnit.GRAM_FORCE) == pytest.approx(9.80665)
+
+
+def test_kilogram_force():
+    assert to_ru(1.0, ForceUnit.KILOGRAM_FORCE) == pytest.approx(9.80665)
+
+
+def test_dyne():
+    assert to_ru(1e5, ForceUnit.DYNE) == pytest.approx(1.0)
+
+
+def test_kpa_on_reference_probe():
+    # 1 kPa on 20 cm² = 2 N
+    assert to_ru(1.0, ForceUnit.KPA_ON_PROBE) == pytest.approx(2.0)
+    assert REFERENCE_PROBE_AREA_M2 == pytest.approx(2.0e-3)
+
+
+@pytest.mark.parametrize("unit", list(ForceUnit))
+def test_round_trip(unit):
+    assert from_ru(to_ru(3.7, unit), unit) == pytest.approx(3.7)

@@ -1,0 +1,96 @@
+"""Tests for repro.synth.archetypes."""
+
+import pytest
+
+from repro.rheology.gel_system import EMULSION_NAMES, GEL_NAMES
+from repro.synth.archetypes import ARCHETYPE_INDEX, ARCHETYPES, Optional_, Range
+
+
+class TestRangeAndOptional:
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            Range(0.0, 0.1)
+        with pytest.raises(ValueError):
+            Range(0.2, 0.1)
+
+    def test_optional_probability_validation(self):
+        with pytest.raises(ValueError):
+            Optional_(1.5, Range(0.1, 0.2))
+
+
+class TestInventory:
+    def test_index_covers_all(self):
+        assert set(ARCHETYPE_INDEX) == {a.name for a in ARCHETYPES}
+
+    def test_names_unique(self):
+        names = [a.name for a in ARCHETYPES]
+        assert len(names) == len(set(names))
+
+    def test_gels_are_known(self):
+        for archetype in ARCHETYPES:
+            assert set(archetype.gels) <= set(GEL_NAMES)
+
+    def test_emulsions_are_known(self):
+        for archetype in ARCHETYPES:
+            assert set(archetype.emulsions) <= set(EMULSION_NAMES)
+
+    def test_every_archetype_has_a_primary_gel(self):
+        for archetype in ARCHETYPES:
+            assert archetype.gels
+            first = next(iter(archetype.gels.values()))
+            assert first.prob == 1.0
+
+    def test_dish_names_present(self):
+        for archetype in ARCHETYPES:
+            assert archetype.dish_names
+
+
+class TestPaperBandCoverage:
+    """The corpus must cover the concentration bands of Table II(a)."""
+
+    def band(self, name, gel):
+        return ARCHETYPE_INDEX[name].gels[gel].rng
+
+    def test_gelatin_low_band(self):
+        rng = self.band("mousse", "gelatin")
+        assert rng.lo <= 0.003 and rng.hi >= 0.005
+
+    def test_gelatin_high_band(self):
+        rng = self.band("firm_gummy", "gelatin")
+        assert rng.lo <= 0.054 <= rng.hi
+
+    def test_purupuru_band(self):
+        # paper topic 5: agar 0.009 + gelatin 0.009
+        gel = self.band("purupuru_jelly", "gelatin")
+        agar = self.band("purupuru_jelly", "agar")
+        assert gel.lo <= 0.009 <= gel.hi
+        assert agar.lo <= 0.009 <= agar.hi
+
+    def test_kanten_bands(self):
+        soft = self.band("kanten_soft", "kanten")
+        firm = self.band("kanten_firm", "kanten")
+        assert soft.lo <= 0.004 <= soft.hi
+        assert firm.lo <= 0.021 <= firm.hi
+
+    def test_agar_sticky_band(self):
+        rng = self.band("agar_sticky", "agar")
+        assert rng.lo <= 0.016 <= rng.hi
+
+    def test_bavarois_matches_dish_study(self):
+        rng = self.band("bavarois", "gelatin")
+        assert rng.lo <= 0.025 <= rng.hi
+
+
+class TestNoiseArchetypes:
+    def test_fruit_jelly_exceeds_unrelated_threshold(self):
+        fruits = ARCHETYPE_INDEX["fruit_jelly"].fruits
+        assert fruits is not None and fruits.rng.lo > 0.10
+
+    def test_nut_mousse_has_toppings_below_threshold(self):
+        toppings = ARCHETYPE_INDEX["nut_mousse"].toppings
+        assert toppings is not None
+        assert toppings.rng.hi <= 0.10
+
+    def test_cheesecake_bulk_exceeds_threshold(self):
+        bulk = ARCHETYPE_INDEX["rare_cheesecake"].bulk
+        assert bulk is not None and bulk.rng.lo > 0.10

@@ -1,0 +1,153 @@
+"""Tests for repro.synth.generator — the Cookpad simulator."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.corpus.features import mass_table
+from repro.synth.archetypes import ARCHETYPE_INDEX
+from repro.synth.generator import CorpusGenerator, gel_band
+from repro.synth.presets import CorpusPreset
+from repro.units.convert import concentrations
+
+
+class TestGelBand:
+    def test_mixed_band(self):
+        assert gel_band({"gelatin": 0.009, "agar": 0.009}) == "gelatin+agar"
+
+    def test_gelatin_bands(self):
+        assert gel_band({"gelatin": 0.005}) == "gelatin:low"
+        assert gel_band({"gelatin": 0.012}) == "gelatin:mid"
+        assert gel_band({"gelatin": 0.025}) == "gelatin:high"
+        assert gel_band({"gelatin": 0.055}) == "gelatin:very_high"
+
+    def test_kanten_bands(self):
+        assert gel_band({"kanten": 0.004}) == "kanten:low"
+        assert gel_band({"kanten": 0.021}) == "kanten:high"
+
+    def test_agar_bands(self):
+        assert gel_band({"agar": 0.008}) == "agar:low"
+        assert gel_band({"agar": 0.016}) == "agar:high"
+
+    def test_no_gel(self):
+        assert gel_band({}) == "none"
+        assert gel_band({"gelatin": 0.0}) == "none"
+
+
+class TestGenerateOne:
+    def test_deterministic(self):
+        a = CorpusGenerator(rng=9).generate_one(
+            "R1", ARCHETYPE_INDEX["bavarois"]
+        )
+        b = CorpusGenerator(rng=9).generate_one(
+            "R1", ARCHETYPE_INDEX["bavarois"]
+        )
+        assert a[0] == b[0]
+
+    def test_bavarois_contains_its_emulsions(self):
+        recipe, truth = CorpusGenerator(rng=1).generate_one(
+            "R1", ARCHETYPE_INDEX["bavarois"]
+        )
+        names = set(recipe.ingredient_names())
+        assert {"gelatin", "egg_yolk", "cream", "milk"} <= names
+        assert truth.archetype == "bavarois"
+
+    def test_truth_composition_matches_parsed_recipe(self):
+        """Ground truth must be computed from the *rendered* quantities."""
+        recipe, truth = CorpusGenerator(rng=2).generate_one(
+            "R1", ARCHETYPE_INDEX["standard_jelly"]
+        )
+        ratios = concentrations(mass_table(recipe))
+        assert truth.composition.gels["gelatin"] == pytest.approx(
+            ratios["gelatin"]
+        )
+
+    def test_sampled_terms_in_description(self):
+        generator = CorpusGenerator(rng=3)
+        for index in range(30):
+            recipe, truth = generator.generate_one(
+                f"R{index}", ARCHETYPE_INDEX["standard_jelly"]
+            )
+            for surface in truth.sampled_terms:
+                assert surface in recipe.description
+
+    def test_every_quantity_parses(self):
+        generator = CorpusGenerator(rng=4)
+        for index in range(30):
+            recipe, _ = generator.generate_one(
+                f"R{index}", ARCHETYPE_INDEX["mousse"]
+            )
+            masses = mass_table(recipe)  # raises on failure
+            assert all(m > 0 for m in masses.values())
+
+
+class TestGenerateCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return CorpusGenerator(rng=11).generate(
+            CorpusPreset(name="gen-test", n_recipes=400)
+        )
+
+    def test_size(self, corpus):
+        assert len(corpus) == 400
+
+    def test_unique_ids(self, corpus):
+        ids = [r.recipe_id for r in corpus]
+        assert len(set(ids)) == 400
+
+    def test_truth_for_every_recipe(self, corpus):
+        for recipe in corpus:
+            truth = corpus.truth_of(recipe.recipe_id)
+            assert truth.profile.hardness >= 0
+
+    def test_archetype_mix_roughly_follows_weights(self, corpus):
+        archetypes = Counter(
+            corpus.truth_of(r.recipe_id).archetype for r in corpus
+        )
+        assert archetypes["mousse"] > archetypes["firm_gummy"]
+        assert archetypes["purupuru_jelly"] > archetypes["bavarois"]
+
+    def test_some_recipes_have_no_terms(self, corpus):
+        silent = [
+            r for r in corpus if not corpus.truth_of(r.recipe_id).sampled_terms
+        ]
+        assert len(silent) > 400 * 0.2  # term_presence = 0.55
+
+    def test_topping_terms_only_with_toppings(self, corpus):
+        from repro.synth.ingredients import TOPPING_INGREDIENTS
+
+        for recipe in corpus:
+            truth = corpus.truth_of(recipe.recipe_id)
+            if truth.topping_terms:
+                assert any(
+                    recipe.has_ingredient(t) for t in TOPPING_INGREDIENTS
+                )
+
+    def test_hard_bands_get_hard_terms(self, corpus, dictionary):
+        """The learnability property: term polarity tracks gel band."""
+        from repro.lexicon.categories import SensoryAxis
+
+        def mean_polarity(band_prefix):
+            values = []
+            for recipe in corpus:
+                truth = corpus.truth_of(recipe.recipe_id)
+                if not truth.gel_band.startswith(band_prefix):
+                    continue
+                for surface in truth.sampled_terms:
+                    values.append(
+                        dictionary[surface].polarity_on(SensoryAxis.HARDNESS)
+                    )
+            return np.mean(values) if values else 0.0
+
+        assert mean_polarity("kanten:high") > 0.2
+        assert mean_polarity("gelatin:low") < -0.05
+
+    def test_profile_noise_applied(self):
+        quiet = CorpusGenerator(rng=1).generate(
+            CorpusPreset(name="no-noise", n_recipes=30, profile_noise_sigma=0.0)
+        )
+        noisy = CorpusGenerator(rng=1).generate(
+            CorpusPreset(name="noisy", n_recipes=30, profile_noise_sigma=0.3)
+        )
+        assert len(quiet) == len(noisy) == 30

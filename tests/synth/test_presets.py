@@ -1,0 +1,63 @@
+"""Tests for repro.synth.presets."""
+
+import pytest
+
+from repro.synth.presets import (
+    DEFAULT_PRESET,
+    DEFAULT_WEIGHTS,
+    PAPER_PRESET,
+    TINY_PRESET,
+    CorpusPreset,
+)
+
+
+class TestValidation:
+    def test_positive_recipes_required(self):
+        with pytest.raises(ValueError):
+            CorpusPreset(name="x", n_recipes=0)
+
+    def test_unknown_archetype_rejected(self):
+        with pytest.raises(ValueError):
+            CorpusPreset(name="x", n_recipes=10, archetype_weights={"fondue": 1.0})
+
+    def test_term_presence_is_probability(self):
+        with pytest.raises(ValueError):
+            CorpusPreset(name="x", n_recipes=10, term_presence=1.5)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            CorpusPreset(
+                name="x", n_recipes=10, archetype_weights={"mousse": 0.0}
+            )
+
+
+class TestPresets:
+    def test_paper_scale(self):
+        # Section IV-A: 63,000 collected recipes, ~10k with texture terms
+        assert PAPER_PRESET.n_recipes == 63000
+        assert PAPER_PRESET.term_presence == pytest.approx(10_000 / 63_000, abs=0.01)
+
+    def test_paper_funnel_proportions(self):
+        """~70 % of recipes are unrelated-ingredient-dominated (10k → 3k)."""
+        from repro.synth.presets import PAPER_WEIGHTS
+
+        noise = (
+            PAPER_WEIGHTS["fruit_jelly"]
+            + PAPER_WEIGHTS["rare_cheesecake"]
+            + PAPER_WEIGHTS["anmitsu"]
+        )
+        assert noise / sum(PAPER_WEIGHTS.values()) == pytest.approx(0.67, abs=0.03)
+        # the gel-focused families keep their default relative ordering
+        assert PAPER_WEIGHTS["mousse"] > PAPER_WEIGHTS["bavarois"]
+
+    def test_default_is_fraction_of_paper(self):
+        assert 4000 <= DEFAULT_PRESET.n_recipes <= 16000
+
+    def test_tiny_is_fast(self):
+        assert TINY_PRESET.n_recipes <= 1000
+
+    def test_default_weights_echo_table2a_ordering(self):
+        # mousse and the gelatin+agar purupuru family dominate Table II(a)
+        assert DEFAULT_WEIGHTS["mousse"] > DEFAULT_WEIGHTS["kanten_firm"]
+        assert DEFAULT_WEIGHTS["purupuru_jelly"] > DEFAULT_WEIGHTS["bavarois"]
+        assert DEFAULT_WEIGHTS["firm_gummy"] < DEFAULT_WEIGHTS["standard_jelly"]

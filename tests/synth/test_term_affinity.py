@@ -1,0 +1,111 @@
+"""Tests for repro.synth.term_affinity."""
+
+import numpy as np
+import pytest
+
+from repro.lexicon.categories import SensoryAxis
+from repro.rheology.attributes import TextureProfile
+from repro.synth.term_affinity import (
+    axis_signals,
+    crispy_terms,
+    sample_terms,
+    term_distribution,
+    term_score,
+)
+
+HARD = TextureProfile(hardness=6.0, cohesiveness=0.1, adhesiveness=0.1)
+SOFT = TextureProfile(hardness=0.05, cohesiveness=0.3, adhesiveness=0.05)
+STICKY = TextureProfile(hardness=1.2, cohesiveness=0.4, adhesiveness=3.0)
+
+
+class TestSignals:
+    def test_signals_bounded(self):
+        for profile in (HARD, SOFT, STICKY):
+            for value in axis_signals(profile).values():
+                assert -1.0 <= value <= 1.0
+
+    def test_hard_profile_positive_hardness_signal(self):
+        assert axis_signals(HARD)[SensoryAxis.HARDNESS] > 0.8
+
+    def test_soft_profile_negative_hardness_signal(self):
+        assert axis_signals(SOFT)[SensoryAxis.HARDNESS] < -0.5
+
+    def test_sticky_profile_positive_adhesiveness_signal(self):
+        assert axis_signals(STICKY)[SensoryAxis.ADHESIVENESS] > 0.8
+
+
+class TestScoring:
+    def test_matched_term_scores_high(self, dictionary):
+        signals = axis_signals(HARD)
+        assert term_score(dictionary["katai"], signals) > term_score(
+            dictionary["fuwafuwa"], signals
+        )
+
+    def test_soft_profile_prefers_soft_terms(self, dictionary):
+        signals = axis_signals(SOFT)
+        assert term_score(dictionary["fuwafuwa"], signals) > term_score(
+            dictionary["katai"], signals
+        )
+
+    def test_sticky_profile_prefers_sticky_terms(self, dictionary):
+        signals = axis_signals(STICKY)
+        assert term_score(dictionary["nettori"], signals) > term_score(
+            dictionary["karat"], signals
+        )
+
+
+class TestDistribution:
+    def test_distribution_sums_to_one(self, dictionary):
+        dist = term_distribution(dictionary.gel_related(), HARD)
+        assert dist.sum() == pytest.approx(1.0)
+        assert np.all(dist >= 0)
+
+    def test_sharpness_concentrates(self, dictionary):
+        terms = dictionary.gel_related()
+        flat = term_distribution(terms, HARD, sharpness=0.5)
+        sharp = term_distribution(terms, HARD, sharpness=8.0)
+        assert sharp.max() > flat.max()
+
+    def test_empty_terms_raise(self):
+        with pytest.raises(ValueError):
+            term_distribution((), HARD)
+
+
+class TestSampling:
+    def test_sample_count(self, dictionary, rng):
+        terms = sample_terms(dictionary.gel_related(), HARD, 5, rng)
+        assert len(terms) == 5
+
+    def test_zero_samples(self, dictionary, rng):
+        assert sample_terms(dictionary.gel_related(), HARD, 0, rng) == []
+
+    def test_hard_profile_samples_hard_terms(self, dictionary, rng):
+        terms = sample_terms(dictionary.gel_related(), HARD, 200, rng)
+        mean_polarity = np.mean(
+            [t.polarity_on(SensoryAxis.HARDNESS) for t in terms]
+        )
+        assert mean_polarity > 0.2
+
+    def test_soft_profile_samples_soft_terms(self, dictionary, rng):
+        terms = sample_terms(dictionary.gel_related(), SOFT, 200, rng)
+        mean_polarity = np.mean(
+            [t.polarity_on(SensoryAxis.HARDNESS) for t in terms]
+        )
+        assert mean_polarity < -0.2
+
+
+class TestCrispyTerms:
+    def test_all_non_gel_reduplicated(self, dictionary):
+        for term in crispy_terms(tuple(dictionary)):
+            assert not term.gel_related
+            assert term.surface == term.base + term.base
+
+    def test_karikari_included(self, dictionary):
+        surfaces = {t.surface for t in crispy_terms(tuple(dictionary))}
+        assert "karikari" in surfaces
+        assert "sakusaku" in surfaces
+
+    def test_gel_terms_never_included(self, dictionary):
+        surfaces = {t.surface for t in crispy_terms(tuple(dictionary))}
+        assert "purupuru" not in surfaces
+        assert "katai" not in surfaces

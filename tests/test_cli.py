@@ -1,0 +1,128 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestParsing:
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestTable1:
+    def test_prints_all_rows(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "H(pub)" in out
+        assert "gelatin:0.018" in out
+        assert out.count("\n") >= 14  # header + 13 rows
+
+
+class TestEstimate:
+    def test_bad_ingredient_syntax(self, capsys):
+        code = main(["estimate", "gelatin-no-equals"])
+        assert code == 2
+
+    def test_estimate_small_pipeline(self, capsys):
+        code = main(
+            [
+                "estimate",
+                "gelatin=5g",
+                "water=300ml",
+                "--recipes", "250",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "predicted texture terms" in out
+
+
+class TestPipeline:
+    def test_pipeline_small(self, capsys):
+        code = main(
+            ["pipeline", "--recipes", "250", "--sweeps", "20", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Topic" in out and "Bavarois" in out
+
+
+class TestFigures:
+    def test_figures_small(self, capsys):
+        code = main(
+            ["figures", "--recipes", "250", "--sweeps", "20", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig 3" in out and "Fig 4" in out
+        assert "Bavarois" in out and "Milk jelly" in out
+
+
+class TestSearch:
+    def test_search_small(self, capsys):
+        # pick a term guaranteed to exist in this tiny dataset's vocabulary
+        from repro.pipeline.experiment import quick_config, run_experiment
+
+        result = run_experiment(quick_config(250, seed=3))
+        term = result.dataset.vocabulary[0]
+        code = main(
+            ["search", term, "--recipes", "250", "--seed", "3", "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top 3 recipes" in out
+
+    def test_unknown_term_exits_2(self, capsys):
+        code = main(
+            ["search", "zzz-not-a-term", "--recipes", "250", "--seed", "3"]
+        )
+        assert code == 2
+
+
+class TestRules:
+    def test_rules_small(self, capsys):
+        code = main(["rules", "--recipes", "250", "--seed", "3", "--limit", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recipes use" in out or "no rules" in out
+
+
+class TestDictionary:
+    def test_full_dictionary(self, capsys):
+        assert main(["dictionary"]) == 0
+        out = capsys.readouterr().out
+        assert "288 terms" in out
+        assert "purupuru" in out and "プルプル" in out
+
+    def test_category_filter(self, capsys):
+        assert main(["dictionary", "--category", "adhesiveness"]) == 0
+        out = capsys.readouterr().out
+        assert "nettori" in out
+        assert "288 terms" not in out  # subset is smaller
+
+    def test_gel_only(self, capsys):
+        assert main(["dictionary", "--gel-only"]) == 0
+        out = capsys.readouterr().out
+        assert "karikari" not in out
+
+
+class TestReport:
+    def test_report_bundle(self, capsys, tmp_path):
+        code = main(
+            [
+                "report", str(tmp_path / "out"),
+                "--recipes", "250", "--sweeps", "20", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (tmp_path / "out" / "report.txt").exists()
+        assert (tmp_path / "out" / "table2a.csv").exists()

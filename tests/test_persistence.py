@@ -1,0 +1,60 @@
+"""Tests for repro.persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.joint_model import JointTextureTopicModel
+from repro.errors import ModelError
+from repro.persistence import load_model, save_model
+
+
+class TestSaveLoad:
+    def test_round_trip(self, fitted_joint, tiny_dataset, tmp_path):
+        path = save_model(
+            fitted_joint, tmp_path / "model.npz", tiny_dataset.vocabulary
+        )
+        loaded, vocabulary = load_model(path)
+        assert vocabulary == tiny_dataset.vocabulary
+        assert np.allclose(loaded.phi_, fitted_joint.phi_)
+        assert np.allclose(loaded.theta_, fitted_joint.theta_)
+        assert np.allclose(loaded.gel_means_, fitted_joint.gel_means_)
+        assert np.array_equal(loaded.y_, fitted_joint.y_)
+        assert loaded.config == fitted_joint.config
+
+    def test_loaded_model_is_usable(self, fitted_joint, tiny_dataset, tmp_path):
+        path = save_model(fitted_joint, tmp_path / "model.npz")
+        loaded, _ = load_model(path)
+        assert np.array_equal(
+            loaded.topic_assignments(), fitted_joint.topic_assignments()
+        )
+        assert loaded.top_words(0, 3) == fitted_joint.top_words(0, 3)
+
+    def test_loaded_model_links(self, fitted_joint, tmp_path):
+        from repro.core.linkage import TopicLinker
+        from repro.rheology.studies import TABLE_I
+
+        path = save_model(fitted_joint, tmp_path / "model.npz")
+        loaded, _ = load_model(path)
+        original = TopicLinker(fitted_joint).assignment_table(TABLE_I)
+        restored = TopicLinker(loaded).assignment_table(TABLE_I)
+        assert original == restored
+
+    def test_extension_appended(self, fitted_joint, tmp_path):
+        path = save_model(fitted_joint, tmp_path / "model")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ModelError):
+            save_model(JointTextureTopicModel(), tmp_path / "x.npz")
+
+    def test_non_archive_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, data=np.zeros(3))
+        with pytest.raises((ModelError, KeyError)):
+            load_model(bogus)
+
+    def test_log_likelihoods_preserved(self, fitted_joint, tmp_path):
+        path = save_model(fitted_joint, tmp_path / "model.npz")
+        loaded, _ = load_model(path)
+        assert loaded.log_likelihoods_ == fitted_joint.log_likelihoods_

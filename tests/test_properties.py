@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.state import TopicCounts
+from repro.eval.divergence import concentration_kl, discrete_kl, gaussian_kl
+from repro.eval.metrics import normalized_mutual_information, purity
+from repro.units.convert import concentrations, information_quantity, to_grams
+from repro.units.parser import parse_quantity
+from repro.units.quantity import Quantity, Unit
+
+# --- units ----------------------------------------------------------------
+
+amounts = st.floats(min_value=0.01, max_value=10_000, allow_nan=False)
+units = st.sampled_from([Unit.GRAM, Unit.KILOGRAM, Unit.MILLILITER, Unit.CUP,
+                         Unit.TABLESPOON, Unit.TEASPOON])
+
+
+@given(amount=amounts, unit=units)
+def test_to_grams_scales_linearly(amount, unit):
+    one = to_grams(Quantity(1.0, unit), "water")
+    many = to_grams(Quantity(amount, unit), "water")
+    assert many == pytest.approx(amount * one, rel=1e-9)
+
+
+@given(amount=st.floats(min_value=0.01, max_value=999, allow_nan=False))
+def test_parse_formats_round_trip(amount):
+    text = f"{amount:g} g"
+    # %g prints 6 significant digits; compare at that precision
+    assert parse_quantity(text).amount == pytest.approx(amount, rel=1e-4)
+
+
+@given(
+    masses=st.dictionaries(
+        st.sampled_from(["water", "gelatin", "sugar", "milk", "agar"]),
+        st.floats(min_value=0.1, max_value=1000),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_concentrations_always_sum_to_one(masses):
+    shares = concentrations(masses)
+    assert sum(shares.values()) == pytest.approx(1.0)
+    assert all(0 < v <= 1 for v in shares.values())
+
+
+@given(x=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_information_quantity_nonnegative_and_monotone(x):
+    value = information_quantity(x)
+    assert value >= 0.0
+    if x > 1e-6:
+        smaller = information_quantity(x / 2)
+        assert smaller >= value
+
+
+# --- divergences -------------------------------------------------------------
+
+vectors = arrays(np.float64, 3, elements=st.floats(-5, 5, allow_nan=False))
+
+
+@given(mean=vectors)
+def test_gaussian_kl_self_zero(mean):
+    cov = np.eye(3)
+    assert gaussian_kl(mean, cov, mean, cov) == pytest.approx(0.0, abs=1e-9)
+
+
+@given(mean_p=vectors, mean_q=vectors)
+def test_gaussian_kl_nonnegative(mean_p, mean_q):
+    cov = np.eye(3) * 0.5
+    assert gaussian_kl(mean_p, cov, mean_q, cov) >= 0.0
+
+
+@given(
+    p=arrays(np.float64, 4, elements=st.floats(0.01, 10, allow_nan=False)),
+    q=arrays(np.float64, 4, elements=st.floats(0.01, 10, allow_nan=False)),
+)
+def test_discrete_kl_nonnegative(p, q):
+    assert discrete_kl(p, q) >= -1e-12
+
+
+@given(
+    shares=arrays(np.float64, 6, elements=st.floats(0, 0.15, allow_nan=False))
+)
+def test_concentration_kl_self_zero(shares):
+    assert concentration_kl(shares, shares) == pytest.approx(0.0, abs=1e-9)
+
+
+# --- metrics --------------------------------------------------------------
+
+labelings = st.lists(st.integers(0, 4), min_size=2, max_size=60)
+
+
+@given(labels=labelings)
+def test_nmi_self_is_one_or_degenerate(labels):
+    value = normalized_mutual_information(labels, labels)
+    assert value == pytest.approx(1.0) or len(set(labels)) == 1
+
+
+@given(labels=labelings)
+def test_purity_of_self_is_one(labels):
+    assert purity(labels, labels) == 1.0
+
+
+@given(a=labelings)
+def test_purity_bounded(a):
+    b = list(reversed(a))
+    assert 0.0 < purity(a, b) <= 1.0
+
+
+# --- variational ELBO --------------------------------------------------------
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_variational_elbo_monotone_on_random_data(seed):
+    """The CAVI ELBO must be non-decreasing for any data and seed."""
+    from repro.core.variational import VariationalConfig, VariationalJointModel
+
+    rng = np.random.default_rng(seed)
+    n = 24
+    docs = [rng.integers(0, 6, size=int(rng.integers(1, 5))) for _ in range(n)]
+    gels = rng.normal(8.0, 2.0, size=(n, 3))
+    emulsions = rng.normal(8.0, 2.0, size=(n, 6))
+    model = VariationalJointModel(
+        VariationalConfig(n_topics=3, max_iter=25)
+    ).fit(docs, gels, emulsions, vocab_size=6, rng=seed)
+    trace = np.array(model.elbo_trace_)
+    diffs = np.diff(trace)
+    assert (diffs >= -1e-6 * np.maximum(np.abs(trace[:-1]), 1.0)).all()
+
+
+# --- Gibbs count state -----------------------------------------------------
+
+ops = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 3), st.integers(0, 4)),
+    min_size=1,
+    max_size=50,
+)
+
+
+@given(additions=ops)
+def test_topic_counts_consistent_under_any_add_sequence(additions):
+    counts = TopicCounts(n_docs=3, n_topics=4, vocab_size=5)
+    for d, k, v in additions:
+        counts.add(d, k, v)
+    counts.check()
+    total = counts.n_k.sum()
+    assert total == len(additions)
+
+
+@given(additions=ops)
+def test_topic_counts_add_remove_inverse(additions):
+    counts = TopicCounts(n_docs=3, n_topics=4, vocab_size=5)
+    for d, k, v in additions:
+        counts.add(d, k, v)
+    for d, k, v in reversed(additions):
+        counts.remove(d, k, v)
+    counts.check()
+    assert counts.n_k.sum() == 0
+
+
+# --- kana transliteration ----------------------------------------------------
+
+_ROMAJI_SYLLABLES = [
+    "ka", "ki", "ku", "pu", "ru", "to", "ri", "sha", "chu", "n",
+    "tsu", "fu", "mo", "chi", "gya", "bo", "so",
+]
+
+
+@settings(max_examples=60)
+@given(
+    syllables=st.lists(
+        st.sampled_from(_ROMAJI_SYLLABLES), min_size=1, max_size=6
+    )
+)
+def test_kana_output_is_pure_kana(syllables):
+    from repro.lexicon.kana import to_hiragana, to_katakana
+
+    romaji = "".join(syllables)
+    hira = to_hiragana(romaji)
+    kata = to_katakana(romaji)
+    assert all("ぁ" <= ch <= "ゖ" or ch == "ー" for ch in hira)
+    assert all("ァ" <= ch <= "ヶ" or ch == "ー" for ch in kata)
+    assert len(hira) == len(kata)
+
+
+@settings(max_examples=60)
+@given(
+    syllables=st.lists(
+        st.sampled_from(_ROMAJI_SYLLABLES), min_size=1, max_size=4
+    )
+)
+def test_kana_deterministic_and_additive(syllables):
+    from repro.lexicon.kana import to_hiragana
+
+    romaji = "".join(syllables)
+    assert to_hiragana(romaji) == to_hiragana(romaji)
+
+
+# --- lexicon -----------------------------------------------------------------
+
+@settings(max_examples=30)
+@given(data=st.data())
+def test_dictionary_spotting_matches_membership(data):
+    from repro.lexicon.dictionary import build_dictionary
+
+    dictionary = build_dictionary()
+    surfaces = data.draw(
+        st.lists(st.sampled_from(dictionary.surfaces), max_size=8)
+    )
+    noise = data.draw(st.lists(st.sampled_from(["oishii", "zerii", "mix"]), max_size=4))
+    tokens = surfaces + noise
+    spotted = dictionary.spot(tokens)
+    assert len(spotted) == len(surfaces)
+    counts = dictionary.term_counts(tokens)
+    assert sum(counts.values()) == len(surfaces)

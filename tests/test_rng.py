@@ -1,0 +1,72 @@
+"""Tests for repro.rng."""
+
+import numpy as np
+import pytest
+
+from repro.rng import DEFAULT_SEED, derive, ensure_rng, seed_of, spawn
+
+
+class TestEnsureRng:
+    def test_none_gives_default_seeded_generator(self):
+        a = ensure_rng(None).integers(0, 1 << 30, 8)
+        b = ensure_rng(None).integers(0, 1 << 30, 8)
+        assert np.array_equal(a, b)
+
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_different_seeds_differ(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(5)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = ensure_rng(seq)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")  # type: ignore[arg-type]
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        assert len(spawn(0, 5)) == 5
+
+    def test_spawn_zero(self):
+        assert spawn(0, 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)
+
+    def test_children_are_independent(self):
+        a, b = spawn(0, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_deterministic(self):
+        first = [g.random() for g in spawn(3, 3)]
+        second = [g.random() for g in spawn(3, 3)]
+        assert first == second
+
+
+class TestDerive:
+    def test_same_label_same_stream(self):
+        assert derive(1, "corpus").random() == derive(1, "corpus").random()
+
+    def test_different_labels_differ(self):
+        assert derive(1, "corpus").random() != derive(1, "model").random()
+
+
+class TestSeedOf:
+    def test_int_returns_int(self):
+        assert seed_of(9) == 9
+
+    def test_generator_returns_none(self):
+        assert seed_of(np.random.default_rng(0)) is None
+
+    def test_default_seed_is_stable(self):
+        assert DEFAULT_SEED == 20220501

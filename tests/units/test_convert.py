@@ -1,0 +1,91 @@
+"""Tests for repro.units.convert."""
+
+import math
+
+import pytest
+
+from repro.errors import UnitConversionError
+from repro.units.convert import (
+    ABSENT_CONCENTRATION,
+    concentrations,
+    information_quantity,
+    to_grams,
+)
+from repro.units.parser import parse_quantity
+from repro.units.quantity import Quantity, Unit
+
+
+class TestToGrams:
+    def test_mass_passthrough(self):
+        assert to_grams(Quantity(100, Unit.GRAM), "water") == 100.0
+        assert to_grams(Quantity(1, Unit.KILOGRAM), "water") == 1000.0
+
+    def test_volume_uses_gravity(self):
+        # milk: 1.03 g/mL
+        assert to_grams(Quantity(200, Unit.MILLILITER), "milk") == pytest.approx(206.0)
+
+    def test_spoon_of_sugar(self):
+        # the canonical conversion: one tablespoon of sugar = 9 g
+        assert to_grams(parse_quantity("oosaji 1"), "sugar") == pytest.approx(9.0)
+
+    def test_cup_of_water(self):
+        assert to_grams(parse_quantity("1 cup"), "water") == pytest.approx(200.0)
+
+    def test_gelatin_sheets(self):
+        assert to_grams(parse_quantity("2 mai"), "gelatin") == pytest.approx(3.0)
+
+    def test_egg_yolk_pieces(self):
+        assert to_grams(parse_quantity("2 ko"), "egg_yolk") == pytest.approx(36.0)
+
+    def test_counted_unit_without_item_mass_raises(self):
+        with pytest.raises(UnitConversionError):
+            to_grams(Quantity(1, Unit.SHEET), "milk")
+
+    def test_unknown_ingredient_volume_uses_water(self):
+        assert to_grams(Quantity(100, Unit.MILLILITER), "mystery") == 100.0
+
+
+class TestConcentrations:
+    def test_shares_sum_to_one(self):
+        shares = concentrations({"water": 300.0, "gelatin": 6.0, "sugar": 30.0})
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["gelatin"] == pytest.approx(6.0 / 336.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(UnitConversionError):
+            concentrations({})
+
+    def test_massless_raises(self):
+        with pytest.raises(UnitConversionError):
+            concentrations({"water": 0.0})
+
+    def test_negative_mass_raises(self):
+        with pytest.raises(UnitConversionError):
+            concentrations({"water": 100.0, "sugar": -1.0})
+
+
+class TestInformationQuantity:
+    def test_scalar(self):
+        assert information_quantity(0.01) == pytest.approx(-math.log(0.01))
+
+    def test_vector(self):
+        values = information_quantity([0.5, 0.01])
+        assert values[0] == pytest.approx(-math.log(0.5))
+
+    def test_zero_uses_floor(self):
+        assert information_quantity(0.0) == pytest.approx(
+            -math.log(ABSENT_CONCENTRATION)
+        )
+
+    def test_monotone_decreasing(self):
+        # smaller concentration → larger information quantity
+        assert information_quantity(0.001) > information_quantity(0.1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            information_quantity(1.5)
+        with pytest.raises(ValueError):
+            information_quantity(-0.1)
+
+    def test_one_maps_to_zero(self):
+        assert information_quantity(1.0) == pytest.approx(0.0)
