@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from benchmarks.common import run_many
 from repro.core.joint_model import JointModelConfig
 from repro.eval.metrics import normalized_mutual_information
-from repro.pipeline.experiment import ExperimentConfig, run_experiment
+from repro.pipeline.experiment import ExperimentConfig
 from repro.pipeline.reporting import format_table
 from repro.pipeline.tables import table2a_rows, table2b_rows
 from repro.synth.presets import CorpusPreset
@@ -32,7 +33,8 @@ def _config(seed: int) -> ExperimentConfig:
 
 def test_robustness_across_seeds(benchmark):
     def run_all():
-        return {seed: run_experiment(_config(seed)) for seed in _SEEDS}
+        # one repetition per seed, parallel when REPRO_BENCH_BACKEND says so
+        return dict(zip(_SEEDS, run_many([_config(s) for s in _SEEDS])))
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
 

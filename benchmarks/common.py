@@ -9,11 +9,19 @@ recipes after the Section IV-A funnel), K = 10 topics, 300 Gibbs sweeps.
 
 from __future__ import annotations
 
+import os
+from typing import Sequence
+
 from repro.core.joint_model import JointModelConfig
+from repro.parallel import ParallelConfig, run_tasks
 from repro.pipeline.experiment import ExperimentConfig, ExperimentResult, run_experiment
 from repro.synth.presets import CorpusPreset
 
 BENCH_SEED = 11
+
+#: Backend for benchmark repetitions (seed sweeps, robustness reruns).
+#: Overridable per run: REPRO_BENCH_BACKEND=process|thread|serial|auto.
+BENCH_BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "serial")
 
 BENCH_CONFIG = ExperimentConfig(
     preset=CorpusPreset(name="bench", n_recipes=3000),
@@ -26,6 +34,31 @@ BENCH_CONFIG = ExperimentConfig(
 def shared_result() -> ExperimentResult:
     """The fitted benchmark pipeline (cached within the process)."""
     return run_experiment(BENCH_CONFIG)
+
+
+def _experiment_task(config: ExperimentConfig, _rng) -> ExperimentResult:
+    """Run one configured pipeline (module-level for process pools).
+
+    The executor's spawned stream is ignored: each ``ExperimentConfig``
+    embeds its own seed, so a repetition's result is independent of the
+    backend it ran on.
+    """
+    return run_experiment(config)
+
+
+def run_many(
+    configs: Sequence[ExperimentConfig],
+    parallel: ParallelConfig | None = None,
+) -> list[ExperimentResult]:
+    """Run several experiment configs, optionally concurrently.
+
+    Results come back in ``configs`` order and are identical across
+    backends (seeds live in the configs). The default backend is
+    :data:`BENCH_BACKEND`, so seed-sweep benches parallelise via the
+    ``REPRO_BENCH_BACKEND`` environment variable without code changes.
+    """
+    parallel = parallel or ParallelConfig(backend=BENCH_BACKEND)
+    return run_tasks(_experiment_task, list(configs), rng=0, config=parallel)
 
 
 def topic_gel_summary(result: ExperimentResult) -> dict[int, dict[str, float]]:

@@ -19,6 +19,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.errors import ModelError, ReproError
 from repro.pipeline.experiment import quick_config, run_experiment
 
 
@@ -44,11 +45,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default="gibbs",
         help="inference method (paper = gibbs)",
     )
+    pipeline.add_argument("--restarts", type=int, default=1,
+                          help="independent Gibbs chains; best one wins")
+    _add_backend_flags(pipeline)
 
     figures = sub.add_parser("figures", help="Fig 3 and Fig 4 series")
     figures.add_argument("--recipes", type=int, default=1500)
     figures.add_argument("--sweeps", type=int, default=300)
     figures.add_argument("--seed", type=int, default=11)
+    _add_backend_flags(figures)
 
     estimate = sub.add_parser("estimate", help="estimate a recipe's texture")
     estimate.add_argument(
@@ -95,7 +100,41 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--recipes", type=int, default=1500)
     report.add_argument("--sweeps", type=int, default=300)
     report.add_argument("--seed", type=int, default=11)
+    _add_backend_flags(report)
     return parser
+
+
+def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
+    """Parallel-execution flags shared by the model-fitting commands."""
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process", "auto"),
+        default="serial",
+        help="executor for restart chains (results are backend-independent)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker cap for parallel backends (default: one per CPU)",
+    )
+
+
+def _apply_parallel_options(config, args):
+    """Fold --backend/--workers/--restarts into an ExperimentConfig."""
+    import dataclasses
+
+    backend = getattr(args, "backend", "serial")
+    workers = getattr(args, "workers", None)
+    restarts = getattr(args, "restarts", 1)
+    if restarts < 1:
+        raise ModelError("--restarts must be >= 1")
+    model = config.model
+    if backend != "serial" or workers or restarts > 1:
+        model = dataclasses.replace(
+            model, backend=backend, n_workers=workers,
+            n_restarts=max(restarts, model.n_restarts),
+        )
+        config = dataclasses.replace(config, model=model)
+    return config
 
 
 def _cmd_table1() -> int:
@@ -115,6 +154,7 @@ def _cmd_pipeline(args) -> int:
     config = quick_config(args.recipes, args.sweeps, args.seed)
     if getattr(args, "method", "gibbs") != "gibbs":
         config = dataclasses.replace(config, inference=args.method)
+    config = _apply_parallel_options(config, args)
     result = run_experiment(config)
     print(render_table2a(table2a_rows(result)))
     print()
@@ -127,7 +167,10 @@ def _cmd_figures(args) -> int:
     from repro.pipeline.reporting import render_fig3, render_fig4
     from repro.rheology.studies import BAVAROIS, MILK_JELLY
 
-    result = run_experiment(quick_config(args.recipes, args.sweeps, args.seed))
+    config = _apply_parallel_options(
+        quick_config(args.recipes, args.sweeps, args.seed), args
+    )
+    result = run_experiment(config)
     for dish in (BAVAROIS, MILK_JELLY):
         print(render_fig3(fig3_data(result, dish)))
         print()
@@ -232,7 +275,10 @@ def _cmd_dictionary(args) -> int:
 def _cmd_report(args) -> int:
     from repro.pipeline.bundle import write_report_bundle
 
-    result = run_experiment(quick_config(args.recipes, args.sweeps, args.seed))
+    config = _apply_parallel_options(
+        quick_config(args.recipes, args.sweeps, args.seed), args
+    )
+    result = run_experiment(config)
     written = write_report_bundle(result, args.directory)
     for name, path in sorted(written.items()):
         print(f"  {name:<14} {path}")
@@ -243,21 +289,25 @@ def _cmd_report(args) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
-    if args.command == "table1":
-        return _cmd_table1()
-    if args.command == "pipeline":
-        return _cmd_pipeline(args)
-    if args.command == "figures":
-        return _cmd_figures(args)
-    if args.command == "search":
-        return _cmd_search(args)
-    if args.command == "rules":
-        return _cmd_rules(args)
-    if args.command == "report":
-        return _cmd_report(args)
-    if args.command == "dictionary":
-        return _cmd_dictionary(args)
-    return _cmd_estimate(args)
+    try:
+        if args.command == "table1":
+            return _cmd_table1()
+        if args.command == "pipeline":
+            return _cmd_pipeline(args)
+        if args.command == "figures":
+            return _cmd_figures(args)
+        if args.command == "search":
+            return _cmd_search(args)
+        if args.command == "rules":
+            return _cmd_rules(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        if args.command == "dictionary":
+            return _cmd_dictionary(args)
+        return _cmd_estimate(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

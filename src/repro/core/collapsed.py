@@ -14,13 +14,17 @@ incrementally, so a y-update costs O(K·dim³) rather than a full refit.
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 from scipy.special import logsumexp
 
 from repro.core import normal_wishart as nw
 from repro.core.joint_model import JointModelConfig
+from repro.core.lda import word_log_likelihood
 from repro.core.priors import DirichletPrior, NormalWishartPrior
 from repro.core.seeding import kmeans_plus_plus
 from repro.core.state import TopicCounts, initialise_assignments, validate_docs
@@ -51,6 +55,14 @@ class _SuffStats:
         self.scatter -= np.outer(x, x)
         if self.n < 0:
             raise ModelError("sufficient statistics went negative")
+        # The scatter diagonal is a sum of squares, so a materially
+        # negative entry means points were removed that were never added
+        # — the same bookkeeping bug as n < 0, just caught through float
+        # arithmetic. Allow cancellation noise proportional to the
+        # removed point's magnitude.
+        tolerance = 1e-9 * (1.0 + float(np.abs(x).max()) ** 2)
+        if np.any(np.diagonal(self.scatter) < -tolerance):
+            raise ModelError("sufficient statistics went negative")
 
     def posterior(self, prior: NormalWishartPrior) -> NormalWishartPrior:
         """NW posterior from the incremental statistics."""
@@ -74,29 +86,37 @@ class _SuffStats:
         )
 
 
-class _CachedPredictive:
-    """Student-t predictive of a topic's NW posterior, cached.
+class _BatchedStudentT:
+    """Cached Student-t predictives for all K topics, evaluated batched.
 
     The collapsed y-sweep evaluates every topic's predictive for every
     document, but a document move only changes *two* topics' sufficient
-    statistics — so each topic's posterior (and the expensive matrix
-    inversion/logdet inside the Student-t) is rebuilt lazily on
-    invalidation instead of per evaluation.
+    statistics — so each topic's posterior factorisation is rebuilt
+    lazily on invalidation. The per-topic caches are stored as stacked
+    arrays (means ``(K, d)``, scale inverses ``(K, d, d)``…), which lets
+    one einsum evaluate all K quadratic forms per document instead of a
+    Python loop over topics.
+
+    Rebuilds factor the posterior scale-inverse with a Cholesky
+    decomposition (one factorisation yields both the log-determinant and
+    the inverse), falling back to generic ``inv``/``slogdet`` if the
+    matrix has drifted off the PD cone numerically.
     """
 
-    def __init__(self, prior: NormalWishartPrior) -> None:
+    def __init__(self, prior: NormalWishartPrior, n_topics: int) -> None:
         self.prior = prior
         self._prior_scale_inv = np.linalg.inv(prior.scale)
-        self._fresh = False
-        self._mean: np.ndarray | None = None
-        self._inv_scale_t: np.ndarray | None = None
-        self._dof_t: float = 1.0
-        self._norm: float = 0.0
+        d = prior.dim
+        self._means = np.zeros((n_topics, d))
+        self._inv_scale_t = np.zeros((n_topics, d, d))
+        self._dof_t = np.ones(n_topics)
+        self._norm = np.zeros(n_topics)
+        self._fresh = np.zeros(n_topics, dtype=bool)
 
-    def invalidate(self) -> None:
-        self._fresh = False
+    def invalidate(self, k: int) -> None:
+        self._fresh[k] = False
 
-    def _rebuild(self, stats: "_SuffStats") -> None:
+    def _rebuild(self, k: int, stats: "_SuffStats") -> None:
         # Posterior parameters computed inline (equation (4)) — the
         # validated NormalWishartPrior constructor is far too slow for a
         # per-document hot path.
@@ -124,28 +144,60 @@ class _CachedPredictive:
         dof_t = dof_c - d + 1.0
         factor = (kappa_c + 1.0) / (kappa_c * dof_t)
         # scale_t = scale_inv · factor  ⇒  inv(scale_t) = inv(scale_inv)/factor
-        self._inv_scale_t = np.linalg.inv(scale_inv) / factor
-        _, logdet_scale_inv = np.linalg.slogdet(scale_inv)
+        try:
+            chol = np.linalg.cholesky(scale_inv)
+            logdet_scale_inv = 2.0 * float(np.log(np.diagonal(chol)).sum())
+            identity = np.eye(d)
+            half = np.linalg.solve(chol, identity)  # L⁻¹
+            inv_scale_inv = half.T @ half           # (L Lᵀ)⁻¹
+        except np.linalg.LinAlgError:
+            _, logdet_scale_inv = np.linalg.slogdet(scale_inv)
+            inv_scale_inv = np.linalg.inv(scale_inv)
+        self._inv_scale_t[k] = inv_scale_inv / factor
         logdet_t = logdet_scale_inv + d * np.log(factor)
-        self._mean = mean_c
-        self._dof_t = float(dof_t)
-        self._norm = float(
+        self._means[k] = mean_c
+        self._dof_t[k] = float(dof_t)
+        self._norm[k] = float(
             gammaln((dof_t + d) / 2.0)
             - gammaln(dof_t / 2.0)
             - 0.5 * (d * np.log(dof_t * np.pi) + logdet_t)
         )
-        self._fresh = True
+        self._fresh[k] = True
 
-    def logpdf(self, stats: "_SuffStats", x: np.ndarray) -> float:
-        if not self._fresh:
-            self._rebuild(stats)
-        assert self._mean is not None and self._inv_scale_t is not None
-        diff = x - self._mean
-        quad = float(diff @ self._inv_scale_t @ diff)
-        d = self._mean.size
+    def refresh(self, stats: Sequence["_SuffStats"]) -> None:
+        """Rebuild every stale topic from its sufficient statistics."""
+        for k in np.flatnonzero(~self._fresh):
+            self._rebuild(int(k), stats[k])
+
+    def logpdf_all(
+        self, stats: Sequence["_SuffStats"], x: np.ndarray
+    ) -> np.ndarray:
+        """All K topic predictive log-densities of ``x``, one einsum."""
+        self.refresh(stats)
+        diff = x - self._means                                    # (K, d)
+        quad = np.einsum("ki,kij,kj->k", diff, self._inv_scale_t, diff)
+        d = self._means.shape[1]
         return self._norm - 0.5 * (self._dof_t + d) * np.log1p(
             quad / self._dof_t
         )
+
+
+class _CachedPredictive:
+    """Single-topic view of :class:`_BatchedStudentT` (K = 1).
+
+    Kept as the scalar API used by diagnostics and tests; the sampler
+    itself uses the batched form directly.
+    """
+
+    def __init__(self, prior: NormalWishartPrior) -> None:
+        self.prior = prior
+        self._batch = _BatchedStudentT(prior, 1)
+
+    def invalidate(self) -> None:
+        self._batch.invalidate(0)
+
+    def logpdf(self, stats: "_SuffStats", x: np.ndarray) -> float:
+        return float(self._batch.logpdf_all([stats], x)[0])
 
 
 class CollapsedJointModel:
@@ -160,6 +212,12 @@ class CollapsedJointModel:
         self.emulsion_means_: np.ndarray | None = None
         self.emulsion_covs_: np.ndarray | None = None
         self.y_: np.ndarray | None = None
+        #: Per-sweep collapsed pseudo-likelihood: word log-likelihood
+        #: plus the leave-one-out Student-t log-density of each document
+        #: under its sampled topic. Comparable across chains of the same
+        #: data, which is all best-of-restarts selection needs.
+        self.log_likelihoods_: list[float] = []
+        self.fit_seconds_: float | None = None
 
     def fit(
         self,
@@ -171,7 +229,51 @@ class CollapsedJointModel:
         gel_prior: NormalWishartPrior | None = None,
         emulsion_prior: NormalWishartPrior | None = None,
     ) -> "CollapsedJointModel":
-        """Run the collapsed Gibbs sampler."""
+        """Run the collapsed Gibbs sampler (best of ``n_restarts`` chains)."""
+        start = time.perf_counter()
+        if self.config.n_restarts > 1:
+            self._fit_restarts(
+                docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
+            )
+        else:
+            self._fit_single(
+                docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
+            )
+        self.fit_seconds_ = time.perf_counter() - start
+        return self
+
+    def _fit_restarts(
+        self, docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
+    ) -> "CollapsedJointModel":
+        chains = run_chains(
+            self.config,
+            docs,
+            gels,
+            emulsions,
+            vocab_size,
+            n_chains=self.config.n_restarts,
+            rng=rng,
+            gel_prior=gel_prior,
+            emulsion_prior=emulsion_prior,
+        )
+        best = max(chains, key=lambda chain: chain.log_likelihoods_[-1])
+        for attr in (
+            "phi_", "theta_", "gel_means_", "gel_covs_",
+            "emulsion_means_", "emulsion_covs_", "y_", "log_likelihoods_",
+        ):
+            setattr(self, attr, getattr(best, attr))
+        return self
+
+    def _fit_single(
+        self,
+        docs,
+        gels: np.ndarray,
+        emulsions: np.ndarray,
+        vocab_size: int,
+        rng: RngLike = None,
+        gel_prior: NormalWishartPrior | None = None,
+        emulsion_prior: NormalWishartPrior | None = None,
+    ) -> "CollapsedJointModel":
         cfg = self.config
         generator = ensure_rng(rng)
         gels = np.asarray(gels, dtype=float)
@@ -201,13 +303,14 @@ class CollapsedJointModel:
         for d in range(n_docs):
             gel_stats[y[d]].add(gels[d])
             emu_stats[y[d]].add(emulsions[d])
-        gel_pred = [_CachedPredictive(gel_prior) for _ in range(k_range)]
-        emu_pred = [_CachedPredictive(emulsion_prior) for _ in range(k_range)]
+        gel_pred = _BatchedStudentT(gel_prior, k_range)
+        emu_pred = _BatchedStudentT(emulsion_prior, k_range)
 
         phi_acc = np.zeros((k_range, vocab_size))
         theta_acc = np.zeros((n_docs, k_range))
         y_votes = np.zeros((n_docs, k_range), dtype=np.int64)
         n_samples = 0
+        self.log_likelihoods_ = []
 
         for sweep in range(cfg.n_sweeps):
             # -- z updates (identical to the semi-collapsed sampler) --------
@@ -231,20 +334,18 @@ class CollapsedJointModel:
                     zd[n_tok] = k_new
                     counts.add(d, k_new, int(v))
 
-            # -- collapsed y updates: cached Student-t predictives ----------
+            # -- collapsed y updates: batched cached Student-t predictives --
+            gauss_ll = 0.0
             for d in range(n_docs):
                 k_old = int(y[d])
                 gel_stats[k_old].remove(gels[d])
                 emu_stats[k_old].remove(emulsions[d])
-                gel_pred[k_old].invalidate()
-                emu_pred[k_old].invalidate()
-                logits = np.log(counts.n_dk[d] + alpha)
-                for k in range(k_range):
-                    logits[k] += gel_pred[k].logpdf(gel_stats[k], gels[d])
-                    if cfg.use_emulsions:
-                        logits[k] += emu_pred[k].logpdf(
-                            emu_stats[k], emulsions[d]
-                        )
+                gel_pred.invalidate(k_old)
+                emu_pred.invalidate(k_old)
+                gauss = gel_pred.logpdf_all(gel_stats, gels[d])
+                if cfg.use_emulsions:
+                    gauss = gauss + emu_pred.logpdf_all(emu_stats, emulsions[d])
+                logits = np.log(counts.n_dk[d] + alpha) + gauss
                 logits -= logsumexp(logits)
                 cumulative = np.cumsum(np.exp(logits))
                 k_new = int(
@@ -254,10 +355,15 @@ class CollapsedJointModel:
                 )
                 k_new = min(k_new, k_range - 1)
                 y[d] = k_new
+                gauss_ll += float(gauss[k_new])
                 gel_stats[k_new].add(gels[d])
                 emu_stats[k_new].add(emulsions[d])
-                gel_pred[k_new].invalidate()
-                emu_pred[k_new].invalidate()
+                gel_pred.invalidate(k_new)
+                emu_pred.invalidate(k_new)
+
+            self.log_likelihoods_.append(
+                word_log_likelihood(docs, counts, alpha, gamma) + gauss_ll
+            )
 
             if sweep >= cfg.burn_in and (sweep - cfg.burn_in) % cfg.thin == 0:
                 phi_acc += (counts.n_kv + gamma) / (counts.n_k[:, None] + v_total)
@@ -309,3 +415,56 @@ class CollapsedJointModel:
         row = np.asarray(self.phi_)[k]
         order = np.argsort(row)[::-1][:n]
         return [(int(v), float(row[v])) for v in order]
+
+
+# -- multi-chain cross-checking ------------------------------------------------
+
+
+def _chain_task(payload, rng) -> "CollapsedJointModel":
+    """Fit one collapsed chain (module-level so process pools can pickle it)."""
+    config, docs, gels, emulsions, vocab_size, gel_prior, emulsion_prior = payload
+    chain = CollapsedJointModel(config)
+    chain._fit_single(
+        docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
+    )
+    return chain
+
+
+def run_chains(
+    config: JointModelConfig,
+    docs,
+    gels: np.ndarray,
+    emulsions: np.ndarray,
+    vocab_size: int,
+    n_chains: int,
+    rng: RngLike = None,
+    gel_prior: NormalWishartPrior | None = None,
+    emulsion_prior: NormalWishartPrior | None = None,
+) -> list["CollapsedJointModel"]:
+    """Fit ``n_chains`` independent collapsed chains, possibly in parallel.
+
+    This is both the restart engine of :meth:`CollapsedJointModel.fit`
+    and the cross-check primitive: fitting several chains and comparing
+    their recovered partitions (e.g. pairwise NMI) is how the collapsed
+    sampler is validated against the semi-collapsed one. The backend
+    comes from ``config.backend``; chains draw from pre-spawned RNG
+    streams, so the result list is identical across backends.
+    """
+    from repro.parallel import ParallelConfig, run_tasks
+
+    if n_chains < 1:
+        raise ModelError("n_chains must be >= 1")
+    single = dataclasses.replace(config, n_restarts=1)
+    payload = (
+        single, list(docs), np.asarray(gels, dtype=float),
+        np.asarray(emulsions, dtype=float), vocab_size,
+        gel_prior, emulsion_prior,
+    )
+    return run_tasks(
+        _chain_task,
+        [payload] * n_chains,
+        rng=rng,
+        config=ParallelConfig(
+            backend=config.backend, max_workers=config.n_workers
+        ),
+    )

@@ -21,7 +21,9 @@ their Normal–Wishart posteriors once per sweep.
 
 from __future__ import annotations
 
+import dataclasses
 import logging
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -64,8 +66,17 @@ class JointModelConfig:
     #: settle in different label partitions; restarts are the standard
     #: cheap insurance.
     n_restarts: int = 1
+    #: Execution backend for the restart fan-out: "serial", "thread",
+    #: "process" or "auto" (see :mod:`repro.parallel`). Restart chains
+    #: draw from pre-spawned RNG streams, so the fitted model is
+    #: bit-identical across backends.
+    backend: str = "serial"
+    #: Worker cap for parallel backends (``None`` → one per CPU).
+    n_workers: int | None = None
 
     def __post_init__(self) -> None:
+        from repro.parallel import BACKENDS
+
         if self.n_topics < 1:
             raise ModelError("n_topics must be >= 1")
         if not 0 <= self.burn_in < self.n_sweeps:
@@ -74,6 +85,21 @@ class JointModelConfig:
             raise ModelError("thin must be >= 1")
         if self.n_restarts < 1:
             raise ModelError("n_restarts must be >= 1")
+        if self.backend not in BACKENDS:
+            raise ModelError(f"unknown backend {self.backend!r}")
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ModelError("n_workers must be >= 1")
+
+
+def _restart_task(payload, rng) -> tuple["JointTextureTopicModel", float]:
+    """Fit one restart chain (module-level so process pools can pickle it)."""
+    config, docs, gels, emulsions, vocab_size, gel_prior, emulsion_prior = payload
+    started = time.perf_counter()
+    candidate = JointTextureTopicModel(config)
+    candidate._fit_single(
+        docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
+    )
+    return candidate, time.perf_counter() - started
 
 
 class JointTextureTopicModel:
@@ -100,6 +126,10 @@ class JointTextureTopicModel:
         self.emulsion_covs_: np.ndarray | None = None
         self.y_: np.ndarray | None = None
         self.log_likelihoods_: list[float] = []
+        #: Wall-clock seconds of the last :meth:`fit` call and of each
+        #: restart chain within it (benchmarks export these).
+        self.fit_seconds_: float | None = None
+        self.restart_seconds_: list[float] = []
 
     # -- fitting ---------------------------------------------------------------
 
@@ -120,29 +150,43 @@ class JointTextureTopicModel:
         concentration space. Priors default to the empirical-Bayes vague
         prior of :meth:`NormalWishartPrior.vague`.
         """
+        start = time.perf_counter()
         if self.config.n_restarts > 1:
-            return self._fit_restarts(
+            self._fit_restarts(
                 docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
             )
-        return self._fit_single(
-            docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
-        )
+        else:
+            self._fit_single(
+                docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
+            )
+        self.fit_seconds_ = time.perf_counter() - start
+        if not self.restart_seconds_:
+            self.restart_seconds_ = [self.fit_seconds_]
+        return self
 
     def _fit_restarts(
         self, docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
     ) -> "JointTextureTopicModel":
-        import dataclasses
-
-        from repro.rng import spawn
+        from repro.parallel import ParallelConfig, run_tasks
 
         single = dataclasses.replace(self.config, n_restarts=1)
+        payload = (
+            single, list(docs), gels, emulsions, vocab_size,
+            gel_prior, emulsion_prior,
+        )
+        outcomes = run_tasks(
+            _restart_task,
+            [payload] * self.config.n_restarts,
+            rng=rng,
+            config=ParallelConfig(
+                backend=self.config.backend,
+                max_workers=self.config.n_workers,
+            ),
+        )
         best: JointTextureTopicModel | None = None
-        for child_rng in spawn(rng, self.config.n_restarts):
-            candidate = JointTextureTopicModel(single)
-            candidate._fit_single(
-                docs, gels, emulsions, vocab_size, child_rng,
-                gel_prior, emulsion_prior,
-            )
+        self.restart_seconds_ = []
+        for candidate, seconds in outcomes:
+            self.restart_seconds_.append(seconds)
             if (
                 best is None
                 or candidate.log_likelihoods_[-1] > best.log_likelihoods_[-1]
@@ -216,14 +260,11 @@ class JointTextureTopicModel:
                 nw.sample(nw.posterior(emulsion_prior, emulsions[y == k]), generator)
                 for k in range(k_range)
             ]
-            # per-doc Gaussian log-likelihood matrices, fixed for the sweep
-            log_gel = np.column_stack(
-                [gel_params[k].log_density(gels) for k in range(k_range)]
-            )
+            # per-doc Gaussian log-likelihood matrix, fixed for the sweep:
+            # all K topics evaluated in one batched einsum/slogdet
+            log_gel = nw.batch_log_density(gel_params, gels)
             if cfg.use_emulsions:
-                log_gel = log_gel + np.column_stack(
-                    [emu_params[k].log_density(emulsions) for k in range(k_range)]
-                )
+                log_gel = log_gel + nw.batch_log_density(emu_params, emulsions)
 
             # -- equation (2): per-token z updates ---------------------------
             for d, words in enumerate(docs):

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.embedding.vocab import Vocabulary
 from repro.errors import ModelError, NotFittedError
+from repro.parallel import ParallelConfig, run_tasks
 from repro.rng import RngLike, ensure_rng
 
 
@@ -48,6 +49,34 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
     return 1.0 / (1.0 + np.exp(-np.clip(x, -10.0, 10.0)))
 
 
+def _sentence_pairs(
+    vocab: Vocabulary,
+    window: int,
+    sentences: Iterable[Sequence[str]],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """(centre, context) id pairs for one epoch, shuffled."""
+    pairs: list[tuple[int, int]] = []
+    for sentence in sentences:
+        ids = vocab.encode(sentence, rng=rng)
+        n = len(ids)
+        for i in range(n):
+            span = int(rng.integers(1, window + 1))  # dynamic window
+            lo, hi = max(0, i - span), min(n, i + span + 1)
+            for j in range(lo, hi):
+                if j != i:
+                    pairs.append((int(ids[i]), int(ids[j])))
+    arr = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+    rng.shuffle(arr)
+    return arr
+
+
+def _epoch_shard_task(payload, rng) -> np.ndarray:
+    """One epoch's pair generation (module-level for process pools)."""
+    vocab, window, sentences = payload
+    return _sentence_pairs(vocab, window, sentences, rng)
+
+
 class SkipGramModel:
     """Trainable SGNS embeddings over tokenised sentences."""
 
@@ -63,8 +92,18 @@ class SkipGramModel:
         self,
         sentences: Sequence[Sequence[str]],
         rng: RngLike = None,
+        parallel: ParallelConfig | None = None,
     ) -> "SkipGramModel":
-        """Train on ``sentences`` (lists of tokens)."""
+        """Train on ``sentences`` (lists of tokens).
+
+        ``parallel`` shards the per-epoch (centre, context) pair
+        generation across the configured backend; the SGD updates stay
+        sequential (they are order-dependent). With no ``parallel`` (or
+        a serial backend) the training stream is bit-identical to
+        earlier releases; parallel backends use per-epoch spawned
+        streams instead — statistically equivalent, and identical
+        between the thread and process backends.
+        """
         cfg = self.config
         generator = ensure_rng(rng)
         self.vocab = Vocabulary(
@@ -76,13 +115,23 @@ class SkipGramModel:
         )
         self.output_vectors = np.zeros((v, cfg.dim))
 
+        if parallel is None or parallel.resolve_backend() == "serial":
+            pair_batches = [
+                self._make_pairs(sentences, generator)
+                for _ in range(cfg.epochs)
+            ]
+        else:
+            payload = (self.vocab, cfg.window, list(sentences))
+            pair_batches = run_tasks(
+                _epoch_shard_task,
+                [payload] * cfg.epochs,
+                rng=generator,
+                config=parallel,
+            )
         total_batches = 0
-        pair_batches = []
-        for epoch in range(cfg.epochs):
-            pairs = self._make_pairs(sentences, generator)
+        for pairs in pair_batches:
             if pairs.shape[0] == 0:
                 raise ModelError("no training pairs; corpus too small?")
-            pair_batches.append(pairs)
             total_batches += int(np.ceil(pairs.shape[0] / cfg.batch_size))
 
         seen_batches = 0
@@ -103,20 +152,7 @@ class SkipGramModel:
     ) -> np.ndarray:
         """(centre, context) id pairs for one epoch, shuffled."""
         assert self.vocab is not None
-        window = self.config.window
-        pairs: list[tuple[int, int]] = []
-        for sentence in sentences:
-            ids = self.vocab.encode(sentence, rng=rng)
-            n = len(ids)
-            for i in range(n):
-                span = int(rng.integers(1, window + 1))  # dynamic window
-                lo, hi = max(0, i - span), min(n, i + span + 1)
-                for j in range(lo, hi):
-                    if j != i:
-                        pairs.append((int(ids[i]), int(ids[j])))
-        arr = np.array(pairs, dtype=np.int64).reshape(-1, 2)
-        rng.shuffle(arr)
-        return arr
+        return _sentence_pairs(self.vocab, self.config.window, sentences, rng)
 
     def _train_batch(
         self, pairs: np.ndarray, lr: float, rng: np.random.Generator

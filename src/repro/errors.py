@@ -79,3 +79,7 @@ class RheologyError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment pipeline was configured inconsistently."""
+
+
+class ParallelError(ReproError, RuntimeError):
+    """A parallel backend was misconfigured or failed irrecoverably."""

@@ -1,0 +1,17 @@
+"""Parallel execution layer: seeded, backend-pluggable task fan-out.
+
+See :mod:`repro.parallel.executor` for the design. Typical use::
+
+    from repro.parallel import ParallelConfig, run_tasks
+
+    results = run_tasks(fit_one, payloads, rng=seed,
+                        config=ParallelConfig(backend="process"))
+"""
+
+from repro.parallel.executor import (
+    BACKENDS,
+    ParallelConfig,
+    run_tasks,
+)
+
+__all__ = ["BACKENDS", "ParallelConfig", "run_tasks"]

@@ -41,8 +41,7 @@ from repro.synth.archetypes import ARCHETYPE_INDEX, Archetype, Optional_
 from repro.synth.ingredients import render_quantity
 from repro.synth.presets import CorpusPreset, DEFAULT_PRESET
 from repro.synth.term_affinity import crispy_terms, sample_terms
-from repro.units.convert import concentrations, to_grams
-from repro.units.parser import parse_quantity
+from repro.units.convert import concentrations
 
 #: Minimum share kept for the neutral (water-phase) base ingredient.
 _MIN_NEUTRAL_FRACTION = 0.15

@@ -24,6 +24,27 @@ class TestSuffStats:
         with pytest.raises(ModelError):
             stats.remove(np.zeros(2))
 
+    def test_remove_negative_scatter_diagonal_raises(self):
+        """Removing a point that was never added can leave n >= 0 while
+        driving a sum-of-squares diagonal negative — same bug, caught
+        through the float bookkeeping."""
+        stats = _SuffStats.empty(2)
+        stats.add(np.array([1.0, 0.0]))
+        stats.add(np.array([1.0, 0.0]))
+        with pytest.raises(ModelError):
+            stats.remove(np.array([2.0, 0.0]))
+
+    def test_remove_tolerates_cancellation_noise(self):
+        """Exact add/remove round-trips must never trip the guard."""
+        rng = np.random.default_rng(8)
+        stats = _SuffStats.empty(3)
+        points = rng.normal(size=(50, 3)) * 1e3
+        for x in points:
+            stats.add(x)
+        for x in points[1:]:
+            stats.remove(x)
+        assert stats.n == 1
+
     def test_posterior_matches_batch(self, rng):
         """Incremental posterior must equal the batch equation (4)."""
         from repro.core import normal_wishart as nw
@@ -130,6 +151,26 @@ class TestCollapsedModel:
     def test_not_fitted(self):
         with pytest.raises(NotFittedError):
             CollapsedJointModel().topic_assignments()
+
+    def test_log_likelihood_trace_recorded(self, fitted):
+        model, _ = fitted
+        assert len(model.log_likelihoods_) == model.config.n_sweeps
+
+    def test_restarts_pick_best_chain(self):
+        from repro.core.collapsed import run_chains
+
+        rng = np.random.default_rng(2)
+        docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=30)
+        config = JointModelConfig(
+            n_topics=3, n_sweeps=8, burn_in=4, thin=2, n_restarts=3,
+            seed_y_with_kmeans=False,
+        )
+        best = CollapsedJointModel(config).fit(docs, gels, emulsions, 9, rng=6)
+        chains = run_chains(
+            config, docs, gels, emulsions, 9, n_chains=3, rng=6
+        )
+        finals = [chain.log_likelihoods_[-1] for chain in chains]
+        assert best.log_likelihoods_[-1] == max(finals)
 
     def test_agrees_with_semi_collapsed(self):
         """Both samplers must recover the same partition on easy data."""

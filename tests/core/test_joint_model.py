@@ -164,6 +164,106 @@ class TestRestarts:
         assert np.allclose(a.phi_, b.phi_)
 
 
+class TestSerialRegression:
+    """Pin the serial sampler's output for a fixed seed.
+
+    These values were captured from the pre-vectorisation per-topic-loop
+    implementation; the batched einsum/slogdet path must reproduce them
+    (bit-identically on the reference platform, hence the tight
+    tolerances — any algorithmic drift in the sampler shows up here).
+    """
+
+    @pytest.fixture(scope="class")
+    def pinned(self):
+        rng = np.random.default_rng(0)
+        docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=45)
+        config = JointModelConfig(n_topics=3, n_sweeps=20, burn_in=10, thin=2)
+        return JointTextureTopicModel(config).fit(
+            docs, gels, emulsions, 9, rng=1234
+        )
+
+    def test_log_likelihood_trace_pinned(self, pinned):
+        assert pinned.log_likelihoods_[0] == pytest.approx(
+            -470.45368206059277, rel=1e-9
+        )
+        assert pinned.log_likelihoods_[-1] == pytest.approx(
+            -370.81083333381594, rel=1e-9
+        )
+
+    def test_estimates_pinned(self, pinned):
+        assert float(pinned.phi_[0, 0]) == pytest.approx(
+            0.0016420361247947456, rel=1e-9
+        )
+        assert pinned.gel_means_[0] == pytest.approx(
+            [11.786168386169292, 3.0617323786838186, 11.917177971619711],
+            rel=1e-9,
+        )
+        assert pinned.emulsion_means_[2] == pytest.approx(
+            [-0.01222860950403774, 0.04401042409203768], rel=1e-7
+        )
+
+    def test_hard_assignments_pinned(self, pinned):
+        assert pinned.y_.tolist() == [2, 0, 1] * 15
+
+    def test_restart_selection_pinned(self):
+        rng = np.random.default_rng(0)
+        docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=45)
+        config = JointModelConfig(
+            n_topics=3, n_sweeps=12, burn_in=6, thin=2, n_restarts=3
+        )
+        model = JointTextureTopicModel(config).fit(
+            docs, gels, emulsions, 9, rng=7
+        )
+        assert model.log_likelihoods_[-1] == pytest.approx(
+            -367.55291676776005, rel=1e-9
+        )
+        assert float(model.phi_[0, 0]) == pytest.approx(
+            0.0016511737771308318, rel=1e-9
+        )
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_restarts_bit_identical_to_serial(self, rng, backend):
+        """Chains draw from pre-spawned streams → backend-independent."""
+        docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=30)
+        serial_cfg = JointModelConfig(
+            n_topics=3, n_sweeps=10, burn_in=5, thin=2, n_restarts=3
+        )
+        serial = JointTextureTopicModel(serial_cfg).fit(
+            docs, gels, emulsions, 9, rng=7
+        )
+        parallel_cfg = JointModelConfig(
+            n_topics=3, n_sweeps=10, burn_in=5, thin=2, n_restarts=3,
+            backend=backend, n_workers=2,
+        )
+        parallel = JointTextureTopicModel(parallel_cfg).fit(
+            docs, gels, emulsions, 9, rng=7
+        )
+        assert np.array_equal(serial.phi_, parallel.phi_)
+        assert np.array_equal(serial.theta_, parallel.theta_)
+        assert np.array_equal(serial.y_, parallel.y_)
+        assert serial.log_likelihoods_ == parallel.log_likelihoods_
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ModelError):
+            JointModelConfig(backend="gpu")
+        with pytest.raises(ModelError):
+            JointModelConfig(n_workers=0)
+
+    def test_fit_records_timings(self, rng):
+        docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=30)
+        config = JointModelConfig(
+            n_topics=3, n_sweeps=6, burn_in=3, thin=2, n_restarts=2
+        )
+        model = JointTextureTopicModel(config).fit(
+            docs, gels, emulsions, 9, rng=1
+        )
+        assert model.fit_seconds_ is not None and model.fit_seconds_ > 0
+        assert len(model.restart_seconds_) == 2
+        assert all(s > 0 for s in model.restart_seconds_)
+
+
 class TestOptions:
     def test_without_emulsions(self, rng):
         docs, gels, emulsions, truth = synthetic_joint_data(rng, n_docs=45)

@@ -122,8 +122,6 @@ class TestDeduplicator:
         assert signature.shape == (64,)
 
     def test_minhash_similarity_tracks_jaccard(self, dedup):
-        import numpy as np
-
         base = frozenset(f"s{i}" for i in range(100))
         near = frozenset(list(sorted(base))[:90] + [f"x{i}" for i in range(10)])
         sig_a, sig_b = dedup.minhash(base), dedup.minhash(near)

@@ -1,7 +1,6 @@
 """Tests for repro.corpus.filters."""
 
 import numpy as np
-import pytest
 
 from repro.corpus.features import RecipeFeatures
 from repro.corpus.filters import UNRELATED_THRESHOLD, DatasetFilter

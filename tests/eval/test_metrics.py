@@ -85,8 +85,6 @@ class TestVMeasure:
 
 
 class TestWordPerplexity:
-    from repro.eval.metrics import word_perplexity as _wp
-
     def test_perfect_prediction_is_one(self):
         from repro.eval.metrics import word_perplexity
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ReproError
-from repro.eval.rules import RuleMiner, TextureRule
+from repro.eval.rules import RuleMiner
 
 
 @pytest.fixture(scope="module")

@@ -1,7 +1,6 @@
 """Cross-module determinism and convergence checks."""
 
 import numpy as np
-import pytest
 
 from repro.core.diagnostics import summarise_trace
 from repro.core.joint_model import JointModelConfig

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.corpus.recipe import Ingredient, Recipe
-from repro.errors import CorpusError, ReproError
+from repro.errors import CorpusError
 from repro.pipeline.dataset import DatasetBuilder
 from repro.synth.generator import CorpusGenerator
 from repro.synth.presets import CorpusPreset

@@ -1,6 +1,5 @@
 """Tests for repro.pipeline.figures."""
 
-import numpy as np
 import pytest
 
 from repro.core.joint_model import JointModelConfig
