@@ -1,0 +1,57 @@
+"""Project-specific static analysis for the ``repro`` codebase.
+
+The determinism, unit-safety and numerical-stability guarantees this
+package makes are invariants of *discipline*, not of any one function:
+all randomness flows through :mod:`repro.rng` (RNG001), all matrix
+inversions through the guarded helpers in :mod:`repro.core.linalg`
+(NUM001), all −log transforms are clamped (NUM002), public surfaces
+raise only :class:`~repro.errors.ReproError` subclasses (EXC001), and
+parallel tasks are picklable with explicit RNG streams (PAR001). This
+package enforces those invariants mechanically, so refactors in future
+perf/scale PRs cannot silently erode them.
+
+Usage::
+
+    python -m repro.analysis [paths...] [--format json]
+    repro lint [paths...]
+
+Findings can be silenced per line with ``# repro: noqa[RULE]`` (plus a
+written reason), or accepted wholesale in ``analysis-baseline.json`` so
+only *new* violations fail CI. See ``docs/static-analysis.md``.
+"""
+
+from repro.analysis.baseline import Baseline, fingerprint, fingerprint_all
+from repro.analysis.core import (
+    FileContext,
+    ImportTable,
+    Rule,
+    SuppressionIndex,
+    Violation,
+)
+from repro.analysis.rules import RULE_CLASSES, default_rules, rules_by_code
+from repro.analysis.runner import (
+    RunResult,
+    analyze_paths,
+    discover,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "ImportTable",
+    "RULE_CLASSES",
+    "Rule",
+    "RunResult",
+    "SuppressionIndex",
+    "Violation",
+    "analyze_paths",
+    "default_rules",
+    "discover",
+    "fingerprint",
+    "fingerprint_all",
+    "render_json",
+    "render_text",
+    "rules_by_code",
+]

@@ -1,0 +1,124 @@
+"""Committed-baseline handling: existing debt fails only when it grows.
+
+A baseline entry fingerprints a violation by *what* the offending line
+says, not *where* it currently sits — ``sha256(rule | path |
+stripped-line-text | duplicate-index)`` — so unrelated edits that shift
+line numbers do not invalidate the baseline, while editing the flagged
+line itself (or adding a second identical offence) surfaces as new.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.core import Violation
+
+BASELINE_VERSION = 1
+
+#: Default committed baseline, looked up relative to the working dir.
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+
+def fingerprint(violation: Violation, duplicate_index: int = 0) -> str:
+    """Stable identity of a violation across line-number drift."""
+    payload = "|".join(
+        (
+            violation.rule,
+            violation.path,
+            violation.snippet,
+            str(duplicate_index),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def fingerprint_all(violations: Sequence[Violation]) -> list[str]:
+    """Fingerprints for a batch, disambiguating identical lines."""
+    seen: dict[tuple[str, str, str], int] = {}
+    out: list[str] = []
+    for v in sorted(violations, key=Violation.sort_key):
+        key = (v.rule, v.path, v.snippet)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        out.append(fingerprint(v, index))
+    return out
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """An accepted-debt set loaded from (or destined for) JSON."""
+
+    fingerprints: frozenset[str]
+    entries: tuple[dict[str, object], ...] = ()
+
+    def __contains__(self, fp: str) -> bool:
+        return fp in self.fingerprints
+
+    def filter_new(
+        self, violations: Sequence[Violation]
+    ) -> list[Violation]:
+        """Violations whose fingerprint is *not* baselined, sorted."""
+        ordered = sorted(violations, key=Violation.sort_key)
+        fps = fingerprint_all(ordered)
+        return [v for v, fp in zip(ordered, fps) if fp not in self.fingerprints]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(fingerprints=frozenset())
+
+    @classmethod
+    def from_violations(cls, violations: Sequence[Violation]) -> "Baseline":
+        ordered = sorted(violations, key=Violation.sort_key)
+        fps = fingerprint_all(ordered)
+        entries = tuple(
+            {
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "snippet": v.snippet,
+                "fingerprint": fp,
+            }
+            for v, fp in zip(ordered, fps)
+        )
+        return cls(fingerprints=frozenset(fps), entries=entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline format in {path} "
+                f"(expected version {BASELINE_VERSION})"
+            )
+        entries = tuple(data.get("entries", ()))
+        fps = frozenset(str(e["fingerprint"]) for e in entries)
+        return cls(fingerprints=fps, entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "comment": (
+                "Accepted pre-existing findings of `python -m repro.analysis`. "
+                "Regenerate with --write-baseline after deliberate triage; "
+                "never hand-edit fingerprints."
+            ),
+            "entries": list(self.entries),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+
+def merge(baselines: Iterable[Baseline]) -> Baseline:
+    """Union of several baselines (used when scanning path groups)."""
+    fps: set[str] = set()
+    entries: list[dict[str, object]] = []
+    for b in baselines:
+        fps.update(b.fingerprints)
+        entries.extend(b.entries)
+    return Baseline(fingerprints=frozenset(fps), entries=tuple(entries))

@@ -1,0 +1,162 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro lint``.
+
+Exit codes: 0 — clean (or every finding baselined); 1 — new findings;
+2 — usage or configuration error (missing paths, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.rules import rules_by_code
+from repro.analysis.runner import (
+    analyze_paths,
+    iter_rule_docs,
+    render_json,
+    render_text,
+)
+
+#: Scanned when no paths are given and they exist under the cwd.
+DEFAULT_PATHS = ("src/repro", "tests", "benchmarks")
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the analyser's arguments (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help=f"files/directories to analyse (default: {', '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "accepted-debt file; defaults to ./"
+            f"{DEFAULT_BASELINE_NAME} when it exists"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report and fail on every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "report-only mode: write the current findings to the baseline "
+            "file and exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also print findings covered by the baseline (text format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    return configure_parser(
+        argparse.ArgumentParser(
+            prog="repro.analysis",
+            description=(
+                "Project-specific static analysis: RNG discipline, guarded "
+                "linear algebra, log clamping, exception discipline, "
+                "parallel task shape."
+            ),
+        )
+    )
+
+
+def _resolve_paths(args: argparse.Namespace) -> list[Path]:
+    if args.paths:
+        return [Path(p) for p in args.paths]
+    defaults = [Path(p) for p in DEFAULT_PATHS if Path(p).exists()]
+    if not defaults:
+        raise FileNotFoundError(
+            "no paths given and none of the defaults "
+            f"({', '.join(DEFAULT_PATHS)}) exist under the current directory"
+        )
+    return defaults
+
+
+def _resolve_baseline(args: argparse.Namespace) -> tuple[Baseline | None, Path]:
+    """(baseline or None, path to write to for --write-baseline)."""
+    explicit = args.baseline is not None
+    path = Path(args.baseline) if explicit else Path(DEFAULT_BASELINE_NAME)
+    if args.no_baseline:
+        return None, path
+    if path.exists():
+        return Baseline.load(path), path
+    if explicit and not args.write_baseline:
+        raise FileNotFoundError(f"baseline file not found: {path}")
+    return None, path
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute an analyser invocation from parsed arguments."""
+    if args.list_rules:
+        for line in iter_rule_docs():
+            print(line)
+        return 0
+    try:
+        rules = (
+            rules_by_code(tuple(args.select.split(",")))
+            if args.select
+            else None
+        )
+        paths = _resolve_paths(args)
+        baseline, baseline_path = _resolve_baseline(args)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro.analysis: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        result = analyze_paths(paths, rules=rules, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"repro.analysis: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_violations(result.violations).save(baseline_path)
+        print(
+            f"wrote {len(result.violations)} finding(s) to {baseline_path}; "
+            "they are now accepted debt"
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, show_baselined=args.show_baselined))
+    return 1 if result.failed else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return run_from_args(args)

@@ -1,0 +1,47 @@
+"""Rule registry: one place that knows every project-specific rule."""
+
+from __future__ import annotations
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.exceptions import ExceptionDisciplineRule
+from repro.analysis.rules.numerics import GuardedLinalgRule, LogClampRule
+from repro.analysis.rules.parallel import ParallelTaskRule
+from repro.analysis.rules.rng import RngDisciplineRule
+
+#: Every registered rule class, in report order.
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    RngDisciplineRule,
+    GuardedLinalgRule,
+    LogClampRule,
+    ExceptionDisciplineRule,
+    ParallelTaskRule,
+)
+
+
+def default_rules() -> tuple[Rule, ...]:
+    """Fresh instances of every registered rule."""
+    return tuple(cls() for cls in RULE_CLASSES)
+
+
+def rules_by_code(codes: tuple[str, ...] | None = None) -> tuple[Rule, ...]:
+    """Rules restricted to ``codes`` (all rules when ``None``)."""
+    if codes is None:
+        return default_rules()
+    wanted = {c.upper() for c in codes}
+    known = {cls.code for cls in RULE_CLASSES}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    return tuple(cls() for cls in RULE_CLASSES if cls.code in wanted)
+
+
+__all__ = [
+    "RULE_CLASSES",
+    "default_rules",
+    "rules_by_code",
+    "RngDisciplineRule",
+    "GuardedLinalgRule",
+    "LogClampRule",
+    "ExceptionDisciplineRule",
+    "ParallelTaskRule",
+]

@@ -1,0 +1,166 @@
+"""NUM001 / NUM002 — numerical-stability lints.
+
+NUM001: matrix inversion and log-determinants must go through the
+guarded helpers in :mod:`repro.core.linalg`. A bare ``np.linalg.inv``
+on a scatter matrix assembled from near-duplicate gel vectors raises
+``LinAlgError`` mid-sweep or returns ``inf`` that poisons every
+statistic downstream — exactly the failure class the guarded helpers
+absorb (ridge-regularised retry, pseudo-inverse last resort).
+
+NUM002: the paper's −log x concentration transform means ``np.log`` on
+an unclamped value turns a single zero concentration into ``-inf`` and
+a negative one into ``nan``. Outside :mod:`repro.units` (which owns the
+canonical clamped transform), every ``log`` argument must be visibly
+guarded: a constant, a clamp (``np.maximum``/``np.clip``/``abs``), an
+ε-shift (``x + 1e-12``), or an enclosing ``np.where`` mask.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.core import FileContext, Rule, Violation
+
+_BANNED_LINALG = {
+    "numpy.linalg.inv": "guarded_inv",
+    "numpy.linalg.slogdet": "guarded_slogdet / pd_logdet",
+    "numpy.linalg.pinv": "guarded_inv",
+    "scipy.linalg.inv": "guarded_inv",
+}
+
+_LOG_CALLS = {
+    "numpy.log",
+    "numpy.log2",
+    "numpy.log10",
+    "math.log",
+    "math.log2",
+    "math.log10",
+}
+
+#: Calls whose result is safe to take a log of (clamps and positives).
+_SAFE_WRAPPERS = {
+    "numpy.maximum",
+    "numpy.clip",
+    "numpy.abs",
+    "numpy.absolute",
+    "numpy.exp",
+    "numpy.log1p",
+}
+_SAFE_BUILTINS = {"abs", "max", "len"}
+
+#: Attribute constants that count as positive literals.
+_CONST_ATTRS = {"numpy.pi", "numpy.e", "numpy.euler_gamma", "math.pi", "math.e", "math.tau"}
+
+#: An enclosing call to one of these means the log is mask-guarded.
+_MASKING_CALLS = {"numpy.where", "numpy.errstate"}
+
+
+class GuardedLinalgRule(Rule):
+    code: ClassVar[str] = "NUM001"
+    name: ClassVar[str] = "guarded-linalg"
+    severity: ClassVar[str] = "error"
+    description: ClassVar[str] = (
+        "no bare np.linalg.inv/slogdet/pinv outside repro/core/linalg.py; "
+        "use the guarded helpers (guarded_inv, guarded_slogdet, pd_logdet, "
+        "chol_inv_logdet)"
+    )
+    exempt_suffixes: ClassVar[tuple[str, ...]] = ("repro/core/linalg.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.imports.resolve(node.func)
+            if target in _BANNED_LINALG:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"bare {target}; use repro.core.linalg."
+                    f"{_BANNED_LINALG[target]} (ridge/pinv fallback off the "
+                    "PD cone, bit-identical fast path)",
+                )
+
+
+class LogClampRule(Rule):
+    code: ClassVar[str] = "NUM002"
+    name: ClassVar[str] = "log-clamp"
+    severity: ClassVar[str] = "warning"
+    description: ClassVar[str] = (
+        "np.log/math.log on a value that is not visibly clamped "
+        "(np.maximum / np.clip / abs / +eps / np.where mask) outside "
+        "repro/units/; a zero concentration becomes -inf, a negative "
+        "one nan"
+    )
+    exempt_suffixes: ClassVar[tuple[str, ...]] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "repro/units/" not in ctx.relpath
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.imports.resolve(node.func)
+            if target not in _LOG_CALLS:
+                continue
+            if not node.args or len(node.args) > 2:
+                continue
+            arg = node.args[0]
+            if self._is_safe(ctx, arg) or self._mask_guarded(ctx, node):
+                continue
+            yield self.violation(
+                ctx,
+                node,
+                f"{target} on a potentially unclamped value; clamp the "
+                "argument (np.maximum(x, eps)), mask with np.where, or "
+                "justify with `# repro: noqa[NUM002] - why`",
+            )
+
+    # -- safety analysis --------------------------------------------------
+
+    def _is_positive_const(self, ctx: FileContext, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, (int, float)) and node.value > 0
+        resolved = ctx.imports.resolve(node)
+        return resolved in _CONST_ATTRS
+
+    def _is_safe(self, ctx: FileContext, node: ast.AST) -> bool:
+        if self._is_positive_const(ctx, node):
+            return True
+        if isinstance(node, ast.UnaryOp):
+            return self._is_safe(ctx, node.operand)
+        if isinstance(node, ast.BinOp):
+            # ε-shift: `x + tiny` / `tiny + x` guards against zero (the
+            # dominant failure in count/probability space).
+            if isinstance(node.op, ast.Add) and (
+                self._is_positive_const(ctx, node.left)
+                or self._is_positive_const(ctx, node.right)
+            ):
+                return True
+            # pure-constant arithmetic, e.g. np.log(2.0 * np.pi)
+            return self._is_safe(ctx, node.left) and self._is_safe(ctx, node.right)
+        if isinstance(node, ast.Call):
+            target = ctx.imports.resolve(node.func)
+            if target in _SAFE_WRAPPERS:
+                return True
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in _SAFE_BUILTINS
+                and node.func.id not in ctx.imports.aliases
+            ):
+                return True
+        return False
+
+    def _mask_guarded(self, ctx: FileContext, node: ast.Call) -> bool:
+        """True when an enclosing call is ``np.where(cond, log(x), …)``."""
+        current: ast.AST = node
+        parents = ctx.parents
+        while current in parents:
+            current = parents[current]
+            if isinstance(current, ast.Call):
+                if ctx.imports.resolve(current.func) in _MASKING_CALLS:
+                    return True
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+        return False

@@ -1,0 +1,54 @@
+"""RNG001 — all randomness flows through :mod:`repro.rng`.
+
+PR 1's backend-independent determinism guarantee holds only if every
+random draw comes from a generator that was seeded and spawned through
+``repro.rng`` (or passed in as an explicit ``Generator`` argument). A
+single ``np.random.default_rng(...)`` or stdlib ``random.random()``
+buried in a helper silently re-seeds outside the experiment's stream
+and breaks bit-reproducibility across runs and backends.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.core import FileContext, Rule, Violation
+
+#: Calling *anything* under these prefixes creates or drives a stream
+#: outside repro.rng. Attribute access (``rng: np.random.Generator``
+#: annotations, ``isinstance`` checks) is not a call and stays legal.
+_BANNED_PREFIXES = ("numpy.random.", "random.")
+
+#: ``random`` the *module* being called is impossible; these are the
+#: stdlib module's callables that matter in practice, but any call
+#: resolving into the module is flagged, so the set is documentation.
+_STDLIB_EXAMPLES = ("random.seed", "random.random", "random.shuffle")
+
+
+class RngDisciplineRule(Rule):
+    code: ClassVar[str] = "RNG001"
+    name: ClassVar[str] = "rng-discipline"
+    severity: ClassVar[str] = "error"
+    description: ClassVar[str] = (
+        "no direct numpy.random.* / stdlib random.* calls outside "
+        "repro/rng.py; obtain streams via repro.rng.ensure_rng/spawn/"
+        "derive or accept an explicit Generator parameter"
+    )
+    exempt_suffixes: ClassVar[tuple[str, ...]] = ("repro/rng.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.imports.resolve(node.func)
+            if target is None:
+                continue
+            if any(target.startswith(p) for p in _BANNED_PREFIXES):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"direct call to {target} bypasses repro.rng; route "
+                    "randomness through repro.rng.ensure_rng/spawn/derive "
+                    "or an explicit Generator parameter",
+                )

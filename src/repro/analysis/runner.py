@@ -1,0 +1,140 @@
+"""File discovery and rule execution for the repro analyser."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.baseline import Baseline, fingerprint_all
+from repro.analysis.core import FileContext, Rule, Violation, relative_posix
+from repro.analysis.rules import default_rules
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "venv", "node_modules", ".mypy_cache"}
+
+
+def discover(paths: Sequence[Path | str]) -> list[Path]:
+    """Python files under ``paths`` (files kept as-is), sorted, deduped."""
+    found: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                found.setdefault(path.resolve(), None)
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            found.setdefault(candidate.resolve(), None)
+    return sorted(found)
+
+
+@dataclass
+class RunResult:
+    """Everything one analyser invocation produced."""
+
+    violations: list[Violation] = field(default_factory=list)
+    new_violations: list[Violation] = field(default_factory=list)
+    checked_files: int = 0
+    parse_failures: list[Violation] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.new_violations) or bool(self.parse_failures)
+
+    def summary(self) -> str:
+        total = len(self.violations) + len(self.parse_failures)
+        baselined = len(self.violations) - len(self.new_violations)
+        bits = [
+            f"{self.checked_files} file(s) checked",
+            f"{total} finding(s)",
+        ]
+        if baselined:
+            bits.append(f"{baselined} baselined")
+        bits.append(f"{len(self.new_violations) + len(self.parse_failures)} blocking")
+        return ", ".join(bits)
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    rules: Sequence[Rule] | None = None,
+    root: Path | None = None,
+    baseline: Baseline | None = None,
+) -> RunResult:
+    """Run ``rules`` over every Python file under ``paths``.
+
+    Suppressions (``# repro: noqa[...]``) are applied per rule;
+    ``baseline`` then decides which of the surviving violations are
+    *new* (blocking) versus accepted debt.
+    """
+    active = tuple(rules) if rules is not None else default_rules()
+    result = RunResult()
+    for path in discover(paths):
+        result.checked_files += 1
+        try:
+            ctx = FileContext.parse(path, root=root)
+        except SyntaxError as exc:
+            result.parse_failures.append(
+                Violation(
+                    rule="SYNTAX",
+                    path=relative_posix(path, root),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    message=f"cannot parse: {exc.msg}",
+                    severity="error",
+                )
+            )
+            continue
+        for rule in active:
+            result.violations.extend(rule.run(ctx))
+    result.violations.sort(key=Violation.sort_key)
+    chosen = baseline if baseline is not None else Baseline.empty()
+    result.new_violations = chosen.filter_new(result.violations)
+    return result
+
+
+def render_text(result: RunResult, show_baselined: bool = False) -> str:
+    """Human-readable report; blocking findings first."""
+    lines: list[str] = []
+    blocking = result.parse_failures + result.new_violations
+    for v in blocking:
+        lines.append(v.format())
+        if v.snippet:
+            lines.append(f"    {v.snippet}")
+    if show_baselined:
+        new_set = {id(v) for v in result.new_violations}
+        for v in result.violations:
+            if id(v) not in new_set:
+                lines.append(f"{v.format()} (baselined)")
+    lines.append(result.summary())
+    return "\n".join(lines)
+
+
+def render_json(result: RunResult) -> str:
+    """Machine-readable report (one JSON document)."""
+    ordered = sorted(result.violations, key=Violation.sort_key)
+    fps = fingerprint_all(ordered)
+    new_ids = {id(v) for v in result.new_violations}
+    payload = {
+        "checked_files": result.checked_files,
+        "summary": result.summary(),
+        "failed": result.failed,
+        "parse_failures": [v.to_json() for v in result.parse_failures],
+        "violations": [
+            {**v.to_json(), "fingerprint": fp, "new": id(v) in new_ids}
+            for v, fp in zip(ordered, fps)
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def iter_rule_docs(rules: Iterable[Rule] | None = None) -> list[str]:
+    """``CODE [severity] description`` lines for ``--list-rules``."""
+    active = tuple(rules) if rules is not None else default_rules()
+    return [
+        f"{rule.code} ({rule.name}) [{rule.severity}]: {rule.description}"
+        for rule in active
+    ]

@@ -11,6 +11,8 @@ Commands
 ``estimate``
     Estimate the texture of a recipe given as ``ingredient=quantity``
     pairs, e.g. ``python -m repro estimate gelatin=5g water=300ml``.
+``lint``
+    Run the project static analyser (``repro.analysis``) over the tree.
 """
 
 from __future__ import annotations
@@ -20,7 +22,7 @@ import sys
 from typing import Sequence
 
 from repro.errors import ModelError, ReproError
-from repro.pipeline.experiment import quick_config, run_experiment
+from repro.pipeline.experiment import ExperimentConfig, quick_config, run_experiment
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -101,6 +103,14 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--sweeps", type=int, default=300)
     report.add_argument("--seed", type=int, default=11)
     _add_backend_flags(report)
+
+    from repro.analysis.cli import configure_parser as configure_lint_parser
+
+    lint = sub.add_parser(
+        "lint",
+        help="project static analysis (RNG/unit/numerics/exception lints)",
+    )
+    configure_lint_parser(lint)
     return parser
 
 
@@ -118,7 +128,9 @@ def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _apply_parallel_options(config, args):
+def _apply_parallel_options(
+    config: ExperimentConfig, args: argparse.Namespace
+) -> ExperimentConfig:
     """Fold --backend/--workers/--restarts into an ExperimentConfig."""
     import dataclasses
 
@@ -145,7 +157,7 @@ def _cmd_table1() -> int:
     return 0
 
 
-def _cmd_pipeline(args) -> int:
+def _cmd_pipeline(args: argparse.Namespace) -> int:
     import dataclasses
 
     from repro.pipeline.reporting import render_table2a, render_table2b
@@ -162,7 +174,7 @@ def _cmd_pipeline(args) -> int:
     return 0
 
 
-def _cmd_figures(args) -> int:
+def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.pipeline.figures import fig3_data, fig4_data
     from repro.pipeline.reporting import render_fig3, render_fig4
     from repro.rheology.studies import BAVAROIS, MILK_JELLY
@@ -179,7 +191,7 @@ def _cmd_figures(args) -> int:
     return 0
 
 
-def _cmd_estimate(args) -> int:
+def _cmd_estimate(args: argparse.Namespace) -> int:
     from repro.core.estimator import TextureEstimator
     from repro.corpus.recipe import Ingredient, Recipe
 
@@ -211,7 +223,7 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
-def _cmd_search(args) -> int:
+def _cmd_search(args: argparse.Namespace) -> int:
     from repro.core.search import TextureSearch
     from repro.errors import UnknownTermError
 
@@ -233,7 +245,7 @@ def _cmd_search(args) -> int:
     return 0
 
 
-def _cmd_rules(args) -> int:
+def _cmd_rules(args: argparse.Namespace) -> int:
     from repro.eval.rules import RuleMiner
 
     result = run_experiment(quick_config(args.recipes, seed=args.seed))
@@ -242,7 +254,7 @@ def _cmd_rules(args) -> int:
     return 0
 
 
-def _cmd_dictionary(args) -> int:
+def _cmd_dictionary(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.lexicon.categories import AXES, TextureCategory
     from repro.lexicon.dictionary import build_dictionary
@@ -272,7 +284,7 @@ def _cmd_dictionary(args) -> int:
     return 0
 
 
-def _cmd_report(args) -> int:
+def _cmd_report(args: argparse.Namespace) -> int:
     from repro.pipeline.bundle import write_report_bundle
 
     config = _apply_parallel_options(
@@ -286,10 +298,18 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     try:
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "table1":
             return _cmd_table1()
         if args.command == "pipeline":

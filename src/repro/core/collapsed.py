@@ -24,6 +24,7 @@ from scipy.special import logsumexp
 
 from repro.core import normal_wishart as nw
 from repro.core.joint_model import JointModelConfig
+from repro.core.linalg import chol_inv_logdet, guarded_inv, symmetrize
 from repro.core.lda import word_log_likelihood
 from repro.core.priors import DirichletPrior, NormalWishartPrior
 from repro.core.seeding import kmeans_plus_plus
@@ -73,16 +74,15 @@ class _SuffStats:
         dmean = mean - prior.mean
         kappa_c = prior.kappa + self.n
         scale_inv = (
-            np.linalg.inv(prior.scale)
+            guarded_inv(prior.scale)
             + centred_scatter
             + (self.n * prior.kappa / kappa_c) * np.outer(dmean, dmean)
         )
-        scale_c = np.linalg.inv(scale_inv)
         return NormalWishartPrior(
             mean=(self.n * mean + prior.kappa * prior.mean) / kappa_c,
             kappa=kappa_c,
             dof=prior.dof + self.n,
-            scale=0.5 * (scale_c + scale_c.T),
+            scale=symmetrize(guarded_inv(scale_inv)),
         )
 
 
@@ -105,7 +105,7 @@ class _BatchedStudentT:
 
     def __init__(self, prior: NormalWishartPrior, n_topics: int) -> None:
         self.prior = prior
-        self._prior_scale_inv = np.linalg.inv(prior.scale)
+        self._prior_scale_inv = guarded_inv(prior.scale)
         d = prior.dim
         self._means = np.zeros((n_topics, d))
         self._inv_scale_t = np.zeros((n_topics, d, d))
@@ -144,23 +144,18 @@ class _BatchedStudentT:
         dof_t = dof_c - d + 1.0
         factor = (kappa_c + 1.0) / (kappa_c * dof_t)
         # scale_t = scale_inv · factor  ⇒  inv(scale_t) = inv(scale_inv)/factor
-        try:
-            chol = np.linalg.cholesky(scale_inv)
-            logdet_scale_inv = 2.0 * float(np.log(np.diagonal(chol)).sum())
-            identity = np.eye(d)
-            half = np.linalg.solve(chol, identity)  # L⁻¹
-            inv_scale_inv = half.T @ half           # (L Lᵀ)⁻¹
-        except np.linalg.LinAlgError:
-            _, logdet_scale_inv = np.linalg.slogdet(scale_inv)
-            inv_scale_inv = np.linalg.inv(scale_inv)
+        inv_scale_inv, logdet_scale_inv = chol_inv_logdet(scale_inv)
         self._inv_scale_t[k] = inv_scale_inv / factor
-        logdet_t = logdet_scale_inv + d * np.log(factor)
+        logdet_t = (
+            logdet_scale_inv
+            + d * np.log(factor)  # repro: noqa[NUM002] - factor > 0: kappa_c, dof_t positive by prior validation
+        )
         self._means[k] = mean_c
         self._dof_t[k] = float(dof_t)
         self._norm[k] = float(
             gammaln((dof_t + d) / 2.0)
             - gammaln(dof_t / 2.0)
-            - 0.5 * (d * np.log(dof_t * np.pi) + logdet_t)
+            - 0.5 * (d * np.log(dof_t * np.pi) + logdet_t)  # repro: noqa[NUM002] - dof_t > 0 by prior validation
         )
         self._fresh[k] = True
 
@@ -345,7 +340,7 @@ class CollapsedJointModel:
                 gauss = gel_pred.logpdf_all(gel_stats, gels[d])
                 if cfg.use_emulsions:
                     gauss = gauss + emu_pred.logpdf_all(emu_stats, emulsions[d])
-                logits = np.log(counts.n_dk[d] + alpha) + gauss
+                logits = np.log(counts.n_dk[d] + alpha) + gauss  # repro: noqa[NUM002] - counts >= 0 and alpha > 0 (DirichletPrior)
                 logits -= logsumexp(logits)
                 cumulative = np.cumsum(np.exp(logits))
                 k_new = int(
@@ -384,11 +379,11 @@ class CollapsedJointModel:
         emu_posts = [s.posterior(emulsion_prior) for s in emu_stats]
         self.gel_means_ = np.vstack([p.mean for p in gel_posts])
         self.gel_covs_ = np.stack(
-            [np.linalg.inv(nw.expected_params(p).precision) for p in gel_posts]
+            [guarded_inv(nw.expected_params(p).precision) for p in gel_posts]
         )
         self.emulsion_means_ = np.vstack([p.mean for p in emu_posts])
         self.emulsion_covs_ = np.stack(
-            [np.linalg.inv(nw.expected_params(p).precision) for p in emu_posts]
+            [guarded_inv(nw.expected_params(p).precision) for p in emu_posts]
         )
         return self
 

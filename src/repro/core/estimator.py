@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.special import logsumexp
 
+from repro.core.linalg import guarded_inv
 from repro.core.linkage import TopicLinker
 from repro.core.normal_wishart import GaussianParams
 from repro.corpus.extraction import TextureTermExtractor
@@ -91,7 +92,7 @@ class TextureEstimator:
         self._gel_params = [
             GaussianParams(
                 mean=np.asarray(model.gel_means_)[k],
-                precision=np.linalg.inv(np.asarray(model.gel_covs_)[k] + floor),
+                precision=guarded_inv(np.asarray(model.gel_covs_)[k] + floor),
             )
             for k in range(model.n_topics)
         ]

@@ -18,6 +18,7 @@ import numpy as np
 from scipy.special import logsumexp
 
 from repro.core import normal_wishart as nw
+from repro.core.linalg import guarded_inv
 from repro.core.priors import DirichletPrior, NormalWishartPrior
 from repro.errors import ModelError, NotFittedError
 from repro.rng import RngLike, ensure_rng
@@ -85,7 +86,7 @@ class BayesianGaussianMixture:
                 for k in range(k_range)
             ]
             counts = np.bincount(labels, minlength=k_range)
-            log_weights = np.log(counts + alpha) - np.log(n + alpha.sum())
+            log_weights = np.log(counts + alpha) - np.log(n + alpha.sum())  # repro: noqa[NUM002] - counts/n >= 0 and alpha > 0 (DirichletPrior)
             log_density = np.column_stack(
                 [params[k].log_density(data) for k in range(k_range)]
             )
@@ -121,7 +122,7 @@ class BayesianGaussianMixture:
         logits = []
         for k in range(self.config.n_components):
             params = nw.GaussianParams(
-                mean=self.means_[k], precision=np.linalg.inv(self.covs_[k])
+                mean=self.means_[k], precision=guarded_inv(self.covs_[k])
             )
             logits.append(np.log(self.weights_[k] + 1e-12) + params.log_density(data))
         return np.column_stack(logits).argmax(axis=1)

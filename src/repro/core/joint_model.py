@@ -288,7 +288,7 @@ class JointTextureTopicModel:
 
             # -- equation (3): y updates (independent across docs given the
             # collapsed θ, so drawn as one vectorised categorical batch) ----
-            logits = np.log(counts.n_dk + alpha) + log_gel
+            logits = np.log(counts.n_dk + alpha) + log_gel  # repro: noqa[NUM002] - counts >= 0 and alpha > 0 (DirichletPrior)
             logits -= logsumexp(logits, axis=1, keepdims=True)
             cumulative = np.cumsum(np.exp(logits), axis=1)
             draws = generator.random(n_docs) * cumulative[:, -1]

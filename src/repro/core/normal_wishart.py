@@ -21,6 +21,7 @@ import numpy as np
 from scipy import stats
 from scipy.special import gammaln
 
+from repro.core.linalg import guarded_inv, guarded_slogdet, pd_logdet, symmetrize
 from repro.core.priors import NormalWishartPrior
 from repro.errors import ModelError
 from repro.rng import RngLike, ensure_rng
@@ -43,9 +44,7 @@ class GaussianParams:
         """log N(x | μ, Λ⁻¹) for one vector or a batch of rows."""
         x = np.atleast_2d(np.asarray(x, dtype=float))
         diff = x - self.mean
-        sign, logdet = np.linalg.slogdet(self.precision)
-        if sign <= 0:
-            raise ModelError("precision matrix is not positive definite")
+        logdet = pd_logdet(self.precision, "precision matrix")
         quad = np.einsum("ni,ij,nj->n", diff, self.precision, diff)
         out = 0.5 * (logdet - self.mean.size * _LOG_2PI - quad)
         return out if out.size > 1 else out[:1]
@@ -53,7 +52,7 @@ class GaussianParams:
     @property
     def covariance(self) -> np.ndarray:
         """Λ⁻¹."""
-        return np.linalg.inv(self.precision)
+        return guarded_inv(self.precision)
 
 
 def batch_log_density(
@@ -71,9 +70,7 @@ def batch_log_density(
     x = np.atleast_2d(np.asarray(x, dtype=float))
     means = np.stack([p.mean for p in params])            # (K, d)
     precisions = np.stack([p.precision for p in params])  # (K, d, d)
-    signs, logdets = np.linalg.slogdet(precisions)
-    if np.any(signs <= 0):
-        raise ModelError("precision matrix is not positive definite")
+    logdets = pd_logdet(precisions, "precision matrix")
     diff = x[None, :, :] - means[:, None, :]              # (K, n, d)
     quad = np.einsum("kni,kij,knj->kn", diff, precisions, diff)
     return 0.5 * (logdets[:, None] - means.shape[1] * _LOG_2PI - quad).T
@@ -98,12 +95,11 @@ def posterior(prior: NormalWishartPrior, data: np.ndarray) -> NormalWishartPrior
     dof_c = prior.dof + n
     mean_c = (n * xbar + prior.kappa * prior.mean) / kappa_c
     scale_inv = (
-        np.linalg.inv(prior.scale)
+        guarded_inv(prior.scale)
         + scatter
         + (n * prior.kappa / kappa_c) * np.outer(dmean, dmean)
     )
-    scale_c = np.linalg.inv(scale_inv)
-    scale_c = 0.5 * (scale_c + scale_c.T)  # enforce symmetry numerically
+    scale_c = symmetrize(guarded_inv(scale_inv))  # enforce symmetry numerically
     return NormalWishartPrior(mean=mean_c, kappa=kappa_c, dof=dof_c, scale=scale_c)
 
 
@@ -114,8 +110,7 @@ def sample(nw: NormalWishartPrior, rng: RngLike = None) -> GaussianParams:
         df=nw.dof, scale=nw.scale, random_state=generator
     )
     precision = np.atleast_2d(precision)
-    covariance = np.linalg.inv(nw.kappa * precision)
-    covariance = 0.5 * (covariance + covariance.T)
+    covariance = symmetrize(guarded_inv(nw.kappa * precision))
     mean = generator.multivariate_normal(nw.mean, covariance)
     return GaussianParams(mean=mean, precision=precision)
 
@@ -136,14 +131,14 @@ def log_predictive(nw: NormalWishartPrior, x: np.ndarray) -> float:
     dof_t = nw.dof - d + 1.0
     if dof_t <= 0:
         raise ModelError("NW dof too small for predictive density")
-    scale_t = np.linalg.inv(nw.scale) * (nw.kappa + 1.0) / (nw.kappa * dof_t)
+    scale_t = guarded_inv(nw.scale) * (nw.kappa + 1.0) / (nw.kappa * dof_t)
     diff = x - nw.mean
     solve = np.linalg.solve(scale_t, diff)
     quad = float(diff @ solve)
-    _, logdet = np.linalg.slogdet(scale_t)
+    _, logdet = guarded_slogdet(scale_t)
     return float(
         gammaln((dof_t + d) / 2.0)
         - gammaln(dof_t / 2.0)
-        - 0.5 * (d * np.log(dof_t * np.pi) + logdet)
+        - 0.5 * (d * np.log(dof_t * np.pi) + logdet)  # repro: noqa[NUM002] - dof_t > 0 checked above
         - 0.5 * (dof_t + d) * np.log1p(quad / dof_t)
     )

@@ -79,7 +79,7 @@ class TextureSearch:
                 for counts in self._term_counts
             ]
         )
-        log_scores += np.log(self.mention_boost) * mentions
+        log_scores += np.log(self.mention_boost) * mentions  # repro: noqa[NUM002] - mention_boost >= 1 validated in __init__
         order = np.argsort(log_scores)[::-1][:top]
         return [
             SearchHit(

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.special import digamma, gammaln
 
+from repro.core.linalg import guarded_inv, guarded_slogdet, symmetrize
 from repro.core.priors import DirichletPrior, NormalWishartPrior
 from repro.core.seeding import kmeans_plus_plus
 from repro.errors import ModelError, NotFittedError
@@ -70,7 +71,7 @@ class _NWPosterior:
         k_range, d = self.nu.shape[0], self.d
         out = np.empty(k_range)
         for k in range(k_range):
-            _, logdet = np.linalg.slogdet(self.W[k])
+            _, logdet = guarded_slogdet(self.W[k])
             out[k] = (
                 digamma(0.5 * (self.nu[k] - np.arange(d))).sum()
                 + d * np.log(2.0)
@@ -100,7 +101,7 @@ class _NWPosterior:
         prior = self.prior
         n_k = responsibilities.sum(axis=0) + 1e-12
         xbar = (responsibilities.T @ data) / n_k[:, None]
-        w0_inv = np.linalg.inv(prior.scale)
+        w0_inv = guarded_inv(prior.scale)
         for k in range(self.nu.shape[0]):
             diff = data - xbar[k]
             scatter = (responsibilities[:, k][:, None] * diff).T @ diff
@@ -113,15 +114,14 @@ class _NWPosterior:
                 + scatter
                 + (prior.kappa * n_k[k] / self.beta[k]) * np.outer(dmean, dmean)
             )
-            w = np.linalg.inv(w_inv)
-            self.W[k] = 0.5 * (w + w.T)
+            self.W[k] = symmetrize(guarded_inv(w_inv))
 
     # -- ELBO pieces ----------------------------------------------------------
 
     def _log_wishart_b(self, w: np.ndarray, nu: float) -> float:
         """ln B(W, ν), the Wishart normaliser (Bishop B.79)."""
         d = self.d
-        _, logdet = np.linalg.slogdet(w)
+        _, logdet = guarded_slogdet(w)
         return float(
             -0.5 * nu * logdet
             - 0.5 * nu * d * np.log(2.0)
@@ -135,7 +135,7 @@ class _NWPosterior:
         prior = self.prior
         d = self.d
         log_det = self.expected_log_det()
-        w0_inv = np.linalg.inv(prior.scale)
+        w0_inv = guarded_inv(prior.scale)
         log_b0 = self._log_wishart_b(prior.scale, prior.dof)
         total = 0.0
         for k in range(self.nu.shape[0]):
@@ -145,7 +145,7 @@ class _NWPosterior:
                 + prior.kappa * self.nu[k] * float(dmean @ self.W[k] @ dmean)
             )
             e_log_p_mu = 0.5 * (
-                d * np.log(prior.kappa / (2.0 * np.pi))
+                d * np.log(prior.kappa / (2.0 * np.pi))  # repro: noqa[NUM002] - kappa > 0 validated by NormalWishartPrior
                 + log_det[k]
                 - e_quad
             )
@@ -155,7 +155,7 @@ class _NWPosterior:
                 - 0.5 * self.nu[k] * float(np.trace(w0_inv @ self.W[k]))
             )
             e_log_q_mu = 0.5 * (
-                d * np.log(self.beta[k] / (2.0 * np.pi)) + log_det[k] - d
+                d * np.log(self.beta[k] / (2.0 * np.pi)) + log_det[k] - d  # repro: noqa[NUM002] - beta = kappa + soft counts > 0
             )
             entropy_lambda = -(
                 self._log_wishart_b(self.W[k], self.nu[k])
@@ -299,14 +299,14 @@ class VariationalJointModel:
         self.gel_means_ = gel_q.m.copy()
         self.gel_covs_ = np.stack(
             [
-                np.linalg.inv(gel_q.nu[k] * gel_q.W[k])
+                guarded_inv(gel_q.nu[k] * gel_q.W[k])
                 for k in range(k_range)
             ]
         )
         self.emulsion_means_ = emu_q.m.copy()
         self.emulsion_covs_ = np.stack(
             [
-                np.linalg.inv(emu_q.nu[k] * emu_q.W[k])
+                guarded_inv(emu_q.nu[k] * emu_q.W[k])
                 for k in range(k_range)
             ]
         )

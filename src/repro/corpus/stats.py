@@ -70,7 +70,7 @@ def zipf_slope(counts: Mapping[str, int]) -> float:
     if frequencies.size < 3:
         raise CorpusError("too few types for a Zipf fit")
     ranks = np.arange(1, frequencies.size + 1, dtype=float)
-    slope, _ = np.polyfit(np.log(ranks), np.log(frequencies), 1)
+    slope, _ = np.polyfit(np.log(ranks), np.log(frequencies), 1)  # repro: noqa[NUM002] - ranks start at 1, frequencies filtered > 0 above
     return float(slope)
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.linalg import guarded_inv, guarded_slogdet
 from repro.errors import ReproError
 
 
@@ -31,11 +32,11 @@ def gaussian_kl(
     d = mean_p.size
     if mean_q.size != d or cov_p.shape != (d, d) or cov_q.shape != (d, d):
         raise ReproError("dimension mismatch in gaussian_kl")
-    sign_q, logdet_q = np.linalg.slogdet(cov_q)
-    sign_p, logdet_p = np.linalg.slogdet(cov_p)
+    sign_q, logdet_q = guarded_slogdet(cov_q)
+    sign_p, logdet_p = guarded_slogdet(cov_p)
     if sign_q <= 0 or sign_p <= 0:
         raise ReproError("covariances must be positive definite")
-    inv_q = np.linalg.inv(cov_q)
+    inv_q = guarded_inv(cov_q)
     diff = mean_q - mean_p
     value = 0.5 * (
         np.trace(inv_q @ cov_p)
@@ -86,7 +87,7 @@ def discrete_kl(p: np.ndarray, q: np.ndarray, eps: float = 1e-9) -> float:
     q = q + eps
     p = p / p.sum()
     q = q / q.sum()
-    return float(np.sum(p * np.log(p / q)))
+    return float(np.sum(p * np.log(p / q)))  # repro: noqa[NUM002] - p and q are eps-smoothed and renormalised above
 
 
 def concentration_kl(shares_a: np.ndarray, shares_b: np.ndarray) -> float:

@@ -35,6 +35,7 @@ def heldout_word_perplexity(
     import numpy as np
     from scipy.special import logsumexp
 
+    from repro.core.linalg import guarded_inv
     from repro.core.normal_wishart import GaussianParams
     from repro.errors import ModelError
 
@@ -44,7 +45,7 @@ def heldout_word_perplexity(
     params = [
         GaussianParams(
             mean=np.asarray(model.gel_means_)[k],
-            precision=np.linalg.inv(np.asarray(model.gel_covs_)[k] + floor),
+            precision=guarded_inv(np.asarray(model.gel_covs_)[k] + floor),
         )
         for k in range(model.n_topics)
     ]

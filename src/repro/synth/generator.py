@@ -201,7 +201,7 @@ class CorpusGenerator:
         if self.rng.random() >= option.prob:
             return None
         lo, hi = option.rng.lo, option.rng.hi
-        return float(np.exp(self.rng.uniform(np.log(lo), np.log(hi))))
+        return float(np.exp(self.rng.uniform(np.log(lo), np.log(hi))))  # repro: noqa[NUM002] - archetype concentration bounds are strictly positive
 
     def _sample_fractions(self, archetype: Archetype) -> dict[str, float]:
         rng = self.rng
@@ -215,7 +215,7 @@ class CorpusGenerator:
         if not gel_drawn:  # a gel dish always has at least its primary gel
             name, option = next(iter(archetype.gels.items()))
             fractions[name] = float(
-                np.exp(rng.uniform(np.log(option.rng.lo), np.log(option.rng.hi)))
+                np.exp(rng.uniform(np.log(option.rng.lo), np.log(option.rng.hi)))  # repro: noqa[NUM002] - archetype concentration bounds are strictly positive
             )
         for name, option in archetype.emulsions.items():
             value = self._draw(option)

@@ -1,0 +1,103 @@
+"""Baseline round-trip: accepted debt passes, new debt fails."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    Baseline,
+    fingerprint,
+    fingerprint_all,
+    merge,
+)
+from repro.analysis.core import Violation
+
+
+def make_violation(
+    rule: str = "RNG001",
+    path: str = "tests/test_x.py",
+    line: int = 10,
+    snippet: str = "rng = np.random.default_rng(0)",
+) -> Violation:
+    return Violation(
+        rule=rule,
+        path=path,
+        line=line,
+        col=7,
+        message="direct RNG construction",
+        snippet=snippet,
+    )
+
+
+def test_fingerprint_stable_across_line_drift():
+    a = make_violation(line=10)
+    b = make_violation(line=99)  # same line text, moved by edits above
+    assert fingerprint(a) == fingerprint(b)
+
+
+def test_fingerprint_changes_with_snippet():
+    a = make_violation()
+    b = make_violation(snippet="rng = np.random.default_rng(1)")
+    assert fingerprint(a) != fingerprint(b)
+
+
+def test_fingerprint_all_disambiguates_duplicates():
+    twins = [make_violation(line=10), make_violation(line=20)]
+    fps = fingerprint_all(twins)
+    assert len(set(fps)) == 2
+
+
+def test_filter_new_splits_baselined_from_new():
+    old = make_violation()
+    baseline = Baseline.from_violations([old])
+    fresh = make_violation(rule="NUM001", snippet="a = np.linalg.inv(m)")
+    new = baseline.filter_new([old, fresh])
+    assert [v.rule for v in new] == ["NUM001"]
+
+
+def test_round_trip(tmp_path):
+    violations = [
+        make_violation(),
+        make_violation(rule="NUM002", path="benchmarks/bench.py",
+                       snippet="y = np.log(x)"),
+    ]
+    baseline = Baseline.from_violations(violations)
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+
+    loaded = Baseline.load(path)
+    assert loaded.fingerprints == baseline.fingerprints
+    assert loaded.filter_new(violations) == []
+
+    data = json.loads(path.read_text())
+    assert data["version"] == BASELINE_VERSION
+    assert len(data["entries"]) == 2
+
+
+def test_load_rejects_unknown_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 999, "entries": []}))
+    with pytest.raises(ValueError, match="unsupported baseline format"):
+        Baseline.load(path)
+
+
+def test_merge_unions():
+    a = Baseline.from_violations([make_violation()])
+    b = Baseline.from_violations(
+        [make_violation(rule="PAR001", snippet="run_tasks(lambda: 0, [])")]
+    )
+    merged = merge([a, b])
+    assert merged.fingerprints == a.fingerprints | b.fingerprints
+    assert len(merged.entries) == 2
+
+
+def test_committed_baseline_matches_current_tree():
+    """The repo's own baseline stays loadable and versioned."""
+    from pathlib import Path
+
+    committed = Path(__file__).resolve().parents[2] / "analysis-baseline.json"
+    baseline = Baseline.load(committed)
+    assert baseline.fingerprints  # non-empty: tests/ debt is recorded

@@ -1,0 +1,141 @@
+"""End-to-end CLI behaviour: exit codes, formats, and the self-check."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: One representative offence per rule — the acceptance criterion is
+#: that injecting any one of these into a scratch file turns the run red.
+INJECTIONS = {
+    "RNG001": """
+        import numpy as np
+        rng = np.random.default_rng(0)
+        """,
+    "NUM001": """
+        import numpy as np
+        a = np.linalg.inv(m)
+        """,
+    "NUM002": """
+        import numpy as np
+        y = np.log(x)
+        """,
+    "EXC001": """
+        try:
+            f()
+        except Exception:
+            pass
+        """,
+    "PAR001": """
+        from repro.parallel import run_tasks
+        out = run_tasks(lambda payload, rng: payload, [1], rng=0)
+        """,
+}
+
+
+def write_scratch(tmp_path: Path, source: str) -> Path:
+    scratch = tmp_path / "scratch.py"
+    scratch.write_text(textwrap.dedent(source), encoding="utf-8")
+    return scratch
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    scratch = write_scratch(tmp_path, "X = 1\n")
+    assert main([str(scratch), "--no-baseline"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("rule", sorted(INJECTIONS))
+def test_injected_violation_fails(rule, tmp_path, capsys):
+    scratch = write_scratch(tmp_path, INJECTIONS[rule])
+    assert main([str(scratch), "--no-baseline"]) == 1
+    assert rule in capsys.readouterr().out
+
+
+def test_json_format(tmp_path, capsys):
+    scratch = write_scratch(tmp_path, INJECTIONS["RNG001"])
+    assert main([str(scratch), "--no-baseline", "--format", "json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["failed"] is True
+    (finding,) = report["violations"]
+    assert finding["rule"] == "RNG001"
+    assert finding["new"] is True
+    assert finding["fingerprint"]
+
+
+def test_select_limits_rules(tmp_path):
+    scratch = write_scratch(tmp_path, INJECTIONS["RNG001"])
+    assert main([str(scratch), "--no-baseline", "--select", "NUM001"]) == 0
+    assert main([str(scratch), "--no-baseline", "--select", "RNG001"]) == 1
+
+
+def test_unknown_rule_is_usage_error(tmp_path, capsys):
+    scratch = write_scratch(tmp_path, "X = 1\n")
+    assert main([str(scratch), "--select", "NOPE999"]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path / "does-not-exist")]) == 2
+    assert "repro.analysis:" in capsys.readouterr().err
+
+
+def test_missing_explicit_baseline_is_usage_error(tmp_path, capsys):
+    scratch = write_scratch(tmp_path, "X = 1\n")
+    missing = tmp_path / "nope.json"
+    assert main([str(scratch), "--baseline", str(missing)]) == 2
+    assert "baseline file not found" in capsys.readouterr().err
+
+
+def test_syntax_error_is_reported_and_fails(tmp_path, capsys):
+    scratch = write_scratch(tmp_path, "def broken(:\n")
+    assert main([str(scratch), "--no-baseline"]) == 1
+    assert "SYNTAX" in capsys.readouterr().out
+
+
+def test_write_then_pass_with_baseline(tmp_path, capsys):
+    scratch = write_scratch(tmp_path, INJECTIONS["RNG001"])
+    baseline = tmp_path / "baseline.json"
+
+    assert main(
+        [str(scratch), "--baseline", str(baseline), "--write-baseline"]
+    ) == 0
+    assert baseline.exists()
+    capsys.readouterr()
+
+    # accepted debt no longer blocks…
+    assert main([str(scratch), "--baseline", str(baseline)]) == 0
+    assert "baselined" in capsys.readouterr().out
+
+    # …but a new offence alongside it still does.
+    scratch.write_text(
+        scratch.read_text() + "import random\nrandom.seed(1)\n",
+        encoding="utf-8",
+    )
+    assert main([str(scratch), "--baseline", str(baseline)]) == 1
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in INJECTIONS:
+        assert rule in out
+
+
+def test_shipped_src_tree_is_clean(capsys):
+    """Acceptance: ``python -m repro.analysis src/repro`` exits 0."""
+    assert main([str(REPO_ROOT / "src" / "repro"), "--no-baseline"]) == 0
+
+
+def test_default_paths_pass_with_committed_baseline(monkeypatch, capsys):
+    """tests/ + benchmarks/ debt is fully covered by the baseline."""
+    monkeypatch.chdir(REPO_ROOT)
+    assert main([]) == 0
+    assert "0 blocking" in capsys.readouterr().out

@@ -1,0 +1,421 @@
+"""Per-rule fixtures: must flag, must not flag, silenced by noqa."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.core import FileContext
+from repro.analysis.rules import (
+    ExceptionDisciplineRule,
+    GuardedLinalgRule,
+    LogClampRule,
+    ParallelTaskRule,
+    RngDisciplineRule,
+    rules_by_code,
+)
+from repro.analysis.rules.exceptions import known_error_names
+
+
+def check(rule, source: str, relpath: str = "scratch/module.py"):
+    """Run one rule over an inline snippet; returns the violations."""
+    source = textwrap.dedent(source)
+    ctx = FileContext(
+        path=Path(relpath),
+        relpath=relpath,
+        source=source,
+        tree=ast.parse(source),
+    )
+    return list(rule.run(ctx))
+
+
+# -- RNG001 ----------------------------------------------------------------
+
+
+class TestRngDiscipline:
+    def test_flags_default_rng(self):
+        found = check(
+            RngDisciplineRule(),
+            """
+            import numpy as np
+            rng = np.random.default_rng(42)
+            """,
+        )
+        assert [v.rule for v in found] == ["RNG001"]
+        assert found[0].line == 3
+
+    def test_flags_stdlib_random(self):
+        found = check(
+            RngDisciplineRule(),
+            """
+            import random
+            random.seed(7)
+            x = random.random()
+            """,
+        )
+        assert len(found) == 2
+
+    def test_flags_from_import(self):
+        found = check(
+            RngDisciplineRule(),
+            """
+            from numpy.random import default_rng
+            rng = default_rng(0)
+            """,
+        )
+        assert len(found) == 1
+
+    def test_allows_generator_usage_and_annotations(self):
+        found = check(
+            RngDisciplineRule(),
+            """
+            import numpy as np
+            from repro.rng import ensure_rng, spawn
+
+            def f(rng: np.random.Generator) -> float:
+                return float(rng.integers(0, 10))
+
+            def g(seed: int) -> np.random.Generator:
+                return ensure_rng(seed)
+            """,
+        )
+        assert found == []
+
+    def test_exempt_in_rng_module(self):
+        found = check(
+            RngDisciplineRule(),
+            """
+            import numpy as np
+            rng = np.random.default_rng(0)
+            """,
+            relpath="src/repro/rng.py",
+        )
+        assert found == []
+
+    def test_noqa_silences(self):
+        found = check(
+            RngDisciplineRule(),
+            """
+            import numpy as np
+            rng = np.random.default_rng(0)  # repro: noqa[RNG001]
+            """,
+        )
+        assert found == []
+
+    def test_unrelated_noqa_does_not_silence(self):
+        found = check(
+            RngDisciplineRule(),
+            """
+            import numpy as np
+            rng = np.random.default_rng(0)  # repro: noqa[NUM001]
+            """,
+        )
+        assert len(found) == 1
+
+
+# -- NUM001 ----------------------------------------------------------------
+
+
+class TestGuardedLinalg:
+    def test_flags_inv_and_slogdet(self):
+        found = check(
+            GuardedLinalgRule(),
+            """
+            import numpy as np
+            a = np.linalg.inv(m)
+            s, d = np.linalg.slogdet(m)
+            """,
+        )
+        assert [v.rule for v in found] == ["NUM001", "NUM001"]
+
+    def test_allows_guarded_helpers(self):
+        found = check(
+            GuardedLinalgRule(),
+            """
+            from repro.core.linalg import guarded_inv, guarded_slogdet
+            a = guarded_inv(m)
+            s, d = guarded_slogdet(m)
+            """,
+        )
+        assert found == []
+
+    def test_exempt_in_linalg_module(self):
+        found = check(
+            GuardedLinalgRule(),
+            "import numpy as np\na = np.linalg.inv(m)\n",
+            relpath="src/repro/core/linalg.py",
+        )
+        assert found == []
+
+    def test_blanket_noqa_silences(self):
+        found = check(
+            GuardedLinalgRule(),
+            """
+            import numpy as np
+            a = np.linalg.inv(m)  # repro: noqa
+            """,
+        )
+        assert found == []
+
+
+# -- NUM002 ----------------------------------------------------------------
+
+
+class TestLogClamp:
+    def test_flags_bare_name(self):
+        found = check(LogClampRule(), "import numpy as np\ny = np.log(x)\n")
+        assert [v.rule for v in found] == ["NUM002"]
+
+    def test_flags_unclamped_ratio(self):
+        found = check(LogClampRule(), "import numpy as np\ny = np.log(a / b)\n")
+        assert len(found) == 1
+
+    def test_allows_clamped(self):
+        found = check(
+            LogClampRule(),
+            """
+            import numpy as np
+            y = np.log(np.maximum(x, 1e-12))
+            z = np.log(np.clip(x, 1e-9, None))
+            w = np.log(x + 1e-9)
+            """,
+        )
+        assert found == []
+
+    def test_allows_constants(self):
+        found = check(
+            LogClampRule(),
+            """
+            import numpy as np
+            import math
+            a = np.log(2.0 * np.pi)
+            b = math.log(2)
+            """,
+        )
+        assert found == []
+
+    def test_allows_where_mask(self):
+        found = check(
+            LogClampRule(),
+            """
+            import numpy as np
+            y = np.where(x > 0, np.log(x), 0.0)
+            """,
+        )
+        assert found == []
+
+    def test_exempt_under_units(self):
+        found = check(
+            LogClampRule(),
+            "import numpy as np\ny = np.log(x)\n",
+            relpath="src/repro/units/convert.py",
+        )
+        assert found == []
+
+    def test_noqa_silences(self):
+        found = check(
+            LogClampRule(),
+            "import numpy as np\ny = np.log(x)  # repro: noqa[NUM002] - x positive\n",
+        )
+        assert found == []
+
+
+# -- EXC001 ----------------------------------------------------------------
+
+
+class TestExceptionDiscipline:
+    def test_flags_builtin_raise_on_public_surface(self):
+        found = check(
+            ExceptionDisciplineRule(),
+            "def f():\n    raise ValueError('nope')\n",
+            relpath="src/repro/pipeline/tables.py",
+        )
+        assert [v.rule for v in found] == ["EXC001"]
+
+    def test_allows_repro_errors_on_public_surface(self):
+        found = check(
+            ExceptionDisciplineRule(),
+            """
+            from repro.errors import ExperimentError
+
+            def f():
+                raise ExperimentError('bad config')
+            """,
+            relpath="src/repro/pipeline/tables.py",
+        )
+        assert found == []
+
+    def test_allows_system_exit_and_reraise(self):
+        found = check(
+            ExceptionDisciplineRule(),
+            """
+            def f():
+                try:
+                    g()
+                except ValueError:
+                    raise
+                raise SystemExit(0)
+            """,
+            relpath="src/repro/cli.py",
+        )
+        assert found == []
+
+    def test_builtin_raise_fine_outside_public_surface(self):
+        found = check(
+            ExceptionDisciplineRule(),
+            "def f():\n    raise TypeError('internal')\n",
+            relpath="src/repro/rng.py",
+        )
+        assert found == []
+
+    def test_flags_broad_except_everywhere(self):
+        found = check(
+            ExceptionDisciplineRule(),
+            """
+            try:
+                f()
+            except Exception:
+                pass
+            """,
+            relpath="src/repro/corpus/store.py",
+        )
+        assert len(found) == 1
+
+    def test_bare_except_flagged(self):
+        found = check(
+            ExceptionDisciplineRule(),
+            "try:\n    f()\nexcept:\n    pass\n",
+        )
+        assert len(found) == 1
+
+    def test_ble001_justification_accepted(self):
+        found = check(
+            ExceptionDisciplineRule(),
+            """
+            try:
+                f()
+            except Exception as exc:  # noqa: BLE001 - re-raised in caller
+                keep(exc)
+            """,
+        )
+        assert found == []
+
+    def test_narrow_except_fine(self):
+        found = check(
+            ExceptionDisciplineRule(),
+            "try:\n    f()\nexcept (OSError, ValueError):\n    pass\n",
+        )
+        assert found == []
+
+    def test_known_error_names_current(self):
+        # the static fallback list must track the live hierarchy
+        from repro import errors
+
+        live = {
+            name
+            for name, obj in vars(errors).items()
+            if isinstance(obj, type) and issubclass(obj, errors.ReproError)
+        }
+        assert live <= known_error_names()
+
+
+# -- PAR001 ----------------------------------------------------------------
+
+
+class TestParallelTaskShape:
+    def test_flags_lambda(self):
+        found = check(
+            ParallelTaskRule(),
+            """
+            from repro.parallel import run_tasks
+            out = run_tasks(lambda payload, rng: payload, [1, 2], rng=0)
+            """,
+        )
+        assert [v.rule for v in found] == ["PAR001"]
+
+    def test_flags_nested_def(self):
+        found = check(
+            ParallelTaskRule(),
+            """
+            from repro.parallel import run_tasks
+
+            def outer():
+                def task(payload, rng):
+                    return payload
+                return run_tasks(task, [1], rng=0)
+            """,
+        )
+        assert len(found) == 1
+        assert "nested" in found[0].message
+
+    def test_flags_missing_rng_param(self):
+        found = check(
+            ParallelTaskRule(),
+            """
+            from repro.parallel import run_tasks
+
+            def task(payload):
+                return payload
+
+            out = run_tasks(task, [1], rng=0)
+            """,
+        )
+        assert len(found) == 1
+        assert "rng" in found[0].message
+
+    def test_allows_module_level_task_with_rng(self):
+        found = check(
+            ParallelTaskRule(),
+            """
+            from repro.parallel import run_tasks
+
+            def task(payload, rng):
+                return rng.integers(0, 10) + payload
+
+            out = run_tasks(task, [1, 2], rng=0)
+            """,
+        )
+        assert found == []
+
+    def test_unwraps_partial(self):
+        found = check(
+            ParallelTaskRule(),
+            """
+            import functools
+            from repro.parallel import run_tasks
+
+            def task(extra, payload):
+                return payload + extra
+
+            out = run_tasks(functools.partial(task, 1), [1], rng=0)
+            """,
+        )
+        assert len(found) == 1  # rng param still missing
+
+    def test_imported_task_assumed_module_level(self):
+        found = check(
+            ParallelTaskRule(),
+            """
+            from repro.parallel import run_tasks
+            from mymodule import task
+
+            out = run_tasks(task, [1], rng=0)
+            """,
+        )
+        assert found == []
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def test_rules_by_code_selection():
+    rules = rules_by_code(("RNG001", "PAR001"))
+    assert sorted(r.code for r in rules) == ["PAR001", "RNG001"]
+
+
+def test_rules_by_code_unknown():
+    with pytest.raises(ValueError, match="unknown rule code"):
+        rules_by_code(("NOPE999",))
