@@ -1,0 +1,248 @@
+"""Tokens/sec benchmark for the token-sampling kernel layer.
+
+The repo's first *tracked* perf number: every run appends one record
+per measured (kernel, K) cell to the ``BENCH_sampler.json`` trajectory
+at the repo root::
+
+    {"commit": ..., "preset": "full" | "tiny", "n_recipes": ...,
+     "kernel": ..., "n_topics": ..., "tokens_per_sec": ...,
+     "fit_seconds": ...}
+
+``tokens_per_sec`` is measured on standalone z-sweeps (count state +
+kernel only), so the number isolates the sampling hot loop from the
+Gaussian side that PR 1 already vectorised; ``fit_seconds`` is the
+end-to-end :meth:`JointTextureTopicModel.fit` wall-clock at K = 10
+(``None`` on rows where only the sweep was measured). The dense kernel
+is the bit-identical default; ``legacy`` is the historical per-token
+numpy loop kept as the baseline; ``sparse`` is measured at K = 10 and
+K = 50 to show where the bucket decomposition starts winning.
+
+Run modes:
+
+* ``python benchmarks/bench_sampler_kernels.py`` — full bench preset
+  (3,000 synthetic recipes, 30 sweeps per cell), prints a table and
+  appends trajectory records.
+* ``REPRO_BENCH_TINY=1 pytest benchmarks/bench_sampler_kernels.py`` —
+  CI smoke: a 150-recipe corpus, few sweeps, plus the dense-kernel
+  throughput floor assertion against ``benchmarks/sampler_floor.json``
+  (fails on a >30% regression).
+
+Measurement cells run through :func:`repro.parallel.run_tasks` with a
+module-level task (PAR001) but on the **serial** backend by default:
+concurrent cells would contend for cores and corrupt the timings. Set
+``REPRO_BENCH_BACKEND`` only if you accept that trade.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.joint_model import JointModelConfig, JointTextureTopicModel
+from repro.core.kernels import CSRTokens, make_kernel
+from repro.core.priors import DirichletPrior
+from repro.core.state import TopicCounts, initialise_assignments
+from repro.parallel import ParallelConfig, run_tasks
+from repro.pipeline.dataset import DatasetBuilder
+from repro.rng import ensure_rng
+from repro.synth.generator import CorpusGenerator
+from repro.synth.presets import CorpusPreset
+
+_TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+_BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "serial")
+
+BENCH_SEED = 11
+N_RECIPES = 150 if _TINY else 3000
+N_SWEEPS = 4 if _TINY else 30
+FIT_SWEEPS = 6 if _TINY else 40
+TOPIC_GRID = (10, 50)
+KERNEL_GRID = ("legacy", "dense", "sparse")
+
+_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY_PATH = _ROOT / "BENCH_sampler.json"
+FLOOR_PATH = _ROOT / "benchmarks" / "sampler_floor.json"
+
+
+def bench_docs(n_recipes: int = N_RECIPES, seed: int = BENCH_SEED):
+    """The bench-preset documents (w2v filter off: it has its own bench)."""
+    corpus = CorpusGenerator(rng=seed).generate(
+        CorpusPreset(name=f"kernel-bench{n_recipes}", n_recipes=n_recipes)
+    )
+    builder = DatasetBuilder(use_w2v_filter=False)
+    return builder.build(corpus.recipes, rng=7)
+
+
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_ROOT, capture_output=True, text=True, timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except OSError:  # repro: noqa[EXC001] - bench must run outside git checkouts too
+        return "unknown"
+
+
+def _measure_task(payload, rng):
+    """Time standalone z-sweeps for one (kernel, K) cell.
+
+    Module-level with an explicit rng parameter so process pools can
+    pickle it; the executor's spawned stream is unused because the
+    payload embeds its own seed (results are backend-independent,
+    timings are not).
+    """
+    del rng  # cells must be reproducible from the payload alone
+    kernel_name, docs, vocab_size, n_topics, n_sweeps, seed = payload
+    generator = ensure_rng(seed)
+    counts = TopicCounts(len(docs), n_topics, vocab_size)
+    z = initialise_assignments(docs, counts, generator)
+    y = generator.integers(0, n_topics, size=len(docs)).astype(np.int64)
+    alpha = DirichletPrior(1.0).vector(n_topics)
+    kernel = make_kernel(
+        kernel_name, CSRTokens.from_docs(docs, z), counts, alpha, 0.1
+    )
+    start = time.perf_counter()
+    for _ in range(n_sweeps):
+        kernel.sweep(generator, y)
+    elapsed = time.perf_counter() - start
+    n_tokens = kernel.csr.n_tokens
+    return {
+        "kernel": kernel_name,
+        "n_topics": n_topics,
+        "n_tokens": n_tokens,
+        "sweep_seconds": round(elapsed, 4),
+        "tokens_per_sec": round(n_tokens * n_sweeps / elapsed, 1),
+    }
+
+
+def measure_sweeps(dataset, topic_grid=TOPIC_GRID, kernels=KERNEL_GRID):
+    """tokens/sec for every (kernel, K) cell of the grid."""
+    docs = list(dataset.docs)
+    payloads = [
+        (kernel, docs, dataset.vocab_size, n_topics, N_SWEEPS, BENCH_SEED)
+        for n_topics in topic_grid
+        for kernel in kernels
+    ]
+    return run_tasks(
+        _measure_task, payloads, rng=0,
+        config=ParallelConfig(backend=_BACKEND),
+    )
+
+
+def measure_fit(dataset, kernel: str) -> float:
+    """End-to-end joint-model fit wall-clock at K = 10."""
+    config = JointModelConfig(
+        n_topics=10, n_sweeps=FIT_SWEEPS, burn_in=FIT_SWEEPS // 2, thin=5,
+        kernel=kernel,
+    )
+    model = JointTextureTopicModel(config).fit(
+        list(dataset.docs), dataset.gel_log, dataset.emulsion_log,
+        dataset.vocab_size, rng=BENCH_SEED,
+    )
+    return float(model.fit_seconds_)
+
+
+def append_trajectory(records: list[dict]) -> None:
+    """Append perf records to the committed BENCH_sampler.json trajectory."""
+    trajectory = []
+    if TRAJECTORY_PATH.exists():
+        trajectory = json.loads(TRAJECTORY_PATH.read_text())
+    trajectory.extend(records)
+    TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def run_bench(write_trajectory: bool = True) -> list[dict]:
+    """Measure the full grid, report, and append trajectory records."""
+    dataset = bench_docs()
+    commit = _git_commit()
+    fit_seconds = {k: measure_fit(dataset, k) for k in KERNEL_GRID}
+    records = []
+    for cell in measure_sweeps(dataset):
+        records.append(
+            {
+                "commit": commit,
+                "preset": "tiny" if _TINY else "full",
+                "n_recipes": N_RECIPES,
+                "kernel": cell["kernel"],
+                "n_topics": cell["n_topics"],
+                "n_tokens": cell["n_tokens"],
+                "tokens_per_sec": cell["tokens_per_sec"],
+                "fit_seconds": (
+                    round(fit_seconds[cell["kernel"]], 3)
+                    if cell["n_topics"] == 10 else None
+                ),
+            }
+        )
+    if write_trajectory:
+        append_trajectory(records)
+    return records
+
+
+def _by_kernel(records, n_topics):
+    return {
+        r["kernel"]: r for r in records if r["n_topics"] == n_topics
+    }
+
+
+def render(records: list[dict]) -> str:
+    lines = [
+        f"{'kernel':<8} {'K':>4} {'tokens/s':>12} {'vs legacy':>10} "
+        f"{'fit (s)':>8}"
+    ]
+    for n_topics in sorted({r["n_topics"] for r in records}):
+        cells = _by_kernel(records, n_topics)
+        legacy = cells.get("legacy", {}).get("tokens_per_sec")
+        for kernel in KERNEL_GRID:
+            if kernel not in cells:
+                continue
+            cell = cells[kernel]
+            ratio = (
+                f"{cell['tokens_per_sec'] / legacy:9.2f}x" if legacy else "-"
+            )
+            fit = cell.get("fit_seconds")
+            lines.append(
+                f"{kernel:<8} {n_topics:>4} {cell['tokens_per_sec']:>12,.0f} "
+                f"{ratio:>10} {fit if fit is not None else '-':>8}"
+            )
+    return "\n".join(lines)
+
+
+# -- pytest entry points (CI smoke) ------------------------------------------
+
+
+def test_dense_kernel_meets_throughput_floor():
+    """The tracked perf number: dense tokens/sec vs the committed floor.
+
+    Fails when throughput regresses more than 30% below the floor, and
+    writes the BENCH_sampler.json records CI uploads as an artifact.
+    """
+    records = run_bench(write_trajectory=True)
+    dense = _by_kernel(records, 10)["dense"]["tokens_per_sec"]
+    floor = json.loads(FLOOR_PATH.read_text())["dense_tokens_per_sec"]
+    print(f"\ndense kernel: {dense:,.0f} tokens/s (floor {floor:,.0f})")
+    assert dense >= 0.7 * floor, (
+        f"dense kernel regressed: {dense:,.0f} tokens/s is more than 30% "
+        f"below the committed floor of {floor:,.0f}"
+    )
+
+
+def test_dense_kernel_faster_than_legacy():
+    """Dense must clearly beat the legacy loop at the bench K."""
+    dataset = bench_docs()
+    cells = _by_kernel(measure_sweeps(dataset, topic_grid=(10,)), 10)
+    dense = cells["dense"]["tokens_per_sec"]
+    legacy = cells["legacy"]["tokens_per_sec"]
+    print(f"\ndense {dense:,.0f} vs legacy {legacy:,.0f} tokens/s "
+          f"({dense / legacy:.2f}x)")
+    assert dense > 1.5 * legacy
+
+
+if __name__ == "__main__":
+    bench_records = run_bench()
+    print(render(bench_records))
+    print(f"\nappended {len(bench_records)} records to {TRAJECTORY_PATH}")

@@ -115,7 +115,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
-    """Parallel-execution flags shared by the model-fitting commands."""
+    """Execution flags shared by the model-fitting commands."""
+    from repro.core.kernels import KERNELS
+
     parser.add_argument(
         "--backend",
         choices=("serial", "thread", "process", "auto"),
@@ -126,24 +128,40 @@ def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=None,
         help="worker cap for parallel backends (default: one per CPU)",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default="dense",
+        help=(
+            "token-sampling kernel for the Gibbs z-sweep: dense "
+            "(default; bit-identical fast path), legacy (original "
+            "per-token numpy loop) or sparse (SparseLDA buckets + "
+            "alias table, statistically equivalent)"
+        ),
+    )
 
 
 def _apply_parallel_options(
     config: ExperimentConfig, args: argparse.Namespace
 ) -> ExperimentConfig:
-    """Fold --backend/--workers/--restarts into an ExperimentConfig."""
+    """Fold --backend/--workers/--restarts/--kernel into an ExperimentConfig."""
     import dataclasses
 
     backend = getattr(args, "backend", "serial")
     workers = getattr(args, "workers", None)
     restarts = getattr(args, "restarts", 1)
+    kernel = getattr(args, "kernel", "dense")
     if restarts < 1:
         raise ModelError("--restarts must be >= 1")
     model = config.model
-    if backend != "serial" or workers or restarts > 1:
+    if (
+        backend != "serial" or workers or restarts > 1
+        or kernel != model.kernel
+    ):
         model = dataclasses.replace(
             model, backend=backend, n_workers=workers,
             n_restarts=max(restarts, model.n_restarts),
+            kernel=kernel,
         )
         config = dataclasses.replace(config, model=model)
     return config

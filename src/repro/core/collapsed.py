@@ -20,10 +20,11 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
-from scipy.special import logsumexp
+from scipy.special import gammaln, logsumexp
 
 from repro.core import normal_wishart as nw
 from repro.core.joint_model import JointModelConfig
+from repro.core.kernels import CSRTokens, make_kernel, sample_from_cumulative
 from repro.core.linalg import chol_inv_logdet, guarded_inv, symmetrize
 from repro.core.lda import word_log_likelihood
 from repro.core.priors import DirichletPrior, NormalWishartPrior
@@ -120,8 +121,6 @@ class _BatchedStudentT:
         # Posterior parameters computed inline (equation (4)) — the
         # validated NormalWishartPrior constructor is far too slow for a
         # per-document hot path.
-        from scipy.special import gammaln
-
         prior = self.prior
         n = stats.n
         if n == 0:
@@ -288,6 +287,10 @@ class CollapsedJointModel:
 
         counts = TopicCounts(n_docs, k_range, vocab_size)
         z = initialise_assignments(docs, counts, generator)
+        # Flatten the ragged corpus once; the kernel owns the z-sweep.
+        kernel = make_kernel(
+            cfg.kernel, CSRTokens.from_docs(docs, z), counts, alpha, gamma
+        )
         if cfg.seed_y_with_kmeans:
             y = kmeans_plus_plus(gels, k_range, generator).astype(np.int64)
         else:
@@ -309,25 +312,7 @@ class CollapsedJointModel:
 
         for sweep in range(cfg.n_sweeps):
             # -- z updates (identical to the semi-collapsed sampler) --------
-            for d, words in enumerate(docs):
-                zd = z[d]
-                y_d = y[d]
-                uniforms = generator.random(len(words))
-                for n_tok, v in enumerate(words):
-                    counts.remove(d, int(zd[n_tok]), int(v))
-                    weights = (counts.n_dk[d] + alpha).astype(float)
-                    weights[y_d] += 1.0
-                    weights *= (counts.n_kv[:, v] + gamma) / (
-                        counts.n_k + v_total
-                    )
-                    cumulative = np.cumsum(weights)
-                    k_new = int(
-                        np.searchsorted(
-                            cumulative, uniforms[n_tok] * cumulative[-1]
-                        )
-                    )
-                    zd[n_tok] = k_new
-                    counts.add(d, k_new, int(v))
+            kernel.sweep(generator, y)
 
             # -- collapsed y updates: batched cached Student-t predictives --
             gauss_ll = 0.0
@@ -343,12 +328,7 @@ class CollapsedJointModel:
                 logits = np.log(counts.n_dk[d] + alpha) + gauss  # repro: noqa[NUM002] - counts >= 0 and alpha > 0 (DirichletPrior)
                 logits -= logsumexp(logits)
                 cumulative = np.cumsum(np.exp(logits))
-                k_new = int(
-                    np.searchsorted(
-                        cumulative, generator.random() * cumulative[-1]
-                    )
-                )
-                k_new = min(k_new, k_range - 1)
+                k_new = sample_from_cumulative(cumulative, generator.random())
                 y[d] = k_new
                 gauss_ll += float(gauss[k_new])
                 gel_stats[k_new].add(gels[d])

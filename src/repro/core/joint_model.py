@@ -31,6 +31,7 @@ import numpy as np
 from scipy.special import logsumexp
 
 from repro.core import normal_wishart as nw
+from repro.core.kernels import KERNELS, CSRTokens, make_kernel
 from repro.core.lda import word_log_likelihood
 from repro.core.priors import DirichletPrior, NormalWishartPrior
 from repro.core.seeding import kmeans_plus_plus
@@ -73,6 +74,12 @@ class JointModelConfig:
     backend: str = "serial"
     #: Worker cap for parallel backends (``None`` → one per CPU).
     n_workers: int | None = None
+    #: Token-sampling kernel for the z-sweep: "dense" (default,
+    #: bit-identical to the historical per-token loop), "legacy" (that
+    #: loop itself, kept for benchmarking) or "sparse" (SparseLDA
+    #: buckets + alias table; statistically equivalent, wins at large
+    #: K). See :mod:`repro.core.kernels`.
+    kernel: str = "dense"
 
     def __post_init__(self) -> None:
         from repro.parallel import BACKENDS
@@ -89,6 +96,8 @@ class JointModelConfig:
             raise ModelError(f"unknown backend {self.backend!r}")
         if self.n_workers is not None and self.n_workers < 1:
             raise ModelError("n_workers must be >= 1")
+        if self.kernel not in KERNELS:
+            raise ModelError(f"unknown sampling kernel {self.kernel!r}")
 
 
 def _restart_task(payload, rng) -> tuple["JointTextureTopicModel", float]:
@@ -232,6 +241,10 @@ class JointTextureTopicModel:
 
         counts = TopicCounts(n_docs, k_range, vocab_size)
         z = initialise_assignments(docs, counts, generator)
+        # Flatten the ragged corpus once; the kernel owns the z-sweep.
+        kernel = make_kernel(
+            cfg.kernel, CSRTokens.from_docs(docs, z), counts, alpha, gamma
+        )
         # Seed y with k-means++ on the gel vectors (see repro.core.seeding
         # for why a uniform start mixes badly) unless configured otherwise.
         if cfg.seed_y_with_kmeans:
@@ -267,24 +280,7 @@ class JointTextureTopicModel:
                 log_gel = log_gel + nw.batch_log_density(emu_params, emulsions)
 
             # -- equation (2): per-token z updates ---------------------------
-            for d, words in enumerate(docs):
-                zd = z[d]
-                y_d = y[d]
-                uniforms = generator.random(len(words))
-                for n, v in enumerate(words):
-                    k_old = int(zd[n])
-                    counts.remove(d, k_old, int(v))
-                    weights = (counts.n_dk[d] + alpha).astype(float)
-                    weights[y_d] += 1.0  # the M_dk term
-                    weights *= (counts.n_kv[:, v] + gamma) / (
-                        counts.n_k + v_total
-                    )
-                    cumulative = np.cumsum(weights)
-                    k_new = int(
-                        np.searchsorted(cumulative, uniforms[n] * cumulative[-1])
-                    )
-                    zd[n] = k_new
-                    counts.add(d, k_new, int(v))
+            kernel.sweep(generator, y)
 
             # -- equation (3): y updates (independent across docs given the
             # collapsed θ, so drawn as one vectorised categorical batch) ----

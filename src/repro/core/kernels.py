@@ -1,0 +1,642 @@
+"""Shared token-sampling kernels for the collapsed Gibbs samplers.
+
+All three word-side samplers — :class:`repro.core.lda.LatentDirichletAllocation`,
+:class:`repro.core.joint_model.JointTextureTopicModel` and
+:class:`repro.core.collapsed.CollapsedJointModel` — perform the same
+per-token z-update of equation (2): remove the token from the count
+state, form K unnormalised topic weights, draw from the cumulative, add
+the token back. This module centralises that sweep behind a small
+kernel interface so the models share one implementation instead of
+three hand-rolled loops:
+
+``"legacy"``
+    The original per-token numpy loop, kept verbatim for benchmarking
+    and as the bit-identity reference.
+``"dense"`` (default)
+    The same arithmetic restructured as a flat CSR sweep with
+    preallocated buffers and in-place count updates — no per-token
+    numpy temporaries. It consumes the *same* uniforms in the *same*
+    order and performs the *same* IEEE float operations as the legacy
+    loop, so fitted models are bit-identical to the legacy kernel.
+``"sparse"``
+    A SparseLDA-style bucket decomposition (Yao, Mimno & McCallum,
+    KDD'09): per token only the nonzero ``n_dk`` / ``n_kv`` entries are
+    visited and the dense smoothing residual is drawn from a Walker
+    alias table refreshed on a staleness budget. Statistically
+    equivalent to the dense kernel but *not* bit-identical (it spends
+    randomness differently); it wins when ``n_topics`` is large
+    relative to the per-word topic support.
+
+Kernel objects are built **once per fit**: the ragged ``docs`` list is
+flattened into contiguous CSR-style arrays (``token_words``,
+``token_topics``, ``doc_offsets``, all ``int32``) and, for the fast
+kernels, mirrored into flat Python lists that the hot loop reads and
+writes without numpy scalar-indexing overhead. During a fit the kernel
+owns the count state; the numpy :class:`~repro.core.state.TopicCounts`
+arrays are re-synchronised at the end of every sweep so the per-sweep
+likelihood traces and posterior accumulators keep reading the arrays
+they always read.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.state import TopicCounts
+from repro.errors import ModelError
+
+#: Recognised kernel names, in documentation order.
+KERNELS: tuple[str, ...] = ("dense", "legacy", "sparse")
+
+#: Token moves between Walker-alias rebuilds of the sparse kernel's
+#: smoothing bucket. The bucket's *mass* is always exact — the budget
+#: only bounds how stale the within-bucket distribution may get.
+ALIAS_REFRESH_DEFAULT: int = 2048
+
+
+def sample_from_cumulative(cumulative: np.ndarray, uniform: float) -> int:
+    """Inverse-CDF draw from an unnormalised cumulative-weight array.
+
+    Returns the smallest index ``k`` with
+    ``cumulative[k] >= uniform * cumulative[-1]``, clamped into
+    ``[0, len(cumulative) - 1]``. The clamp matters on the boundary:
+    when ``uniform * cumulative[-1]`` rounds up to exactly
+    ``cumulative[-1]`` the raw ``searchsorted`` index can land one past
+    the end (e.g. with ``side="right"`` semantics or degenerate weight
+    vectors), which would corrupt the count state downstream.
+    """
+    index = int(np.searchsorted(cumulative, uniform * cumulative[-1]))
+    last = len(cumulative) - 1
+    return index if index < last else last
+
+
+@dataclass(frozen=True)
+class CSRTokens:
+    """A ragged corpus flattened into contiguous CSR-style arrays.
+
+    ``token_words[t]`` and ``token_topics[t]`` are the word id and the
+    current topic of the ``t``-th token in corpus order;
+    ``doc_offsets`` has ``n_docs + 1`` entries and document ``d`` owns
+    the half-open token range
+    ``doc_offsets[d]:doc_offsets[d + 1]``. Empty documents are
+    represented by equal consecutive offsets.
+    """
+
+    token_words: np.ndarray
+    token_topics: np.ndarray
+    doc_offsets: np.ndarray
+
+    @property
+    def n_docs(self) -> int:
+        return len(self.doc_offsets) - 1
+
+    @property
+    def n_tokens(self) -> int:
+        return int(self.doc_offsets[-1])
+
+    @classmethod
+    def from_docs(
+        cls,
+        docs: Sequence[np.ndarray],
+        z: Sequence[np.ndarray] | None = None,
+    ) -> "CSRTokens":
+        """Flatten per-document word (and topic) arrays, built once per fit."""
+        lengths = [len(words) for words in docs]
+        total = sum(lengths)
+        if total > np.iinfo(np.int32).max:
+            raise ModelError("corpus too large for int32 token offsets")
+        offsets = np.zeros(len(docs) + 1, dtype=np.int32)
+        np.cumsum(lengths, out=offsets[1:])
+        words = np.zeros(total, dtype=np.int32)
+        topics = np.zeros(total, dtype=np.int32)
+        for d, doc in enumerate(docs):
+            start, end = offsets[d], offsets[d + 1]
+            words[start:end] = np.asarray(doc, dtype=np.int32)
+            if z is not None:
+                topics[start:end] = np.asarray(z[d], dtype=np.int32)
+        return cls(token_words=words, token_topics=topics, doc_offsets=offsets)
+
+    def words_per_doc(self) -> list[np.ndarray]:
+        """Un-flatten the word ids back into per-document arrays."""
+        return self._split(self.token_words)
+
+    def topics_per_doc(self) -> list[np.ndarray]:
+        """Un-flatten the topic assignments back into per-document arrays."""
+        return self._split(self.token_topics)
+
+    def _split(self, flat: np.ndarray) -> list[np.ndarray]:
+        offsets = self.doc_offsets
+        return [
+            flat[offsets[d]:offsets[d + 1]].copy() for d in range(self.n_docs)
+        ]
+
+
+class TokenKernel:
+    """One full z-sweep over the flattened corpus.
+
+    Subclasses implement :meth:`sweep`, which resamples every token's
+    topic in corpus order, drawing the per-token uniforms as one
+    ``generator.random(len(doc))`` batch per document (the draw pattern
+    all pre-kernel samplers used, which pins the RNG stream). ``y`` is
+    the per-document concentration-topic vector of the joint models
+    (``None`` for plain LDA — no ``M_dk`` boost).
+
+    During a fit the kernel has exclusive ownership of ``counts`` and
+    ``csr.token_topics``; both are guaranteed up to date again when
+    :meth:`sweep` returns.
+    """
+
+    def __init__(
+        self,
+        csr: CSRTokens,
+        counts: TopicCounts,
+        alpha: np.ndarray,
+        gamma: float,
+    ) -> None:
+        if csr.n_docs != counts.n_dk.shape[0]:
+            raise ModelError("CSR state and counts disagree on n_docs")
+        self.csr = csr
+        self.counts = counts
+        self.alpha = np.asarray(alpha, dtype=float)
+        self.gamma = float(gamma)
+        self.v_total = float(gamma) * counts.vocab_size
+
+    @property
+    def n_topics(self) -> int:
+        return self.counts.n_topics
+
+    def sweep(
+        self, generator: np.random.Generator, y: np.ndarray | None = None
+    ) -> None:
+        raise NotImplementedError
+
+
+class LegacyKernel(TokenKernel):
+    """The original per-token numpy loop, verbatim.
+
+    Allocates several O(K) numpy temporaries per token; kept as the
+    benchmark baseline and the reference the dense kernel must match
+    bit-for-bit.
+    """
+
+    def sweep(
+        self, generator: np.random.Generator, y: np.ndarray | None = None
+    ) -> None:
+        counts = self.counts
+        alpha, gamma, v_total = self.alpha, self.gamma, self.v_total
+        offsets = self.csr.doc_offsets
+        token_words = self.csr.token_words
+        token_topics = self.csr.token_topics
+        for d in range(self.csr.n_docs):
+            start, end = int(offsets[d]), int(offsets[d + 1])
+            words = token_words[start:end]
+            zd = token_topics[start:end]
+            uniforms = generator.random(end - start)
+            y_d = -1 if y is None else int(y[d])
+            for n, v in enumerate(words):
+                k_old = int(zd[n])
+                counts.remove(d, k_old, int(v))
+                if y_d >= 0:
+                    weights = (counts.n_dk[d] + alpha).astype(float)
+                    weights[y_d] += 1.0  # the M_dk term
+                    weights *= (counts.n_kv[:, v] + gamma) / (
+                        counts.n_k + v_total
+                    )
+                else:
+                    weights = (counts.n_dk[d] + alpha) * (
+                        (counts.n_kv[:, v] + gamma) / (counts.n_k + v_total)
+                    )
+                cumulative = np.cumsum(weights)
+                k_new = sample_from_cumulative(cumulative, uniforms[n])
+                zd[n] = k_new
+                counts.add(d, k_new, int(v))
+
+
+class DenseKernel(TokenKernel):
+    """Flat CSR sweep with zero per-token allocations, bit-identical.
+
+    The count matrices are mirrored into flat Python lists once at
+    construction; the hot loop then runs entirely on list indexing and
+    scalar float arithmetic. Per token it performs *exactly* the IEEE
+    operations of the legacy loop in the same order —
+    ``(n_dk + α) [+ 1.0 at y_d]`` times ``(n_kv + γ) / (n_k + γV)``,
+    sequential cumulative sum, left-``searchsorted`` draw — so the
+    sampled trajectory is bit-identical while avoiding all per-token
+    numpy temporaries and dispatch overhead. The numpy ``counts`` and
+    ``token_topics`` arrays are re-synchronised at the end of each
+    sweep.
+
+    When every ``α_k`` is integer-valued (the default priors are), the
+    doc rows are stored pre-fused as ``n_dk + α_k`` floats: integer-
+    valued doubles below 2**53 stay exact under ±1.0 updates, so the
+    fused value equals ``fl(n_dk + α_k)`` bit-for-bit while saving one
+    subscript-and-add per topic per token in the inner loop. Fractional
+    ``α`` falls back to the unfused loop (incremental float updates
+    would not be exact there).
+    """
+
+    def __init__(
+        self,
+        csr: CSRTokens,
+        counts: TopicCounts,
+        alpha: np.ndarray,
+        gamma: float,
+    ) -> None:
+        super().__init__(csr, counts, alpha, gamma)
+        # Python-list mirrors of the count state (ints stay exact) and
+        # of the flat token stream; `_nvk` is column-major — the hot
+        # loop reads one word column per token.
+        self._alpha_list: list[float] = [float(a) for a in self.alpha]
+        self._fused: bool = all(a.is_integer() for a in self._alpha_list)
+        if self._fused:
+            # doc rows stored as n_dk + α floats — exact for integer α
+            self._ndk: list[list[float]] = [
+                [int(c) + a for c, a in zip(row, self._alpha_list)]
+                for row in counts.n_dk
+            ]
+        else:
+            self._ndk = [[float(int(c)) for c in row] for row in counts.n_dk]
+        self._nvk: list[list[int]] = [
+            [int(c) for c in column] for column in counts.n_kv.T
+        ]
+        self._nk: list[int] = [int(c) for c in counts.n_k]
+        self._words: list[int] = self.csr.token_words.tolist()
+        self._topics: list[int] = self.csr.token_topics.tolist()
+        self._offsets: list[int] = self.csr.doc_offsets.tolist()
+        # Cached float factors of the weight formula. Only two entries
+        # of each change per token move, and the changed entries are
+        # always recomputed from the integer counts, so every cell
+        # stays exactly ``fl(n_kv + γ)`` / ``fl(n_k + γV)`` — the cache
+        # saves two adds per topic in the inner loop without drifting.
+        self._nvkg: list[list[float]] = [
+            [c + self.gamma for c in column] for column in self._nvk
+        ]
+        self._den: list[float] = [n + self.v_total for n in self._nk]
+        # Preallocated cumulative-weight buffer, overwritten per token.
+        self._cum: list[float] = [0.0] * self.n_topics
+
+    def sweep(
+        self, generator: np.random.Generator, y: np.ndarray | None = None
+    ) -> None:
+        if self._fused:
+            self._sweep_fused(generator, y)
+        else:
+            self._sweep_unfused(generator, y)
+        self._sync_out()
+
+    def _sweep_fused(
+        self, generator: np.random.Generator, y: np.ndarray | None
+    ) -> None:
+        """Hot loop with doc rows pre-fused as ``n_dk + α`` floats."""
+        ndk, nvk, nk = self._ndk, self._nvk, self._nk
+        nvkg, den, cum = self._nvkg, self._den, self._cum
+        gamma, v_total = self.gamma, self.v_total
+        words, topics, offsets = self._words, self._topics, self._offsets
+        n_topics = len(nk)
+        last = n_topics - 1
+        topic_range = range(n_topics)
+        for d in range(self.csr.n_docs):
+            start, end = offsets[d], offsets[d + 1]
+            # One batched uniform draw per document — the exact RNG
+            # consumption pattern of the legacy loop (including empty
+            # documents, which draw a length-0 batch).
+            uniforms = generator.random(end - start).tolist()
+            row = ndk[d]
+            y_d = -1 if y is None else int(y[d])
+            t = start
+            for u in uniforms:
+                v = words[t]
+                k_old = topics[t]
+                column = nvk[v]
+                fcol = nvkg[v]
+                row[k_old] -= 1.0
+                c = column[k_old] - 1
+                column[k_old] = c
+                fcol[k_old] = c + gamma
+                n = nk[k_old] - 1
+                nk[k_old] = n
+                den[k_old] = n + v_total
+                total = 0.0
+                for k in topic_range:
+                    weight = row[k]
+                    if k == y_d:
+                        weight += 1.0  # the M_dk term
+                    total += weight * (fcol[k] / den[k])
+                    cum[k] = total
+                k_new = bisect_left(cum, u * total)
+                if k_new > last:
+                    k_new = last
+                topics[t] = k_new
+                row[k_new] += 1.0
+                c = column[k_new] + 1
+                column[k_new] = c
+                fcol[k_new] = c + gamma
+                n = nk[k_new] + 1
+                nk[k_new] = n
+                den[k_new] = n + v_total
+                t += 1
+
+    def _sweep_unfused(
+        self, generator: np.random.Generator, y: np.ndarray | None
+    ) -> None:
+        """Hot loop for fractional ``α``: rows hold bare counts."""
+        ndk, nvk, nk = self._ndk, self._nvk, self._nk
+        nvkg, den, cum = self._nvkg, self._den, self._cum
+        alpha = self._alpha_list
+        gamma, v_total = self.gamma, self.v_total
+        words, topics, offsets = self._words, self._topics, self._offsets
+        n_topics = len(nk)
+        last = n_topics - 1
+        topic_range = range(n_topics)
+        for d in range(self.csr.n_docs):
+            start, end = offsets[d], offsets[d + 1]
+            uniforms = generator.random(end - start).tolist()
+            row = ndk[d]
+            y_d = -1 if y is None else int(y[d])
+            t = start
+            for u in uniforms:
+                v = words[t]
+                k_old = topics[t]
+                column = nvk[v]
+                fcol = nvkg[v]
+                row[k_old] -= 1.0
+                c = column[k_old] - 1
+                column[k_old] = c
+                fcol[k_old] = c + gamma
+                n = nk[k_old] - 1
+                nk[k_old] = n
+                den[k_old] = n + v_total
+                total = 0.0
+                for k in topic_range:
+                    weight = row[k] + alpha[k]
+                    if k == y_d:
+                        weight += 1.0  # the M_dk term
+                    total += weight * (fcol[k] / den[k])
+                    cum[k] = total
+                k_new = bisect_left(cum, u * total)
+                if k_new > last:
+                    k_new = last
+                topics[t] = k_new
+                row[k_new] += 1.0
+                c = column[k_new] + 1
+                column[k_new] = c
+                fcol[k_new] = c + gamma
+                n = nk[k_new] + 1
+                nk[k_new] = n
+                den[k_new] = n + v_total
+                t += 1
+
+    def _sync_out(self) -> None:
+        """Write the list mirrors back into the numpy count state."""
+        counts = self.counts
+        if self._fused:
+            # fused rows hold n_dk + α; the subtraction is exact, so the
+            # cast back to the integer count array is too
+            counts.n_dk[...] = np.asarray(self._ndk) - self.alpha
+        else:
+            counts.n_dk[...] = self._ndk
+        counts.n_kv.T[...] = self._nvk
+        counts.n_k[...] = self._nk
+        self.csr.token_topics[...] = self._topics
+
+
+class SparseKernel(TokenKernel):
+    """SparseLDA bucket sweep with a Walker-alias smoothing fallback.
+
+    Per token the unnormalised weight factors exactly into three
+    buckets (write ``n'_dk = n_dk + M_dk`` for the boosted doc count)::
+
+        w_k = (n'_dk + α_k)(n_kv + γ) / (n_k + γV)
+            =  q_k            topic-word bucket, nonzero only where n_kv > 0
+            +  r_k            document bucket,   nonzero only where n'_dk > 0
+            +  s_k            smoothing bucket,  dense but tiny and slow-moving
+
+    with ``q_k = (n'_dk + α_k) n_kv / (n_k + γV)``,
+    ``r_k = n'_dk γ / (n_k + γV)`` and ``s_k = α_k γ / (n_k + γV)``.
+    The q and r buckets are rebuilt per token by iterating only the
+    nonzero entries (dict-of-counts mirrors of ``n_kv`` columns and
+    ``n_dk`` rows), and their masses are exact. The smoothing bucket's
+    mass is maintained exactly too (it only changes through ``n_k``),
+    but *within* the bucket — hit with probability ``s / (q + r + s)``,
+    typically well under a percent — topics are drawn from a Walker
+    alias table that is allowed to go stale for up to
+    ``alias_refresh`` token moves before it is rebuilt from the live
+    counts. Statistically equivalent to the dense kernel, not
+    bit-identical: it spends randomness differently (one extra uniform
+    per smoothing-bucket hit) and sums the buckets in a different
+    order.
+    """
+
+    def __init__(
+        self,
+        csr: CSRTokens,
+        counts: TopicCounts,
+        alpha: np.ndarray,
+        gamma: float,
+        alias_refresh: int = ALIAS_REFRESH_DEFAULT,
+    ) -> None:
+        super().__init__(csr, counts, alpha, gamma)
+        if alias_refresh < 1:
+            raise ModelError("alias_refresh must be >= 1")
+        self._alias_refresh = alias_refresh
+        n_topics = self.n_topics
+        self._rows: list[dict[int, int]] = [
+            {k: int(c) for k, c in enumerate(row) if c}
+            for row in counts.n_dk
+        ]
+        self._cols: list[dict[int, int]] = [
+            {k: int(c) for k, c in enumerate(column) if c}
+            for column in counts.n_kv.T
+        ]
+        self._nk: list[int] = [int(c) for c in counts.n_k]
+        self._alpha_list: list[float] = [float(a) for a in self.alpha]
+        self._alpha_gamma: list[float] = [
+            float(a) * self.gamma for a in self.alpha
+        ]
+        self._words: list[int] = self.csr.token_words.tolist()
+        self._topics: list[int] = self.csr.token_topics.tolist()
+        self._offsets: list[int] = self.csr.doc_offsets.tolist()
+        # Reusable per-token bucket buffers (topic ids + cumulative mass).
+        self._bucket_topics: list[int] = [0] * n_topics
+        self._bucket_cum: list[float] = [0.0] * n_topics
+        self._doc_topics: list[int] = [0] * n_topics
+        self._doc_cum: list[float] = [0.0] * n_topics
+        # Walker alias table over the smoothing bucket.
+        self._alias_prob: list[float] = [1.0] * n_topics
+        self._alias_topic: list[int] = list(range(n_topics))
+        self._alias_age = self._alias_refresh  # force a first build
+        self._smooth_mass = 0.0
+        self._rebuild_smoothing()
+
+    # -- smoothing bucket -------------------------------------------------
+
+    def _smoothing_terms(self) -> list[float]:
+        v_total, nk = self.v_total, self._nk
+        return [
+            ag / (n + v_total) for ag, n in zip(self._alpha_gamma, nk)
+        ]
+
+    def _rebuild_smoothing(self) -> None:
+        """Rebuild the alias table and resync the exact smoothing mass.
+
+        Also the drift kill-switch: the incrementally-maintained mass is
+        replaced by a fresh sum every rebuild, so float error cannot
+        accumulate past one staleness window.
+        """
+        terms = self._smoothing_terms()
+        total = sum(terms)
+        self._smooth_mass = total
+        n_topics = len(terms)
+        prob = self._alias_prob
+        alias = self._alias_topic
+        scaled = [t * n_topics / total for t in terms]
+        small = [k for k, p in enumerate(scaled) if p < 1.0]
+        large = [k for k, p in enumerate(scaled) if p >= 1.0]
+        while small and large:
+            s_k, l_k = small.pop(), large.pop()
+            prob[s_k] = scaled[s_k]
+            alias[s_k] = l_k
+            scaled[l_k] = (scaled[l_k] + scaled[s_k]) - 1.0
+            (small if scaled[l_k] < 1.0 else large).append(l_k)
+        for k in large:
+            prob[k], alias[k] = 1.0, k
+        for k in small:
+            prob[k], alias[k] = 1.0, k
+        self._alias_age = 0
+
+    def _draw_smoothing(self, generator: np.random.Generator) -> int:
+        if self._alias_age >= self._alias_refresh:
+            self._rebuild_smoothing()
+        n_topics = len(self._alias_prob)
+        u = generator.random() * n_topics
+        slot = int(u)
+        if slot >= n_topics:  # u == n_topics is a measure-zero boundary
+            slot = n_topics - 1
+        if u - slot < self._alias_prob[slot]:
+            return slot
+        return self._alias_topic[slot]
+
+    # -- the sweep --------------------------------------------------------
+
+    def sweep(
+        self, generator: np.random.Generator, y: np.ndarray | None = None
+    ) -> None:
+        rows, cols, nk = self._rows, self._cols, self._nk
+        alpha, alpha_gamma = self._alpha_list, self._alpha_gamma
+        gamma, v_total = self.gamma, self.v_total
+        words, topics, offsets = self._words, self._topics, self._offsets
+        q_topics, q_cum = self._bucket_topics, self._bucket_cum
+        r_topics, r_cum = self._doc_topics, self._doc_cum
+        self._rebuild_smoothing()
+        for d in range(self.csr.n_docs):
+            start, end = offsets[d], offsets[d + 1]
+            uniforms = generator.random(end - start).tolist()
+            row = rows[d]
+            y_d = -1 if y is None else int(y[d])
+            t = start
+            for u in uniforms:
+                v = words[t]
+                k_old = topics[t]
+                column = cols[v]
+                # remove the token (the -dn superscript), keeping the
+                # smoothing mass exact under the n_k change
+                count = row[k_old] - 1
+                if count:
+                    row[k_old] = count
+                else:
+                    del row[k_old]
+                count = column[k_old] - 1
+                if count:
+                    column[k_old] = count
+                else:
+                    del column[k_old]
+                n_old = nk[k_old]
+                nk[k_old] = n_old - 1
+                self._smooth_mass += alpha_gamma[k_old] / (
+                    n_old - 1 + v_total
+                ) - alpha_gamma[k_old] / (n_old + v_total)
+
+                # document bucket r: nonzero n'_dk only
+                r_total = 0.0
+                n_r = 0
+                for k, c in row.items():
+                    boosted = c + 1.0 if k == y_d else c
+                    r_total += boosted * gamma / (nk[k] + v_total)
+                    r_topics[n_r] = k
+                    r_cum[n_r] = r_total
+                    n_r += 1
+                if y_d >= 0 and y_d not in row:
+                    r_total += gamma / (nk[y_d] + v_total)
+                    r_topics[n_r] = y_d
+                    r_cum[n_r] = r_total
+                    n_r += 1
+
+                # topic-word bucket q: nonzero n_kv only
+                q_total = 0.0
+                n_q = 0
+                for k, c in column.items():
+                    boosted = row.get(k, 0) + alpha[k]
+                    if k == y_d:
+                        boosted += 1.0
+                    q_total += boosted * c / (nk[k] + v_total)
+                    q_topics[n_q] = k
+                    q_cum[n_q] = q_total
+                    n_q += 1
+
+                target = u * (q_total + r_total + self._smooth_mass)
+                if target < q_total:
+                    k_new = q_topics[bisect_left(q_cum, target, 0, n_q)]
+                elif target - q_total < r_total:
+                    k_new = r_topics[
+                        bisect_left(r_cum, target - q_total, 0, n_r)
+                    ]
+                else:
+                    k_new = self._draw_smoothing(generator)
+
+                # add the token back under its new topic
+                topics[t] = k_new
+                row[k_new] = row.get(k_new, 0) + 1
+                column[k_new] = column.get(k_new, 0) + 1
+                n_old = nk[k_new]
+                nk[k_new] = n_old + 1
+                self._smooth_mass += alpha_gamma[k_new] / (
+                    n_old + 1 + v_total
+                ) - alpha_gamma[k_new] / (n_old + v_total)
+                self._alias_age += 1
+                t += 1
+        self._sync_out()
+
+    def _sync_out(self) -> None:
+        """Write the sparse mirrors back into the numpy count state."""
+        counts = self.counts
+        counts.n_dk[...] = 0
+        for d, row in enumerate(self._rows):
+            for k, c in row.items():
+                counts.n_dk[d, k] = c
+        counts.n_kv[...] = 0
+        for v, column in enumerate(self._cols):
+            for k, c in column.items():
+                counts.n_kv[k, v] = c
+        counts.n_k[...] = self._nk
+        self.csr.token_topics[...] = self._topics
+
+
+def make_kernel(
+    name: str,
+    csr: CSRTokens,
+    counts: TopicCounts,
+    alpha: np.ndarray,
+    gamma: float,
+) -> TokenKernel:
+    """Instantiate the named token-sampling kernel over a flattened corpus."""
+    if name == "dense":
+        return DenseKernel(csr, counts, alpha, gamma)
+    if name == "legacy":
+        return LegacyKernel(csr, counts, alpha, gamma)
+    if name == "sparse":
+        return SparseKernel(csr, counts, alpha, gamma)
+    raise ModelError(f"unknown sampling kernel {name!r}")

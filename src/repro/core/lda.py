@@ -13,6 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.kernels import KERNELS, CSRTokens, make_kernel
 from repro.core.priors import DirichletPrior
 from repro.core.state import TopicCounts, initialise_assignments, validate_docs
 from repro.errors import ModelError, NotFittedError
@@ -29,6 +30,10 @@ class LDAConfig:
     n_sweeps: int = 400
     burn_in: int = 200
     thin: int = 5
+    #: Token-sampling kernel: "dense" (default, bit-identical fast
+    #: path), "legacy" (original per-token numpy loop) or "sparse"
+    #: (SparseLDA buckets + alias table; statistically equivalent).
+    kernel: str = "dense"
 
     def __post_init__(self) -> None:
         if self.n_topics < 1:
@@ -37,6 +42,8 @@ class LDAConfig:
             raise ModelError("need 0 <= burn_in < n_sweeps")
         if self.thin < 1:
             raise ModelError("thin must be >= 1")
+        if self.kernel not in KERNELS:
+            raise ModelError(f"unknown sampling kernel {self.kernel!r}")
 
 
 class LatentDirichletAllocation:
@@ -67,27 +74,18 @@ class LatentDirichletAllocation:
         alpha = DirichletPrior(cfg.alpha).vector(cfg.n_topics)
         gamma, v_total = cfg.gamma, cfg.gamma * vocab_size
 
+        # Flatten the ragged corpus once; the kernel owns the z-sweep.
+        kernel = make_kernel(
+            cfg.kernel, CSRTokens.from_docs(docs, z), counts, alpha, gamma
+        )
+
         phi_acc = np.zeros((cfg.n_topics, vocab_size))
         theta_acc = np.zeros((n_docs, cfg.n_topics))
         n_samples = 0
         self.log_likelihoods_ = []
 
         for sweep in range(cfg.n_sweeps):
-            for d, words in enumerate(docs):
-                zd = z[d]
-                uniforms = generator.random(len(words))
-                for n, v in enumerate(words):
-                    k_old = int(zd[n])
-                    counts.remove(d, k_old, int(v))
-                    weights = (counts.n_dk[d] + alpha) * (
-                        (counts.n_kv[:, v] + gamma) / (counts.n_k + v_total)
-                    )
-                    cumulative = np.cumsum(weights)
-                    k_new = int(
-                        np.searchsorted(cumulative, uniforms[n] * cumulative[-1])
-                    )
-                    zd[n] = k_new
-                    counts.add(d, k_new, int(v))
+            kernel.sweep(generator)
             self.log_likelihoods_.append(
                 word_log_likelihood(docs, counts, alpha, gamma)
             )

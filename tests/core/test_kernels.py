@@ -1,0 +1,334 @@
+"""Tests for repro.core.kernels — the shared token-sampling layer.
+
+The load-bearing guarantees:
+
+* the dense kernel is **bit-identical** to the legacy per-token numpy
+  loop (same uniforms, same order, same IEEE operations) for all three
+  samplers, across seeds and for fractional ``α`` (the unfused path);
+* the sparse SparseLDA/alias kernel is statistically equivalent — it
+  recovers the same partition the dense kernel does — and leaves the
+  count state internally consistent;
+* the CSR flattening round-trips ragged corpora, including empty docs;
+* :func:`sample_from_cumulative` clamps boundary draws into range.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.joint_model import JointModelConfig, JointTextureTopicModel
+from repro.core.kernels import (
+    KERNELS,
+    CSRTokens,
+    DenseKernel,
+    LegacyKernel,
+    SparseKernel,
+    make_kernel,
+    sample_from_cumulative,
+)
+from repro.core.lda import LatentDirichletAllocation, LDAConfig
+from repro.core.priors import DirichletPrior
+from repro.core.state import TopicCounts, initialise_assignments
+from repro.errors import ModelError
+from repro.eval.metrics import normalized_mutual_information
+from repro.rng import ensure_rng
+
+from .test_joint_model import synthetic_joint_data
+
+
+def synthetic_docs(rng, n_docs=60):
+    """Ragged docs over three word ranges, with a sprinkle of empties."""
+    docs = []
+    for i in range(n_docs):
+        if i % 17 == 0:
+            docs.append(np.array([], dtype=np.int64))
+            continue
+        lo = (i % 3) * 3
+        docs.append(rng.integers(lo, lo + 3, size=int(rng.integers(1, 7))))
+    return docs
+
+
+# -- sample_from_cumulative clamp --------------------------------------------
+
+
+class TestSampleFromCumulative:
+    def test_interior_draw(self):
+        cumulative = np.array([0.25, 0.5, 0.75, 1.0])
+        assert sample_from_cumulative(cumulative, 0.0) == 0
+        assert sample_from_cumulative(cumulative, 0.6) == 2
+
+    def test_boundary_uniform_is_clamped(self):
+        """A uniform at (or rounding to) 1.0 must stay inside [0, K-1].
+
+        With trailing zero-weight topics the cumulative ends in repeated
+        values; ``searchsorted`` on target == cumulative[-1] lands on
+        the *first* repeat, and a target strictly above every entry
+        would land at K. Both must come back clamped.
+        """
+        flat_tail = np.array([0.5, 1.0, 1.0, 1.0])
+        assert sample_from_cumulative(flat_tail, 1.0) == 1
+        assert sample_from_cumulative(flat_tail, 1.0 - 1e-16) == 1
+        one_hot = np.array([0.0, 0.0, 1.0])
+        assert sample_from_cumulative(one_hot, 1.0) == 2
+        # a degenerate all-zero cumulative must not index past the end
+        assert sample_from_cumulative(np.zeros(3), 0.7) in range(3)
+
+    def test_matches_manual_inverse_cdf(self, rng):
+        weights = rng.random(10)
+        cumulative = np.cumsum(weights)
+        for u in rng.random(50):
+            k = sample_from_cumulative(cumulative, u)
+            target = u * cumulative[-1]
+            # smallest index whose cumulative weight covers the target
+            assert cumulative[k] >= target
+            assert k == 0 or cumulative[k - 1] < target
+
+
+# -- CSR flattening ----------------------------------------------------------
+
+
+class TestCSRTokens:
+    def test_round_trip_with_empty_docs(self, rng):
+        docs = synthetic_docs(rng)
+        csr = CSRTokens.from_docs(docs)
+        assert csr.n_docs == len(docs)
+        assert csr.n_tokens == sum(len(d) for d in docs)
+        for original, words in zip(docs, csr.words_per_doc()):
+            assert words.tolist() == list(original)
+
+    def test_topics_round_trip(self, rng):
+        docs = synthetic_docs(rng)
+        z = [rng.integers(0, 4, size=len(d)) for d in docs]
+        csr = CSRTokens.from_docs(docs, z)
+        for original, topics in zip(z, csr.topics_per_doc()):
+            assert topics.tolist() == list(original)
+
+    @given(
+        lengths=st.lists(st.integers(min_value=0, max_value=8), min_size=1,
+                         max_size=20),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, lengths, seed):
+        generator = ensure_rng(seed)
+        docs = [generator.integers(0, 11, size=n) for n in lengths]
+        csr = CSRTokens.from_docs(docs)
+        offsets = csr.doc_offsets
+        assert offsets.dtype == np.int32
+        assert csr.token_words.dtype == np.int32
+        assert list(np.diff(offsets)) == lengths
+        rebuilt = csr.words_per_doc()
+        assert all(
+            r.tolist() == d.tolist() for r, d in zip(rebuilt, docs)
+        )
+
+    def test_mismatched_counts_rejected(self, rng):
+        docs = synthetic_docs(rng)
+        csr = CSRTokens.from_docs(docs)
+        counts = TopicCounts(len(docs) + 1, 4, 9)
+        with pytest.raises(ModelError):
+            DenseKernel(csr, counts, DirichletPrior(1.0).vector(4), 0.1)
+
+
+# -- kernel-level bit-identity ----------------------------------------------
+
+
+def _build_kernel(name, docs, vocab_size, n_topics, seed, alpha=1.0):
+    generator = ensure_rng(seed)
+    counts = TopicCounts(len(docs), n_topics, vocab_size)
+    z = initialise_assignments(docs, counts, generator)
+    csr = CSRTokens.from_docs(docs, z)
+    kernel = make_kernel(
+        name, csr, counts, DirichletPrior(alpha).vector(n_topics), 0.1
+    )
+    return kernel, generator
+
+
+class TestDenseBitIdentity:
+    @pytest.mark.parametrize("seed", [0, 42])
+    @pytest.mark.parametrize("alpha", [1.0, 0.5])
+    def test_sweeps_match_legacy_exactly(self, rng, seed, alpha):
+        """Same uniforms, same z trajectory, same counts — bitwise.
+
+        α = 1.0 exercises the fused integer-α fast path, α = 0.5 the
+        unfused fallback; both must match the legacy loop exactly.
+        """
+        docs = synthetic_docs(rng)
+        y = ensure_rng(seed).integers(0, 4, size=len(docs))
+        dense, gen_d = _build_kernel("dense", docs, 9, 4, seed, alpha)
+        legacy, gen_l = _build_kernel("legacy", docs, 9, 4, seed, alpha)
+        assert isinstance(dense, DenseKernel)
+        assert isinstance(legacy, LegacyKernel)
+        for sweep in range(4):
+            y_arg = None if sweep % 2 else y  # both LDA and joint paths
+            dense.sweep(gen_d, y_arg)
+            legacy.sweep(gen_l, y_arg)
+            assert np.array_equal(
+                dense.csr.token_topics, legacy.csr.token_topics
+            )
+            assert np.array_equal(dense.counts.n_dk, legacy.counts.n_dk)
+            assert np.array_equal(dense.counts.n_kv, legacy.counts.n_kv)
+            assert np.array_equal(dense.counts.n_k, legacy.counts.n_k)
+
+    def test_fused_path_selected_only_for_integer_alpha(self, rng):
+        docs = synthetic_docs(rng)
+        fused, _ = _build_kernel("dense", docs, 9, 4, 0, alpha=2.0)
+        unfused, _ = _build_kernel("dense", docs, 9, 4, 0, alpha=0.25)
+        assert fused._fused
+        assert not unfused._fused
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_joint_model_fit_bit_identical(self, seed):
+        rng = ensure_rng(seed)
+        docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=45)
+        fits = {}
+        for kernel in ("dense", "legacy"):
+            config = JointModelConfig(
+                n_topics=3, n_sweeps=20, burn_in=10, thin=2, kernel=kernel
+            )
+            fits[kernel] = JointTextureTopicModel(config).fit(
+                docs, gels, emulsions, vocab_size=9, rng=seed
+            )
+        dense, legacy = fits["dense"], fits["legacy"]
+        assert np.array_equal(dense.phi_, legacy.phi_)
+        assert np.array_equal(dense.theta_, legacy.theta_)
+        assert np.array_equal(dense.y_, legacy.y_)
+        assert dense.log_likelihoods_ == legacy.log_likelihoods_
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_lda_fit_bit_identical(self, rng, seed):
+        docs = synthetic_docs(rng)
+        fits = {}
+        for kernel in ("dense", "legacy"):
+            config = LDAConfig(
+                n_topics=4, n_sweeps=20, burn_in=10, thin=2, kernel=kernel
+            )
+            fits[kernel] = LatentDirichletAllocation(config).fit(
+                docs, vocab_size=9, rng=seed
+            )
+        assert np.array_equal(fits["dense"].phi_, fits["legacy"].phi_)
+        assert np.array_equal(fits["dense"].theta_, fits["legacy"].theta_)
+
+    def test_collapsed_fit_bit_identical(self):
+        from repro.core.collapsed import CollapsedJointModel
+
+        rng = ensure_rng(7)
+        docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=45)
+        fits = {}
+        for kernel in ("dense", "legacy"):
+            config = JointModelConfig(
+                n_topics=3, n_sweeps=16, burn_in=8, thin=2, kernel=kernel
+            )
+            fits[kernel] = CollapsedJointModel(config).fit(
+                docs, gels, emulsions, vocab_size=9, rng=7
+            )
+        assert np.array_equal(fits["dense"].phi_, fits["legacy"].phi_)
+        assert np.array_equal(fits["dense"].y_, fits["legacy"].y_)
+        assert (
+            fits["dense"].log_likelihoods_ == fits["legacy"].log_likelihoods_
+        )
+
+
+# -- sparse kernel ------------------------------------------------------------
+
+
+class TestSparseKernel:
+    def test_counts_stay_consistent(self, rng):
+        docs = synthetic_docs(rng)
+        y = ensure_rng(0).integers(0, 4, size=len(docs))
+        kernel, generator = _build_kernel("sparse", docs, 9, 4, 0)
+        assert isinstance(kernel, SparseKernel)
+        for sweep in range(5):
+            kernel.sweep(generator, None if sweep % 2 else y)
+            kernel.counts.check()
+        # token totals conserved
+        assert kernel.counts.n_k.sum() == kernel.csr.n_tokens
+
+    def test_matches_dense_partition(self):
+        """Sparse recovers the dense partition (NMI) over three seeds.
+
+        Reuses :func:`run_chains` so the comparison covers the restart
+        engine path a real fit takes.
+        """
+        from repro.core.collapsed import run_chains
+
+        rng = ensure_rng(1)
+        docs, gels, emulsions, truth = synthetic_joint_data(rng, n_docs=90)
+        assignments = {}
+        for kernel in ("dense", "sparse"):
+            config = JointModelConfig(
+                n_topics=3, n_sweeps=40, burn_in=20, thin=2, kernel=kernel
+            )
+            chains = run_chains(
+                config, docs, gels, emulsions, vocab_size=9, n_chains=3,
+                rng=2,
+            )
+            assignments[kernel] = [
+                chain.topic_assignments() for chain in chains
+            ]
+        for dense_z, sparse_z in zip(
+            assignments["dense"], assignments["sparse"]
+        ):
+            assert normalized_mutual_information(dense_z, sparse_z) > 0.8
+            assert normalized_mutual_information(sparse_z, truth) > 0.8
+
+    def test_alias_refresh_validation(self, rng):
+        docs = synthetic_docs(rng)
+        counts = TopicCounts(len(docs), 4, 9)
+        generator = ensure_rng(0)
+        z = initialise_assignments(docs, counts, generator)
+        with pytest.raises(ModelError):
+            SparseKernel(
+                CSRTokens.from_docs(docs, z), counts,
+                DirichletPrior(1.0).vector(4), 0.1, alias_refresh=0,
+            )
+
+    def test_alias_table_draws_match_smoothing_weights(self, rng):
+        """The Walker table reproduces the smoothing distribution."""
+        docs = synthetic_docs(rng)
+        kernel, generator = _build_kernel("sparse", docs, 9, 4, 0)
+        kernel._rebuild_smoothing()
+        terms = np.array(kernel._smoothing_terms())
+        expected = terms / terms.sum()
+        draws = np.bincount(
+            [kernel._draw_smoothing(generator) for _ in range(20000)],
+            minlength=4,
+        )
+        observed = draws / draws.sum()
+        assert np.abs(observed - expected).max() < 0.02
+
+
+# -- wiring -------------------------------------------------------------------
+
+
+class TestKernelSelection:
+    def test_unknown_kernel_rejected_everywhere(self, rng):
+        with pytest.raises(ModelError):
+            LDAConfig(kernel="blas")
+        with pytest.raises(ModelError):
+            JointModelConfig(kernel="blas")
+        docs = synthetic_docs(rng)
+        counts = TopicCounts(len(docs), 4, 9)
+        generator = ensure_rng(0)
+        z = initialise_assignments(docs, counts, generator)
+        with pytest.raises(ModelError):
+            make_kernel(
+                "blas", CSRTokens.from_docs(docs, z), counts,
+                DirichletPrior(1.0).vector(4), 0.1,
+            )
+
+    def test_kernel_names_exported(self):
+        assert set(KERNELS) == {"dense", "legacy", "sparse"}
+
+    def test_cli_kernel_flag_reaches_config(self):
+        import argparse
+
+        from repro.cli import _apply_parallel_options
+        from repro.pipeline.experiment import quick_config
+
+        args = argparse.Namespace(
+            backend="serial", workers=None, restarts=1, kernel="sparse"
+        )
+        config = _apply_parallel_options(quick_config(100, 20, 1), args)
+        assert config.model.kernel == "sparse"
