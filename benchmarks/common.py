@@ -23,6 +23,13 @@ BENCH_SEED = 11
 #: Overridable per run: REPRO_BENCH_BACKEND=process|thread|serial|auto.
 BENCH_BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "serial")
 
+#: On-disk artifact store shared by benchmark runs. Off unless
+#: ``REPRO_CACHE_DIR`` is set: stage loads are fast but nonzero, and the
+#: timing benches must measure the pipeline, not the cache. With the
+#: variable set, repeated bench invocations (locally or in CI) skip the
+#: shared 300-sweep fit entirely — results are bit-identical either way.
+BENCH_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR")
+
 BENCH_CONFIG = ExperimentConfig(
     preset=CorpusPreset(name="bench", n_recipes=3000),
     model=JointModelConfig(n_topics=10, n_sweeps=300, burn_in=150, thin=5),
@@ -33,7 +40,7 @@ BENCH_CONFIG = ExperimentConfig(
 
 def shared_result() -> ExperimentResult:
     """The fitted benchmark pipeline (cached within the process)."""
-    return run_experiment(BENCH_CONFIG)
+    return run_experiment(BENCH_CONFIG, cache_dir=BENCH_CACHE_DIR)
 
 
 def _experiment_task(config: ExperimentConfig, _rng) -> ExperimentResult:

@@ -13,6 +13,8 @@ Run:
 
 from __future__ import annotations
 
+import os
+
 from repro import quick_config, run_experiment
 from repro.pipeline.figures import fig3_data, fig4_data, mean_scores
 from repro.pipeline.reporting import render_fig3, render_fig4, render_table2b
@@ -22,7 +24,10 @@ from repro.rheology.studies import BAVAROIS, MILK_JELLY
 
 def main() -> None:
     print("Fitting the pipeline once…")
-    result = run_experiment(quick_config())
+    result = run_experiment(
+        quick_config(),
+        cache_dir=os.environ.get("REPRO_CACHE_DIR", ".repro-cache"),
+    )
 
     print("\n=== Table II(b): the two dish studies ===")
     print(render_table2b(table2b_rows(result)))

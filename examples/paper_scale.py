@@ -13,6 +13,7 @@ measures the stage throughputs this extrapolates from). Run:
 from __future__ import annotations
 
 import logging
+import os
 import sys
 import time
 
@@ -40,7 +41,9 @@ def main() -> None:
     print(f"Generating {PAPER_PRESET.n_recipes:,} recipes and fitting "
           f"(K=10, 400 sweeps) — this takes several minutes…")
     start = time.time()
-    result = run_experiment(config)
+    result = run_experiment(
+        config, cache_dir=os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+    )
     elapsed = time.time() - start
 
     funnel = dict(result.dataset.funnel)

@@ -7,19 +7,33 @@ food-science settings, and prints the Table II(a) analogue.
 
 Run:
     python examples/quickstart.py
+
+Stage outputs are cached on disk (``$REPRO_CACHE_DIR``, default
+``.repro-cache``), so a second run — or any other example with the same
+configuration — skips straight to the tables with identical results.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro import quick_config, run_experiment
 from repro.eval.metrics import normalized_mutual_information
 from repro.pipeline.reporting import render_table2a, render_table2b
 from repro.pipeline.tables import table2a_rows, table2b_rows
 
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
 
 def main() -> None:
     print("Running the pipeline (1,500 synthetic recipes, K=10)…")
-    result = run_experiment(quick_config())
+    result = run_experiment(quick_config(), cache_dir=CACHE_DIR)
+    provenance = result.provenance
+    if provenance is not None:
+        print(
+            f"artifact store {CACHE_DIR}: {provenance['hits']} stages "
+            f"cached, {provenance['misses']} computed"
+        )
 
     funnel = dict(result.dataset.funnel)
     print(

@@ -12,6 +12,8 @@ Run:
 
 from __future__ import annotations
 
+import os
+
 from repro import Recipe, quick_config, run_experiment
 from repro.core.estimator import TextureEstimator
 from repro.corpus.recipe import Ingredient
@@ -35,7 +37,10 @@ def show(estimator: TextureEstimator, recipe: Recipe) -> None:
 
 def main() -> None:
     print("Fitting the pipeline once…")
-    result = run_experiment(quick_config())
+    result = run_experiment(
+        quick_config(),
+        cache_dir=os.environ.get("REPRO_CACHE_DIR", ".repro-cache"),
+    )
     estimator = TextureEstimator(result)
 
     # 1. a firm jelly (≈2.9 % gelatin): expect firm/resilient terms

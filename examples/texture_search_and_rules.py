@@ -15,6 +15,8 @@ Run:
 
 from __future__ import annotations
 
+import os
+
 from repro import quick_config, run_experiment
 from repro.core.search import TextureSearch
 from repro.eval.rules import RuleMiner
@@ -22,7 +24,10 @@ from repro.eval.rules import RuleMiner
 
 def main() -> None:
     print("Fitting the pipeline once…")
-    result = run_experiment(quick_config())
+    result = run_experiment(
+        quick_config(),
+        cache_dir=os.environ.get("REPRO_CACHE_DIR", ".repro-cache"),
+    )
     search = TextureSearch(result)
 
     for query in (["purupuru"], ["katai"], ["fuwafuwa"]):

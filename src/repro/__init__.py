@@ -19,6 +19,7 @@ Subpackages: :mod:`repro.core` (the joint topic model),
 :mod:`repro.eval` (metrics) and :mod:`repro.pipeline` (end-to-end).
 """
 
+from repro.artifacts import ArtifactStore
 from repro.core import (
     BayesianGaussianMixture,
     JointModelConfig,
@@ -48,6 +49,7 @@ from repro.synth import CorpusGenerator, CorpusPreset, DEFAULT_PRESET
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactStore",
     "JointTextureTopicModel",
     "JointModelConfig",
     "CollapsedJointModel",

@@ -1,0 +1,161 @@
+"""Generic staged-pipeline runner over an :class:`ArtifactStore`.
+
+Executes a linear-ordered stage DAG, computing each stage's fingerprint
+from its config slice, payload format version and upstream fingerprints.
+A stage whose fingerprint already exists in the store is *loaded* rather
+than recomputed; everything downstream of a changed config knob misses
+its lookup and refits, while untouched ancestors keep serving from disk.
+
+Determinism across cache hits relies on RNG-state threading: the whole
+pipeline shares one :class:`numpy.random.Generator` stream (exactly like
+the historical monolithic runner), and every artifact's manifest records
+the generator state *after* the stage ran. On a cache hit the runner
+restores that outgoing state, so downstream stages draw the same numbers
+whether their ancestors were computed or loaded — results are
+bit-identical either way.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.artifacts.fingerprint import canonical, stage_fingerprint
+from repro.artifacts.stage import Stage
+from repro.artifacts.store import ArtifactStore
+from repro.errors import ArtifactError
+
+#: Schema version of run manifests.
+RUN_MANIFEST_VERSION = 1
+
+
+def _repro_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+def run_pipeline(
+    stages: Sequence[Stage[Any]],
+    config: Any,
+    rng: np.random.Generator,
+    store: ArtifactStore | None = None,
+    seed: int | None = None,
+    experiment_fingerprint: str | None = None,
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Run ``stages`` in order, serving repeats from ``store``.
+
+    Returns ``(payloads, run_manifest)`` where ``payloads`` maps stage
+    names to their (computed or loaded) payloads and ``run_manifest`` is
+    the JSON-ready provenance record (also written into the store's
+    ``runs/`` directory when a store is given).
+    """
+    started = time.perf_counter()
+    payloads: dict[str, Any] = {}
+    fingerprints: dict[str, str] = {}
+    records: dict[str, dict[str, Any]] = {}
+    for stage in stages:
+        missing = [name for name in stage.upstream if name not in payloads]
+        if missing:
+            raise ArtifactError(
+                f"stage {stage.name!r} runs before its upstream {missing}"
+            )
+        upstream = {name: fingerprints[name] for name in stage.upstream}
+        stage_config = stage.config_of(config)
+        fingerprint = stage_fingerprint(
+            stage.name, stage.version, stage_config, upstream
+        )
+        fingerprints[stage.name] = fingerprint
+        if store is not None and store.has(stage.name, fingerprint):
+            payload, manifest = store.load(stage, fingerprint)
+            state_out = manifest.get("rng_state_out")
+            if state_out is None:
+                raise ArtifactError(
+                    f"artifact {stage.name}/{fingerprint} lacks an RNG state"
+                )
+            rng.bit_generator.state = state_out
+            records[stage.name] = {
+                "fingerprint": fingerprint,
+                "payload_version": stage.version,
+                "hit": True,
+                "elapsed_seconds": 0.0,
+                "computed_seconds": manifest.get("elapsed_seconds"),
+                "upstream": upstream,
+            }
+        else:
+            state_in = rng.bit_generator.state
+            stage_started = time.perf_counter()
+            payload = stage.compute(
+                config, {name: payloads[name] for name in stage.upstream}, rng
+            )
+            elapsed = time.perf_counter() - stage_started
+            if store is not None:
+                store.put(
+                    stage,
+                    fingerprint,
+                    payload,
+                    {
+                        "stage": stage.name,
+                        "fingerprint": fingerprint,
+                        "payload_version": stage.version,
+                        "config": canonical(stage_config),
+                        "upstream": upstream,
+                        "seed": seed,
+                        "repro_version": _repro_version(),
+                        "created_unix": time.time(),
+                        "elapsed_seconds": elapsed,
+                        "rng_state_in": state_in,
+                        "rng_state_out": rng.bit_generator.state,
+                    },
+                )
+            records[stage.name] = {
+                "fingerprint": fingerprint,
+                "payload_version": stage.version,
+                "hit": False,
+                "elapsed_seconds": elapsed,
+                "computed_seconds": elapsed,
+                "upstream": upstream,
+            }
+        payloads[stage.name] = payload
+
+    run_manifest: dict[str, Any] = {
+        "format": "repro-run",
+        "version": RUN_MANIFEST_VERSION,
+        "experiment": experiment_fingerprint,
+        "repro_version": _repro_version(),
+        "seed": seed,
+        "created_unix": time.time(),
+        "total_seconds": time.perf_counter() - started,
+        "cache_dir": str(store.root) if store is not None else None,
+        "order": [stage.name for stage in stages],
+        "hits": sum(1 for record in records.values() if record["hit"]),
+        "misses": sum(1 for record in records.values() if not record["hit"]),
+        "stages": records,
+    }
+    if store is not None and experiment_fingerprint:
+        store.write_run_manifest(run_manifest)
+    return payloads, run_manifest
+
+
+def describe_run(manifest: Mapping[str, Any]) -> str:
+    """Human-readable table of one run manifest (CLI + logs)."""
+    lines = [
+        f"experiment {manifest.get('experiment')} "
+        f"(seed={manifest.get('seed')}, repro {manifest.get('repro_version')})"
+    ]
+    lines.append(f"{'stage':<16} {'fingerprint':<18} {'source':<8} seconds")
+    stages: Mapping[str, Any] = manifest.get("stages", {})
+    for name in manifest.get("order", stages.keys()):
+        record = stages[name]
+        source = "cache" if record["hit"] else "computed"
+        lines.append(
+            f"{name:<16} {record['fingerprint']:<18} {source:<8} "
+            f"{record['elapsed_seconds']:.2f}"
+        )
+    lines.append(
+        f"{manifest.get('hits', 0)} cached / {manifest.get('misses', 0)} "
+        f"computed in {manifest.get('total_seconds', 0.0):.2f}s"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""The typed pipeline-stage abstraction.
+
+A :class:`Stage` is one node of a pipeline DAG: it declares its name,
+a payload format version, the names of its upstream stages, how to
+derive its config slice from the run configuration, how to compute its
+payload from the upstream payloads, and how to (de)serialise that
+payload inside an artifact directory. The generic runner in
+:mod:`repro.artifacts.runner` handles fingerprinting, the on-disk store
+and RNG-state threading, so stage authors only write the five hooks.
+"""
+
+from __future__ import annotations
+
+import abc
+from pathlib import Path
+from typing import Any, Generic, Mapping, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+class Stage(abc.ABC, Generic[T]):
+    """One cached node of the pipeline DAG.
+
+    Subclasses set :attr:`name`, :attr:`version` and :attr:`upstream`
+    and implement the four hooks. ``version`` is the payload *format*
+    version: bump it when :meth:`save`'s on-disk layout changes, which
+    invalidates existing cache entries for this stage (and, through the
+    fingerprint chain, everything downstream).
+    """
+
+    #: Stage identifier; also the directory bucket inside the store.
+    name: str = ""
+    #: Payload format version, mixed into the fingerprint.
+    version: int = 1
+    #: Names of the stages whose payloads :meth:`compute` consumes.
+    upstream: Sequence[str] = ()
+
+    @abc.abstractmethod
+    def config_of(self, config: Any) -> Mapping[str, Any]:
+        """The slice of the run config this stage's output depends on.
+
+        Must be canonicalisable (see
+        :func:`repro.artifacts.fingerprint.canonical`); any change to
+        the returned mapping re-fingerprints this stage and all of its
+        descendants, and nothing else.
+        """
+
+    @abc.abstractmethod
+    def compute(
+        self,
+        config: Any,
+        inputs: Mapping[str, Any],
+        rng: np.random.Generator,
+    ) -> T:
+        """Produce the payload from upstream payloads (``inputs``)."""
+
+    @abc.abstractmethod
+    def save(self, payload: T, directory: Path) -> None:
+        """Serialise ``payload`` into ``directory``."""
+
+    @abc.abstractmethod
+    def load(self, directory: Path) -> T:
+        """Inverse of :meth:`save`; must be bit-identical to the
+        computed payload (arrays compare equal, dataclasses ``==``)."""

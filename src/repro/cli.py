@@ -8,6 +8,13 @@ Commands
     Run the full pipeline and print Table II(a)/(b).
 ``figures``
     Run the pipeline and print the Fig 3 / Fig 4 series.
+``run``
+    Run the staged pipeline and print its provenance (stage
+    fingerprints, cache hits, timings); ``--cache-dir`` persists and
+    reuses stage artifacts across runs.
+``cache``
+    Inspect (``ls``, ``info``) or garbage-collect (``gc``) an on-disk
+    artifact store.
 ``estimate``
     Estimate the texture of a recipe given as ``ingredient=quantity``
     pairs, e.g. ``python -m repro estimate gelatin=5g water=300ml``.
@@ -18,11 +25,16 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
 from repro.errors import ModelError, ReproError
 from repro.pipeline.experiment import ExperimentConfig, quick_config, run_experiment
+
+#: Default store location for ``repro cache`` (and examples):
+#: ``$REPRO_CACHE_DIR``, falling back to ``.repro-cache`` in the cwd.
+DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -50,12 +62,79 @@ def _build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--restarts", type=int, default=1,
                           help="independent Gibbs chains; best one wins")
     _add_backend_flags(pipeline)
+    _add_cache_flags(pipeline)
 
     figures = sub.add_parser("figures", help="Fig 3 and Fig 4 series")
     figures.add_argument("--recipes", type=int, default=1500)
     figures.add_argument("--sweeps", type=int, default=300)
     figures.add_argument("--seed", type=int, default=11)
     _add_backend_flags(figures)
+    _add_cache_flags(figures)
+
+    run = sub.add_parser(
+        "run",
+        help="run the staged pipeline and print stage provenance",
+    )
+    run.add_argument("--recipes", type=int, default=1500)
+    run.add_argument("--sweeps", type=int, default=300)
+    run.add_argument("--seed", type=int, default=11)
+    run.add_argument(
+        "--method",
+        choices=("gibbs", "collapsed", "vb"),
+        default="gibbs",
+        help="inference method (paper = gibbs)",
+    )
+    run.add_argument(
+        "--no-w2v-filter",
+        action="store_true",
+        help="skip the Section III-A word2vec gel-relatedness filter",
+    )
+    run.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the run provenance manifest to PATH",
+    )
+    run.add_argument(
+        "--require-cached",
+        action="store_true",
+        help="exit 3 unless every stage was served from the artifact "
+             "store (CI cache smoke)",
+    )
+    _add_backend_flags(run)
+    _add_cache_flags(run)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or garbage-collect an artifact store"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_ls = cache_sub.add_parser("ls", help="list stored artifacts and runs")
+    cache_info = cache_sub.add_parser(
+        "info", help="print the provenance manifest of one artifact"
+    )
+    cache_info.add_argument(
+        "fingerprint", help="artifact fingerprint (prefix accepted)"
+    )
+    cache_info.add_argument(
+        "--full", action="store_true",
+        help="include the RNG state blobs in the output",
+    )
+    cache_gc = cache_sub.add_parser(
+        "gc", help="drop artifacts unreachable from recent runs"
+    )
+    cache_gc.add_argument(
+        "--keep-runs", type=int, default=10,
+        help="run manifests (and their artifacts) to keep, newest first",
+    )
+    cache_gc.add_argument(
+        "--dry-run", action="store_true", help="report, do not delete"
+    )
+    for cache_parser in (cache_ls, cache_info, cache_gc):
+        cache_parser.add_argument(
+            "--cache-dir", default=DEFAULT_CACHE_DIR,
+            help="artifact store root (default: $REPRO_CACHE_DIR or "
+                 "./.repro-cache)",
+        )
 
     estimate = sub.add_parser("estimate", help="estimate a recipe's texture")
     estimate.add_argument(
@@ -103,6 +182,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--sweeps", type=int, default=300)
     report.add_argument("--seed", type=int, default=11)
     _add_backend_flags(report)
+    _add_cache_flags(report)
 
     from repro.analysis.cli import configure_parser as configure_lint_parser
 
@@ -138,6 +218,17 @@ def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
             "per-token numpy loop) or sparse (SparseLDA buckets + "
             "alias table, statistically equivalent)"
         ),
+    )
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    """The on-disk artifact-store flag shared by pipeline commands."""
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed artifact store; stage outputs are "
+             "persisted there and reused (bit-identically) by later runs",
     )
 
 
@@ -185,11 +276,98 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     if getattr(args, "method", "gibbs") != "gibbs":
         config = dataclasses.replace(config, inference=args.method)
     config = _apply_parallel_options(config, args)
-    result = run_experiment(config)
+    result = run_experiment(config, cache_dir=args.cache_dir)
     print(render_table2a(table2a_rows(result)))
     print()
     print(render_table2b(table2b_rows(result)))
     return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.artifacts.runner import describe_run
+
+    config = quick_config(args.recipes, args.sweeps, args.seed)
+    if args.method != "gibbs":
+        config = dataclasses.replace(config, inference=args.method)
+    if args.no_w2v_filter:
+        config = dataclasses.replace(config, use_w2v_filter=False)
+    config = _apply_parallel_options(config, args)
+    result = run_experiment(config, cache_dir=args.cache_dir)
+    manifest = result.provenance
+    assert manifest is not None
+    print(describe_run(manifest))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(dict(manifest), handle, indent=2, sort_keys=True)
+        print(f"wrote provenance manifest to {args.json}")
+    if args.require_cached and manifest.get("misses"):
+        missed = [
+            name
+            for name, record in manifest.get("stages", {}).items()
+            if not record.get("hit")
+        ]
+        print(
+            f"--require-cached: stages not served from the store: "
+            f"{', '.join(missed)}",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.artifacts.store import ArtifactStore
+    from repro.errors import ArtifactError
+
+    store = ArtifactStore(args.cache_dir)
+    if args.cache_command == "ls":
+        rows = list(store.iter_artifacts())
+        if not rows:
+            print(f"no artifacts under {store.root}")
+            return 0
+        print(f"{'stage':<16} {'fingerprint':<18} {'size':>10}  created")
+        for stage_name, fingerprint, manifest in rows:
+            size = store.size_of(store.artifact_dir(stage_name, fingerprint))
+            created = manifest.get("created_unix")
+            stamp = _format_unix(created)
+            print(f"{stage_name:<16} {fingerprint:<18} {size:>10}  {stamp}")
+        runs = store.iter_runs()
+        print(f"{len(rows)} artifacts, {len(runs)} run manifests")
+        return 0
+    if args.cache_command == "info":
+        matches = store.find(args.fingerprint)
+        if not matches:
+            raise ArtifactError(
+                f"no artifact matches fingerprint {args.fingerprint!r}"
+            )
+        for _, _, manifest in matches:
+            if not args.full:
+                manifest = {
+                    key: value
+                    for key, value in manifest.items()
+                    if key not in ("rng_state_in", "rng_state_out")
+                }
+            print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+    removed, freed = store.gc(keep_runs=args.keep_runs, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"{verb} {len(removed)} entries, {freed} bytes")
+    for path in removed:
+        print(f"  {path}")
+    return 0
+
+
+def _format_unix(stamp: float | None) -> str:
+    import datetime
+
+    if stamp is None:
+        return "-"
+    return datetime.datetime.fromtimestamp(stamp).strftime("%Y-%m-%d %H:%M:%S")
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -200,7 +378,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     config = _apply_parallel_options(
         quick_config(args.recipes, args.sweeps, args.seed), args
     )
-    result = run_experiment(config)
+    result = run_experiment(config, cache_dir=args.cache_dir)
     for dish in (BAVAROIS, MILK_JELLY):
         print(render_fig3(fig3_data(result, dish)))
         print()
@@ -308,7 +486,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     config = _apply_parallel_options(
         quick_config(args.recipes, args.sweeps, args.seed), args
     )
-    result = run_experiment(config)
+    result = run_experiment(config, cache_dir=args.cache_dir)
     written = write_report_bundle(result, args.directory)
     for name, path in sorted(written.items()):
         print(f"  {name:<14} {path}")
@@ -334,6 +512,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_pipeline(args)
         if args.command == "figures":
             return _cmd_figures(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "search":
             return _cmd_search(args)
         if args.command == "rules":

@@ -62,6 +62,33 @@ class TopicLinker:
         covs += (point_sigma**2) * np.eye(covs.shape[1])[None, :, :]
         self.gel_covs = covs
 
+    @classmethod
+    def from_arrays(
+        cls,
+        gel_means: np.ndarray,
+        gel_covs: np.ndarray,
+        point_sigma: float = DEFAULT_POINT_SIGMA,
+    ) -> "TopicLinker":
+        """Rebuild a linker from its serialised state.
+
+        ``gel_covs`` must already carry the σ²·I floor applied by
+        ``__init__`` (this is what :func:`repro.persistence.save_linker`
+        stores), so no further widening happens here.
+        """
+        if point_sigma <= 0:
+            raise LinkageError("point_sigma must be positive")
+        linker = cls.__new__(cls)
+        linker.point_sigma = float(point_sigma)
+        linker.gel_means = np.asarray(gel_means)
+        linker.gel_covs = np.asarray(gel_covs)
+        if linker.gel_means.ndim != 2 or linker.gel_covs.shape != (
+            linker.gel_means.shape[0],
+            linker.gel_means.shape[1],
+            linker.gel_means.shape[1],
+        ):
+            raise LinkageError("gel mean/covariance shapes are inconsistent")
+        return linker
+
     @property
     def n_topics(self) -> int:
         return self.gel_means.shape[0]

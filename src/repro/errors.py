@@ -81,5 +81,9 @@ class ExperimentError(ReproError):
     """An experiment pipeline was configured inconsistently."""
 
 
+class ArtifactError(ReproError):
+    """The on-disk artifact store hit a corrupt, missing or foreign entry."""
+
+
 class ParallelError(ReproError, RuntimeError):
     """A parallel backend was misconfigured or failed irrecoverably."""

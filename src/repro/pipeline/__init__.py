@@ -2,6 +2,8 @@
 
 * :mod:`repro.pipeline.dataset` — Section IV-A dataset construction
   (term spotting, word2vec filtering, unit normalisation, filters);
+* :mod:`repro.pipeline.stages` — the pipeline as five explicit
+  content-addressed stages (see :mod:`repro.artifacts`);
 * :mod:`repro.pipeline.experiment` — one-call experiment runner used by
   the examples and every benchmark;
 * :mod:`repro.pipeline.tables` / :mod:`repro.pipeline.figures` — data

@@ -33,6 +33,11 @@ from repro.errors import CorpusError, UnitConversionError, UnitParseError
 from repro.lexicon.dictionary import TextureDictionary, build_dictionary
 from repro.rng import RngLike, ensure_rng
 
+#: Word2vec settings used for the Section III-A gel-relatedness filter
+#: when a builder is not given an explicit config (also the settings the
+#: staged pipeline fingerprints).
+DEFAULT_W2V_CONFIG = SkipGramConfig(epochs=6, dim=32, min_count=3, window=4)
+
 
 @dataclass(frozen=True)
 class TextureDataset:
@@ -115,9 +120,7 @@ class DatasetBuilder:
         self.dictionary = dictionary or build_dictionary()
         self.tokenizer = tokenizer or Tokenizer()
         self.use_w2v_filter = use_w2v_filter
-        self.w2v_config = w2v_config or SkipGramConfig(
-            epochs=6, dim=32, min_count=3, window=4
-        )
+        self.w2v_config = w2v_config or DEFAULT_W2V_CONFIG
         self.dataset_filter = dataset_filter or DatasetFilter()
         #: Drop MinHash near-duplicates before anything else. Off by
         #: default: the synthetic corpus has none, but scraped data does.
@@ -150,9 +153,17 @@ class DatasetBuilder:
     # -- the build -----------------------------------------------------------
 
     def build(
-        self, recipes: Iterable[Recipe], rng: RngLike = None
+        self,
+        recipes: Iterable[Recipe],
+        rng: RngLike = None,
+        excluded: frozenset[str] | None = None,
     ) -> TextureDataset:
-        """Construct the dataset, mirroring the Section IV-A funnel."""
+        """Construct the dataset, mirroring the Section IV-A funnel.
+
+        ``excluded`` short-circuits the word2vec gel-relatedness filter
+        with a precomputed surface set — the staged pipeline runs that
+        filter as its own cached stage and feeds the result in here.
+        """
         recipes = list(recipes)
         if not recipes:
             raise CorpusError("no recipes to build a dataset from")
@@ -166,7 +177,8 @@ class DatasetBuilder:
             unique = deduplicator.deduplicate(recipes)
             n_duplicates = len(recipes) - len(unique)
             recipes = unique
-        excluded = self.excluded_terms(recipes, rng=rng)
+        if excluded is None:
+            excluded = self.excluded_terms(recipes, rng=rng)
         extractor = TextureTermExtractor(
             self.dictionary, self.tokenizer, excluded=excluded
         )

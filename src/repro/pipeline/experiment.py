@@ -1,24 +1,48 @@
-"""One-call experiment runner.
+"""One-call experiment runner over the staged artifact pipeline.
 
-Bundles the full paper pipeline — synthesise corpus, build dataset, fit
-the joint topic model, construct the linker — behind a single seeded
-:func:`run_experiment`. Results are cached per configuration within the
-process so that the five table/figure benchmarks can share one fitted
-model instead of refitting identical pipelines.
+Runs the full paper pipeline — synthesise corpus, gel-relatedness
+filtering, dataset construction, joint-model fitting, linker
+construction — as five explicit cached stages (see
+:mod:`repro.pipeline.stages`) behind a single seeded
+:func:`run_experiment`.
+
+Caching is two-level. The in-process ``_CACHE`` (L1) memoises whole
+:class:`ExperimentResult` objects per configuration, so the five
+table/figure benchmarks share one fitted model within a process. The
+optional ``cache_dir`` (L2) is a content-addressed
+:class:`~repro.artifacts.store.ArtifactStore`: every stage output is
+persisted with a provenance manifest and served from disk on the next
+run — across processes, CI jobs and machines — with bit-identical
+results. Editing any config knob invalidates exactly the downstream
+stages and nothing else.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
 
 import numpy as np
 
-from repro.core.joint_model import JointModelConfig, JointTextureTopicModel
+from repro.artifacts.store import ArtifactStore
+from repro.core.joint_model import JointModelConfig
 from repro.core.linkage import TopicLinker
-from repro.pipeline.dataset import DatasetBuilder, TextureDataset
-from repro.rng import ensure_rng
-from repro.synth.generator import CorpusGenerator, SyntheticCorpus
+from repro.pipeline.dataset import TextureDataset
+from repro.pipeline.stages import (
+    BUILD_DATASET,
+    BUILD_LINKER,
+    FIT_MODEL,
+    SYNTH_CORPUS,
+    experiment_fingerprint,
+    make_model,
+    run_staged,
+)
+from repro.synth.generator import SyntheticCorpus
 from repro.synth.presets import CorpusPreset, DEFAULT_PRESET
+
+#: Backward-compatible alias (pre-stage-refactor private name).
+_make_model = make_model
 
 
 @dataclass(frozen=True)
@@ -35,24 +59,16 @@ class ExperimentConfig:
     #: Gibbs) or "vb" (variational CAVI).
     inference: str = "gibbs"
 
-    def cache_key(self) -> tuple:
-        preset = self.preset
-        return (
-            preset.name,
-            preset.n_recipes,
-            tuple(sorted(preset.archetype_weights.items())),
-            preset.term_presence,
-            preset.extra_term_rate,
-            preset.topping_term_prob,
-            preset.profile_noise_sigma,
-            preset.sharpness,
-            self.model,
-            self.seed,
-            self.use_w2v_filter,
-            self.use_log_transform,
-            self.point_sigma,
-            self.inference,
-        )
+    def cache_key(self) -> str:
+        """Content fingerprint of this configuration.
+
+        Derived generically from ``dataclasses.fields`` (recursively
+        through the preset and model configs) via
+        :func:`repro.artifacts.fingerprint.fingerprint_of`, so a newly
+        added config field perturbs the key automatically instead of
+        silently colliding cache entries.
+        """
+        return experiment_fingerprint(self)
 
 
 @dataclass(frozen=True)
@@ -62,8 +78,11 @@ class ExperimentResult:
     config: ExperimentConfig
     corpus: SyntheticCorpus
     dataset: TextureDataset
-    model: JointTextureTopicModel
+    model: Any
     linker: TopicLinker
+    #: Run provenance (stage fingerprints, cache hits, timings) from the
+    #: staged runner; ``None`` only for hand-assembled results.
+    provenance: Mapping[str, Any] | None = field(default=None, compare=False)
 
     @property
     def vocabulary(self) -> tuple[str, ...]:
@@ -80,73 +99,41 @@ class ExperimentResult:
         ]
 
 
-def _make_model(config: ExperimentConfig):
-    """Instantiate the configured inference method."""
-    if config.inference == "gibbs":
-        return JointTextureTopicModel(config.model)
-    if config.inference == "collapsed":
-        from repro.core.collapsed import CollapsedJointModel
-
-        return CollapsedJointModel(config.model)
-    if config.inference == "vb":
-        from repro.core.variational import VariationalConfig, VariationalJointModel
-
-        return VariationalJointModel(
-            VariationalConfig(
-                n_topics=config.model.n_topics,
-                alpha=config.model.alpha,
-                gamma=config.model.gamma,
-                kappa=config.model.kappa,
-                seed_y_with_kmeans=config.model.seed_y_with_kmeans,
-            )
-        )
-    from repro.errors import ExperimentError
-
-    raise ExperimentError(f"unknown inference method {config.inference!r}")
-
-
-_CACHE: dict[tuple, ExperimentResult] = {}
+_CACHE: dict[tuple[str, str | None], ExperimentResult] = {}
 
 
 def run_experiment(
-    config: ExperimentConfig | None = None, use_cache: bool = True
+    config: ExperimentConfig | None = None,
+    use_cache: bool = True,
+    cache_dir: str | Path | None = None,
 ) -> ExperimentResult:
-    """Run (or fetch from the in-process cache) one full pipeline."""
+    """Run (or fetch from cache) one full pipeline.
+
+    ``cache_dir`` enables the on-disk artifact store: stage outputs are
+    persisted there and reused by later runs — including runs in other
+    processes — with bit-identical results; a config change re-runs only
+    the invalidated downstream stages. ``use_cache=False`` bypasses both
+    the in-process memo and the disk store and recomputes everything.
+    """
     config = config or ExperimentConfig()
-    key = config.cache_key()
+    resolved = str(Path(cache_dir).resolve()) if cache_dir is not None else None
+    key = (config.cache_key(), resolved)
     if use_cache and key in _CACHE:
         return _CACHE[key]
 
-    rng = ensure_rng(config.seed)
-    generator = CorpusGenerator(rng=rng)
-    corpus = generator.generate(config.preset)
-
-    builder = DatasetBuilder(
-        dictionary=generator.dictionary,
-        use_w2v_filter=config.use_w2v_filter,
+    store = (
+        ArtifactStore(cache_dir)
+        if use_cache and cache_dir is not None
+        else None
     )
-    dataset = builder.build(corpus.recipes, rng=rng)
-
-    if config.use_log_transform:
-        gels, emulsions = dataset.gel_log, dataset.emulsion_log
-    else:
-        gels, emulsions = dataset.gel_raw, dataset.emulsion_raw
-
-    model = _make_model(config)
-    model.fit(
-        list(dataset.docs),
-        gels,
-        emulsions,
-        dataset.vocab_size,
-        rng=rng,
-    )
-    linker = TopicLinker(model, point_sigma=config.point_sigma)
+    payloads, manifest = run_staged(config, store=store)
     result = ExperimentResult(
         config=config,
-        corpus=corpus,
-        dataset=dataset,
-        model=model,
-        linker=linker,
+        corpus=payloads[SYNTH_CORPUS],
+        dataset=payloads[BUILD_DATASET],
+        model=payloads[FIT_MODEL],
+        linker=payloads[BUILD_LINKER],
+        provenance=manifest,
     )
     if use_cache:
         _CACHE[key] = result
@@ -168,5 +155,9 @@ def quick_config(n_recipes: int = 1500, n_sweeps: int = 300, seed: int = 11) -> 
 
 
 def clear_cache() -> None:
-    """Drop all cached experiment results (tests use this)."""
+    """Drop all in-process cached experiment results (tests use this).
+
+    On-disk artifact stores are unaffected; use ``repro cache gc`` for
+    those.
+    """
     _CACHE.clear()

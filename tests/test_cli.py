@@ -113,6 +113,113 @@ class TestDictionary:
         assert "karikari" not in out
 
 
+class TestRun:
+    ARGS = ["run", "--recipes", "250", "--sweeps", "20", "--seed", "3"]
+
+    def test_cold_then_warm(self, capsys, tmp_path):
+        from repro.pipeline.experiment import clear_cache
+
+        cache = str(tmp_path / "store")
+        assert main([*self.ARGS, "--cache-dir", cache]) == 0
+        assert "5 computed" in capsys.readouterr().out
+        clear_cache()
+        assert main([*self.ARGS, "--cache-dir", cache, "--require-cached"]) == 0
+        out = capsys.readouterr().out
+        assert "5 cached / 0 computed" in out
+
+    def test_require_cached_fails_cold(self, capsys, tmp_path):
+        code = main(
+            [*self.ARGS, "--cache-dir", str(tmp_path / "empty"),
+             "--require-cached"]
+        )
+        assert code == 3
+        assert "not served" in capsys.readouterr().err
+
+    def test_json_manifest_written(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "manifest.json"
+        code = main(
+            [*self.ARGS, "--cache-dir", str(tmp_path / "store"),
+             "--json", str(out_path)]
+        )
+        assert code == 0
+        manifest = json.loads(out_path.read_text())
+        assert manifest["format"] == "repro-run"
+        assert set(manifest["stages"]) == {
+            "synth-corpus", "gel-filter", "build-dataset",
+            "fit-model", "build-linker",
+        }
+
+    def test_runs_without_cache_dir(self, capsys):
+        assert main(self.ARGS) == 0
+        assert "experiment" in capsys.readouterr().out
+
+
+class TestCache:
+    def _populate(self, tmp_path):
+        cache = str(tmp_path / "store")
+        assert main(
+            ["run", "--recipes", "250", "--sweeps", "20", "--seed", "3",
+             "--cache-dir", cache]
+        ) == 0
+        return cache
+
+    def test_ls(self, capsys, tmp_path):
+        cache = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "fit-model" in out
+        assert "5 artifacts, 1 run manifests" in out
+
+    def test_ls_empty_store(self, capsys, tmp_path):
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path / "nil")]) == 0
+        assert "no artifacts" in capsys.readouterr().out
+
+    def test_info_redacts_rng_state(self, capsys, tmp_path):
+        cache = self._populate(tmp_path)
+        capsys.readouterr()
+        from repro.artifacts.store import ArtifactStore
+
+        fingerprint = next(
+            f for s, f, _ in ArtifactStore(cache).iter_artifacts()
+            if s == "fit-model"
+        )
+        assert main(["cache", "info", fingerprint, "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert '"fingerprint"' in out and "rng_state_out" not in out
+        assert main(
+            ["cache", "info", fingerprint[:6], "--cache-dir", cache, "--full"]
+        ) == 0
+        assert "rng_state_out" in capsys.readouterr().out
+
+    def test_info_unknown_fingerprint_exits_2(self, capsys, tmp_path):
+        cache = self._populate(tmp_path)
+        assert main(["cache", "info", "feedface", "--cache-dir", cache]) == 2
+
+    def test_gc_dry_run_keeps_everything(self, capsys, tmp_path):
+        cache = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["cache", "gc", "--cache-dir", cache, "--keep-runs", "0",
+             "--dry-run"]
+        ) == 0
+        assert "would remove" in capsys.readouterr().out
+        from repro.artifacts.store import ArtifactStore
+
+        assert len(list(ArtifactStore(cache).iter_artifacts())) == 5
+
+    def test_gc_removes_unreferenced(self, capsys, tmp_path):
+        cache = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "gc", "--cache-dir", cache, "--keep-runs", "0"]) == 0
+        assert "removed" in capsys.readouterr().out
+        from repro.artifacts.store import ArtifactStore
+
+        assert list(ArtifactStore(cache).iter_artifacts()) == []
+
+
 class TestReport:
     def test_report_bundle(self, capsys, tmp_path):
         code = main(
