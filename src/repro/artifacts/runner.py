@@ -26,6 +26,7 @@ from repro.artifacts.fingerprint import canonical, stage_fingerprint
 from repro.artifacts.stage import Stage
 from repro.artifacts.store import ArtifactStore
 from repro.errors import ArtifactError
+from repro.obs import metrics, trace
 
 #: Schema version of run manifests.
 RUN_MANIFEST_VERSION = 1
@@ -52,73 +53,90 @@ def run_pipeline(
     the JSON-ready provenance record (also written into the store's
     ``runs/`` directory when a store is given).
     """
-    started = time.perf_counter()
     payloads: dict[str, Any] = {}
     fingerprints: dict[str, str] = {}
     records: dict[str, dict[str, Any]] = {}
-    for stage in stages:
-        missing = [name for name in stage.upstream if name not in payloads]
-        if missing:
-            raise ArtifactError(
-                f"stage {stage.name!r} runs before its upstream {missing}"
-            )
-        upstream = {name: fingerprints[name] for name in stage.upstream}
-        stage_config = stage.config_of(config)
-        fingerprint = stage_fingerprint(
-            stage.name, stage.version, stage_config, upstream
-        )
-        fingerprints[stage.name] = fingerprint
-        if store is not None and store.has(stage.name, fingerprint):
-            payload, manifest = store.load(stage, fingerprint)
-            state_out = manifest.get("rng_state_out")
-            if state_out is None:
+    with trace.span(
+        "run-pipeline", experiment=experiment_fingerprint, seed=seed
+    ) as run_span:
+        for stage in stages:
+            missing = [name for name in stage.upstream if name not in payloads]
+            if missing:
                 raise ArtifactError(
-                    f"artifact {stage.name}/{fingerprint} lacks an RNG state"
+                    f"stage {stage.name!r} runs before its upstream {missing}"
                 )
-            rng.bit_generator.state = state_out
-            records[stage.name] = {
-                "fingerprint": fingerprint,
-                "payload_version": stage.version,
-                "hit": True,
-                "elapsed_seconds": 0.0,
-                "computed_seconds": manifest.get("elapsed_seconds"),
-                "upstream": upstream,
-            }
-        else:
-            state_in = rng.bit_generator.state
-            stage_started = time.perf_counter()
-            payload = stage.compute(
-                config, {name: payloads[name] for name in stage.upstream}, rng
+            upstream = {name: fingerprints[name] for name in stage.upstream}
+            stage_config = stage.config_of(config)
+            fingerprint = stage_fingerprint(
+                stage.name, stage.version, stage_config, upstream
             )
-            elapsed = time.perf_counter() - stage_started
-            if store is not None:
-                store.put(
-                    stage,
-                    fingerprint,
-                    payload,
-                    {
-                        "stage": stage.name,
+            fingerprints[stage.name] = fingerprint
+            hit = store is not None and store.has(stage.name, fingerprint)
+            with trace.span(
+                stage.name,
+                kind="stage",
+                fingerprint=fingerprint,
+                cache="hit" if hit else "miss",
+            ) as stage_span:
+                if store is not None and hit:
+                    payload, manifest = store.load(stage, fingerprint)
+                    state_out = manifest.get("rng_state_out")
+                    if state_out is None:
+                        raise ArtifactError(
+                            f"artifact {stage.name}/{fingerprint} lacks an RNG state"
+                        )
+                    rng.bit_generator.state = state_out
+                    metrics.registry.counter("cache.hit").inc()
+                    records[stage.name] = {
                         "fingerprint": fingerprint,
                         "payload_version": stage.version,
-                        "config": canonical(stage_config),
+                        "hit": True,
+                        "computed_seconds": manifest.get("elapsed_seconds"),
                         "upstream": upstream,
-                        "seed": seed,
-                        "repro_version": _repro_version(),
-                        "created_unix": time.time(),
-                        "elapsed_seconds": elapsed,
-                        "rng_state_in": state_in,
-                        "rng_state_out": rng.bit_generator.state,
-                    },
-                )
-            records[stage.name] = {
-                "fingerprint": fingerprint,
-                "payload_version": stage.version,
-                "hit": False,
-                "elapsed_seconds": elapsed,
-                "computed_seconds": elapsed,
-                "upstream": upstream,
-            }
-        payloads[stage.name] = payload
+                    }
+                else:
+                    state_in = rng.bit_generator.state
+                    payload = stage.compute(
+                        config,
+                        {name: payloads[name] for name in stage.upstream},
+                        rng,
+                    )
+                    metrics.registry.counter("cache.miss").inc()
+                    records[stage.name] = {
+                        "fingerprint": fingerprint,
+                        "payload_version": stage.version,
+                        "hit": False,
+                        "upstream": upstream,
+                    }
+            # The span is the single source of stage timing: the run
+            # manifest reads the same number the trace records.
+            elapsed = stage_span.duration_s
+            records[stage.name]["elapsed_seconds"] = (
+                0.0 if records[stage.name]["hit"] else elapsed
+            )
+            records[stage.name].setdefault("computed_seconds", elapsed)
+            if stage_span.span_id is not None:
+                records[stage.name]["span_id"] = stage_span.span_id
+                records[stage.name]["trace_id"] = trace.current_trace_id()
+            if store is not None and not records[stage.name]["hit"]:
+                manifest_body: dict[str, Any] = {
+                    "stage": stage.name,
+                    "fingerprint": fingerprint,
+                    "payload_version": stage.version,
+                    "config": canonical(stage_config),
+                    "upstream": upstream,
+                    "seed": seed,
+                    "repro_version": _repro_version(),
+                    "created_unix": time.time(),
+                    "elapsed_seconds": elapsed,
+                    "rng_state_in": state_in,
+                    "rng_state_out": rng.bit_generator.state,
+                }
+                if stage_span.span_id is not None:
+                    manifest_body["span_id"] = stage_span.span_id
+                    manifest_body["trace_id"] = trace.current_trace_id()
+                store.put(stage, fingerprint, payload, manifest_body)
+            payloads[stage.name] = payload
 
     run_manifest: dict[str, Any] = {
         "format": "repro-run",
@@ -127,13 +145,16 @@ def run_pipeline(
         "repro_version": _repro_version(),
         "seed": seed,
         "created_unix": time.time(),
-        "total_seconds": time.perf_counter() - started,
+        "total_seconds": run_span.duration_s,
         "cache_dir": str(store.root) if store is not None else None,
         "order": [stage.name for stage in stages],
         "hits": sum(1 for record in records.values() if record["hit"]),
         "misses": sum(1 for record in records.values() if not record["hit"]),
         "stages": records,
     }
+    if run_span.span_id is not None:
+        run_manifest["span_id"] = run_span.span_id
+        run_manifest["trace_id"] = trace.current_trace_id()
     if store is not None and experiment_fingerprint:
         store.write_run_manifest(run_manifest)
     return payloads, run_manifest

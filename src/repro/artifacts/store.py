@@ -28,6 +28,7 @@ from typing import Any, Iterator, Mapping
 
 from repro.artifacts.stage import Stage
 from repro.errors import ArtifactError
+from repro.obs import metrics
 
 #: Schema version of ``manifest.json`` files.
 MANIFEST_VERSION = 1
@@ -110,6 +111,9 @@ class ArtifactStore:
         finally:
             if staging.exists():
                 shutil.rmtree(staging, ignore_errors=True)
+        metrics.registry.counter("cache.bytes_written").inc(
+            self.size_of(final)
+        )
         return final
 
     def load(self, stage: Stage, fingerprint: str) -> tuple[Any, dict[str, Any]]:
@@ -124,6 +128,9 @@ class ArtifactStore:
             raise ArtifactError(
                 f"corrupt {stage.name} artifact {fingerprint}: {exc}"
             ) from exc
+        metrics.registry.counter("cache.bytes_read").inc(
+            self.size_of(directory)
+        )
         return payload, manifest
 
     def iter_artifacts(self) -> Iterator[tuple[str, str, dict[str, Any]]]:

@@ -18,8 +18,15 @@ Commands
 ``estimate``
     Estimate the texture of a recipe given as ``ingredient=quantity``
     pairs, e.g. ``python -m repro estimate gelatin=5g water=300ml``.
+``trace``
+    Inspect a JSONL trace file written by ``--trace`` / ``$REPRO_TRACE``
+    (``summary`` aggregates spans, ``tree`` renders the span forest).
 ``lint``
     Run the project static analyser (``repro.analysis``) over the tree.
+
+Global flags: ``--log-level`` / ``-v`` configure the single ``repro``
+logger; ``--trace`` on ``run`` (or ``$REPRO_TRACE`` for any command)
+exports a span/event trace as JSON lines.
 """
 
 from __future__ import annotations
@@ -30,6 +37,8 @@ import sys
 from typing import Sequence
 
 from repro.errors import ModelError, ReproError
+from repro.obs import log as obs_log
+from repro.obs import trace as obs_trace
 from repro.pipeline.experiment import ExperimentConfig, quick_config, run_experiment
 
 #: Default store location for ``repro cache`` (and examples):
@@ -44,6 +53,18 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Detecting Sensory Textures with Rheological "
             "Characteristics from Recipe Sharing Sites' (ICDE 2022)"
         ),
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=sorted(obs_log.LEVELS),
+        default=None,
+        help="logging threshold for the repro logger (overrides -v)",
+    )
+    parser.add_argument(
+        "-v", "--verbose",
+        action="count",
+        default=0,
+        help="-v for INFO, -vv for DEBUG (default WARNING)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -101,6 +122,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="exit 3 unless every stage was served from the artifact "
              "store (CI cache smoke)",
     )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="export a span/event trace of the run as JSON lines to PATH "
+             f"(also enabled for any command via ${obs_trace.TRACE_ENV})",
+    )
     _add_backend_flags(run)
     _add_cache_flags(run)
 
@@ -135,6 +163,20 @@ def _build_parser() -> argparse.ArgumentParser:
             help="artifact store root (default: $REPRO_CACHE_DIR or "
                  "./.repro-cache)",
         )
+
+    trace_cmd = sub.add_parser(
+        "trace", help="inspect a JSONL trace file"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary",
+        help="per-span-name time breakdown + sampler sweep digest",
+    )
+    trace_summary.add_argument("file", help="JSONL trace file")
+    trace_tree = trace_sub.add_parser(
+        "tree", help="render the span forest with durations"
+    )
+    trace_tree.add_argument("file", help="JSONL trace file")
 
     estimate = sub.add_parser("estimate", help="estimate a recipe's texture")
     estimate.add_argument(
@@ -500,10 +542,33 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import read_trace, render_tree, summarise
+
+    records = read_trace(args.file)
+    if args.trace_command == "summary":
+        print(summarise(records))
+    else:
+        print(render_tree(records))
+    return 0
+
+
+def _trace_target(args: argparse.Namespace) -> str | None:
+    """The trace path for this invocation: --trace wins over the env."""
+    explicit = getattr(args, "trace", None)
+    if explicit:
+        return str(explicit)
+    return os.environ.get(obs_trace.TRACE_ENV) or None
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    obs_log.configure(level=args.log_level, verbosity=args.verbose)
+    trace_path = None if args.command == "trace" else _trace_target(args)
     try:
+        if trace_path is not None:
+            obs_trace.enable(trace_path)
         if args.command == "lint":
             return _cmd_lint(args)
         if args.command == "table1":
@@ -516,6 +581,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "search":
             return _cmd_search(args)
         if args.command == "rules":
@@ -528,6 +595,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if trace_path is not None:
+            obs_trace.disable()
+            print(f"wrote trace to {trace_path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

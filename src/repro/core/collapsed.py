@@ -30,7 +30,9 @@ from repro.core.lda import word_log_likelihood
 from repro.core.priors import DirichletPrior, NormalWishartPrior
 from repro.core.seeding import kmeans_plus_plus
 from repro.core.state import TopicCounts, initialise_assignments, validate_docs
+from repro.core.telemetry import should_sample, sweep_telemetry
 from repro.errors import ModelError, NotFittedError
+from repro.obs import trace
 from repro.rng import RngLike, ensure_rng
 
 
@@ -224,16 +226,23 @@ class CollapsedJointModel:
         emulsion_prior: NormalWishartPrior | None = None,
     ) -> "CollapsedJointModel":
         """Run the collapsed Gibbs sampler (best of ``n_restarts`` chains)."""
-        start = time.perf_counter()
-        if self.config.n_restarts > 1:
-            self._fit_restarts(
-                docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
-            )
-        else:
-            self._fit_single(
-                docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
-            )
-        self.fit_seconds_ = time.perf_counter() - start
+        with trace.span(
+            "collapsed-model.fit",
+            model="collapsed",
+            n_topics=self.config.n_topics,
+            n_sweeps=self.config.n_sweeps,
+            n_restarts=self.config.n_restarts,
+            kernel=self.config.kernel,
+        ) as fit_span:
+            if self.config.n_restarts > 1:
+                self._fit_restarts(
+                    docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
+                )
+            else:
+                self._fit_single(
+                    docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
+                )
+        self.fit_seconds_ = fit_span.duration_s
         return self
 
     def _fit_restarts(
@@ -309,10 +318,16 @@ class CollapsedJointModel:
         y_votes = np.zeros((n_docs, k_range), dtype=np.int64)
         n_samples = 0
         self.log_likelihoods_ = []
+        trace_enabled = trace.is_enabled()
 
         for sweep in range(cfg.n_sweeps):
             # -- z updates (identical to the semi-collapsed sampler) --------
-            kernel.sweep(generator, y)
+            if trace_enabled:
+                sweep_started = time.perf_counter()
+                kernel.sweep(generator, y)
+                sweep_seconds = time.perf_counter() - sweep_started
+            else:
+                kernel.sweep(generator, y)
 
             # -- collapsed y updates: batched cached Student-t predictives --
             gauss_ll = 0.0
@@ -339,6 +354,15 @@ class CollapsedJointModel:
             self.log_likelihoods_.append(
                 word_log_likelihood(docs, counts, alpha, gamma) + gauss_ll
             )
+            if trace_enabled and should_sample(sweep, cfg.n_sweeps):
+                sweep_telemetry(
+                    "collapsed",
+                    sweep,
+                    cfg.n_sweeps,
+                    self.log_likelihoods_[-1],
+                    kernel.csr.n_tokens,
+                    sweep_seconds,
+                )
 
             if sweep >= cfg.burn_in and (sweep - cfg.burn_in) % cfg.thin == 0:
                 phi_acc += (counts.n_kv + gamma) / (counts.n_k[:, None] + v_total)

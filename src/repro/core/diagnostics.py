@@ -26,10 +26,19 @@ class TraceSummary:
     improved: bool          # last better than first
     plateau_fraction: float  # share of the trace within tolerance of best
     geweke_z: float          # |z| < 2 suggests the tail is stationary
+    spread: float = 0.0      # dynamic range (max - min) of the trace
 
     @property
     def converged(self) -> bool:
-        """Heuristic convergence: improved, long plateau, stationary tail."""
+        """Heuristic convergence: improved, long plateau, stationary tail.
+
+        A zero-spread (constant) trace is treated as converged
+        explicitly: it cannot "improve" (``last > first`` is false) yet
+        it sits entirely on its plateau — the chain has nowhere left to
+        go, which is exactly what the improvement test exists to detect.
+        """
+        if self.spread <= 0.0:
+            return True
         return self.improved and self.plateau_fraction > 0.2 and abs(self.geweke_z) < 3.0
 
 
@@ -62,6 +71,7 @@ def summarise_trace(
         improved=bool(values[-1] > values[0]),
         plateau_fraction=plateau,
         geweke_z=geweke_z(values),
+        spread=spread,
     )
 
 

@@ -22,7 +22,6 @@ their Normal–Wishart posteriors once per sweep.
 from __future__ import annotations
 
 import dataclasses
-import logging
 import time
 from dataclasses import dataclass
 from typing import Sequence
@@ -36,10 +35,13 @@ from repro.core.lda import word_log_likelihood
 from repro.core.priors import DirichletPrior, NormalWishartPrior
 from repro.core.seeding import kmeans_plus_plus
 from repro.core.state import TopicCounts, initialise_assignments, validate_docs
+from repro.core.telemetry import restart_telemetry, should_sample, sweep_telemetry
 from repro.errors import ModelError, NotFittedError
+from repro.obs import trace
+from repro.obs.log import get_logger
 from repro.rng import RngLike, ensure_rng
 
-logger = logging.getLogger("repro.core.joint_model")
+logger = get_logger("repro.core.joint_model")
 
 #: Progress is logged every this many sweeps (at INFO level).
 _LOG_EVERY = 50
@@ -100,15 +102,24 @@ class JointModelConfig:
             raise ModelError(f"unknown sampling kernel {self.kernel!r}")
 
 
-def _restart_task(payload, rng) -> tuple["JointTextureTopicModel", float]:
-    """Fit one restart chain (module-level so process pools can pickle it)."""
+def _restart_task(payload, rng) -> tuple["JointTextureTopicModel", dict]:
+    """Fit one restart chain (module-level so process pools can pickle it).
+
+    Returns the fitted candidate plus its telemetry record (seed, fit
+    seconds, final log-likelihood) — a plain dict, so process-backend
+    workers ship it back to the parent instead of dropping it.
+    """
     config, docs, gels, emulsions, vocab_size, gel_prior, emulsion_prior = payload
-    started = time.perf_counter()
-    candidate = JointTextureTopicModel(config)
-    candidate._fit_single(
-        docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
+    with trace.span("joint-model.restart", kernel=config.kernel) as restart_span:
+        candidate = JointTextureTopicModel(config)
+        candidate._fit_single(
+            docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
+        )
+    return candidate, restart_telemetry(
+        rng,
+        restart_span.duration_s,
+        candidate.log_likelihoods_[-1],
     )
-    return candidate, time.perf_counter() - started
 
 
 class JointTextureTopicModel:
@@ -136,9 +147,14 @@ class JointTextureTopicModel:
         self.y_: np.ndarray | None = None
         self.log_likelihoods_: list[float] = []
         #: Wall-clock seconds of the last :meth:`fit` call and of each
-        #: restart chain within it (benchmarks export these).
+        #: restart chain within it (benchmarks export these). Both are
+        #: read from the same spans the tracer exports.
         self.fit_seconds_: float | None = None
         self.restart_seconds_: list[float] = []
+        #: Per-restart records (``seed``, ``fit_seconds``,
+        #: ``final_log_likelihood``), propagated from the workers of any
+        #: backend — including process pools — in submission order.
+        self.restart_telemetry_: list[dict] = []
 
     # -- fitting ---------------------------------------------------------------
 
@@ -159,16 +175,23 @@ class JointTextureTopicModel:
         concentration space. Priors default to the empirical-Bayes vague
         prior of :meth:`NormalWishartPrior.vague`.
         """
-        start = time.perf_counter()
-        if self.config.n_restarts > 1:
-            self._fit_restarts(
-                docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
-            )
-        else:
-            self._fit_single(
-                docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
-            )
-        self.fit_seconds_ = time.perf_counter() - start
+        with trace.span(
+            "joint-model.fit",
+            model="gibbs",
+            n_topics=self.config.n_topics,
+            n_sweeps=self.config.n_sweeps,
+            n_restarts=self.config.n_restarts,
+            kernel=self.config.kernel,
+        ) as fit_span:
+            if self.config.n_restarts > 1:
+                self._fit_restarts(
+                    docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
+                )
+            else:
+                self._fit_single(
+                    docs, gels, emulsions, vocab_size, rng, gel_prior, emulsion_prior
+                )
+        self.fit_seconds_ = fit_span.duration_s
         if not self.restart_seconds_:
             self.restart_seconds_ = [self.fit_seconds_]
         return self
@@ -194,8 +217,10 @@ class JointTextureTopicModel:
         )
         best: JointTextureTopicModel | None = None
         self.restart_seconds_ = []
-        for candidate, seconds in outcomes:
-            self.restart_seconds_.append(seconds)
+        self.restart_telemetry_ = []
+        for candidate, telemetry in outcomes:
+            self.restart_seconds_.append(telemetry["fit_seconds"])
+            self.restart_telemetry_.append(telemetry)
             if (
                 best is None
                 or candidate.log_likelihoods_[-1] > best.log_likelihoods_[-1]
@@ -262,6 +287,7 @@ class JointTextureTopicModel:
         y_votes = np.zeros((n_docs, k_range), dtype=np.int64)
         n_samples = 0
         self.log_likelihoods_ = []
+        trace_enabled = trace.is_enabled()
 
         for sweep in range(cfg.n_sweeps):
             # -- equation (4): resample topic Gaussians given y ------------
@@ -280,7 +306,12 @@ class JointTextureTopicModel:
                 log_gel = log_gel + nw.batch_log_density(emu_params, emulsions)
 
             # -- equation (2): per-token z updates ---------------------------
-            kernel.sweep(generator, y)
+            if trace_enabled:
+                sweep_started = time.perf_counter()
+                kernel.sweep(generator, y)
+                sweep_seconds = time.perf_counter() - sweep_started
+            else:
+                kernel.sweep(generator, y)
 
             # -- equation (3): y updates (independent across docs given the
             # collapsed θ, so drawn as one vectorised categorical batch) ----
@@ -296,6 +327,15 @@ class JointTextureTopicModel:
                 word_log_likelihood(docs, counts, alpha, gamma)
                 + float(log_gel[np.arange(n_docs), y].sum())
             )
+            if trace_enabled and should_sample(sweep, cfg.n_sweeps):
+                sweep_telemetry(
+                    "gibbs",
+                    sweep,
+                    cfg.n_sweeps,
+                    self.log_likelihoods_[-1],
+                    kernel.csr.n_tokens,
+                    sweep_seconds,
+                )
             if (sweep + 1) % _LOG_EVERY == 0 or sweep + 1 == cfg.n_sweeps:
                 logger.info(
                     "sweep %d/%d log-likelihood %.1f",

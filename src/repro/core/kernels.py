@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.core.state import TopicCounts
 from repro.errors import ModelError
+from repro.obs import metrics, trace
 
 #: Recognised kernel names, in documentation order.
 KERNELS: tuple[str, ...] = ("dense", "legacy", "sparse")
@@ -470,6 +471,9 @@ class SparseKernel(TokenKernel):
         self._alias_topic: list[int] = list(range(n_topics))
         self._alias_age = self._alias_refresh  # force a first build
         self._smooth_mass = 0.0
+        #: Lifetime count of alias-table rebuilds (observability surface;
+        #: the tracer reports the per-sweep delta).
+        self.alias_refreshes: int = 0
         self._rebuild_smoothing()
 
     # -- smoothing bucket -------------------------------------------------
@@ -507,6 +511,7 @@ class SparseKernel(TokenKernel):
         for k in small:
             prob[k], alias[k] = 1.0, k
         self._alias_age = 0
+        self.alias_refreshes += 1
 
     def _draw_smoothing(self, generator: np.random.Generator) -> int:
         if self._alias_age >= self._alias_refresh:
@@ -531,6 +536,7 @@ class SparseKernel(TokenKernel):
         words, topics, offsets = self._words, self._topics, self._offsets
         q_topics, q_cum = self._bucket_topics, self._bucket_cum
         r_topics, r_cum = self._doc_topics, self._doc_cum
+        refreshes_before = self.alias_refreshes
         self._rebuild_smoothing()
         for d in range(self.csr.n_docs):
             start, end = offsets[d], offsets[d + 1]
@@ -608,6 +614,10 @@ class SparseKernel(TokenKernel):
                 ) - alpha_gamma[k_new] / (n_old + v_total)
                 self._alias_age += 1
                 t += 1
+        if trace.is_enabled():
+            metrics.registry.counter("kernel.alias_refresh").inc(
+                self.alias_refreshes - refreshes_before
+            )
         self._sync_out()
 
     def _sync_out(self) -> None:

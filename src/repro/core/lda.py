@@ -8,6 +8,7 @@ buys (bench ``ablation A``).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -16,7 +17,9 @@ import numpy as np
 from repro.core.kernels import KERNELS, CSRTokens, make_kernel
 from repro.core.priors import DirichletPrior
 from repro.core.state import TopicCounts, initialise_assignments, validate_docs
+from repro.core.telemetry import should_sample, sweep_telemetry
 from repro.errors import ModelError, NotFittedError
+from repro.obs import trace
 from repro.rng import RngLike, ensure_rng
 
 
@@ -54,6 +57,9 @@ class LatentDirichletAllocation:
         self.phi_: np.ndarray | None = None
         self.theta_: np.ndarray | None = None
         self.log_likelihoods_: list[float] = []
+        #: Wall-clock seconds of the last :meth:`fit`, read from the
+        #: same span the tracer exports.
+        self.fit_seconds_: float | None = None
 
     def fit(
         self,
@@ -83,20 +89,43 @@ class LatentDirichletAllocation:
         theta_acc = np.zeros((n_docs, cfg.n_topics))
         n_samples = 0
         self.log_likelihoods_ = []
+        trace_enabled = trace.is_enabled()
 
-        for sweep in range(cfg.n_sweeps):
-            kernel.sweep(generator)
-            self.log_likelihoods_.append(
-                word_log_likelihood(docs, counts, alpha, gamma)
-            )
-            if sweep >= cfg.burn_in and (sweep - cfg.burn_in) % cfg.thin == 0:
-                phi_acc += (counts.n_kv + gamma) / (
-                    counts.n_k[:, None] + v_total
+        with trace.span(
+            "lda.fit",
+            model="lda",
+            n_topics=cfg.n_topics,
+            n_sweeps=cfg.n_sweeps,
+            kernel=cfg.kernel,
+        ) as fit_span:
+            for sweep in range(cfg.n_sweeps):
+                if trace_enabled:
+                    sweep_started = time.perf_counter()
+                    kernel.sweep(generator)
+                    sweep_seconds = time.perf_counter() - sweep_started
+                else:
+                    kernel.sweep(generator)
+                self.log_likelihoods_.append(
+                    word_log_likelihood(docs, counts, alpha, gamma)
                 )
-                theta_acc += (counts.n_dk + alpha) / (
-                    counts.n_d[:, None] + alpha.sum()
-                )
-                n_samples += 1
+                if trace_enabled and should_sample(sweep, cfg.n_sweeps):
+                    sweep_telemetry(
+                        "lda",
+                        sweep,
+                        cfg.n_sweeps,
+                        self.log_likelihoods_[-1],
+                        kernel.csr.n_tokens,
+                        sweep_seconds,
+                    )
+                if sweep >= cfg.burn_in and (sweep - cfg.burn_in) % cfg.thin == 0:
+                    phi_acc += (counts.n_kv + gamma) / (
+                        counts.n_k[:, None] + v_total
+                    )
+                    theta_acc += (counts.n_dk + alpha) / (
+                        counts.n_d[:, None] + alpha.sum()
+                    )
+                    n_samples += 1
+        self.fit_seconds_ = fit_span.duration_s
 
         self.phi_ = phi_acc / max(n_samples, 1)
         self.theta_ = theta_acc / max(n_samples, 1)

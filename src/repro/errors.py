@@ -87,3 +87,7 @@ class ArtifactError(ReproError):
 
 class ParallelError(ReproError, RuntimeError):
     """A parallel backend was misconfigured or failed irrecoverably."""
+
+
+class ObservabilityError(ReproError):
+    """The tracing/metrics layer was misused or fed a malformed trace."""

@@ -1,0 +1,119 @@
+"""Trace-file schema and JSONL round-trip helpers.
+
+A trace file is JSON Lines: one record per line, two kinds::
+
+    {"kind": "span", "v": 1, "trace_id": ..., "span_id": ...,
+     "parent_id": ... | null, "name": ..., "start_unix": ...,
+     "duration_s": ..., "status": "ok" | "error", "pid": ...,
+     "thread": ..., "attrs": {...}}
+
+    {"kind": "event", "v": 1, "trace_id": ..., "span_id": ... | null,
+     "name": ..., "time_unix": ..., "pid": ..., "attrs": {...}}
+
+Records forwarded from worker processes additionally carry
+``"forwarded": true``. Appending runs to one file is legal (JSONL
+concatenates); readers group by ``trace_id``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ObservabilityError
+from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+_SPAN_KEYS: dict[str, type | tuple[type, ...]] = {
+    "trace_id": str,
+    "span_id": str,
+    "name": str,
+    "start_unix": (int, float),
+    "duration_s": (int, float),
+    "status": str,
+    "pid": int,
+    "attrs": dict,
+}
+
+_EVENT_KEYS: dict[str, type | tuple[type, ...]] = {
+    "trace_id": str,
+    "name": str,
+    "time_unix": (int, float),
+    "pid": int,
+    "attrs": dict,
+}
+
+
+def validate_record(record: Any, where: str = "trace") -> dict[str, Any]:
+    """Check one parsed record against the schema; returns it."""
+    if not isinstance(record, dict):
+        raise ObservabilityError(f"{where}: record is not a JSON object")
+    kind = record.get("kind")
+    if kind not in ("span", "event"):
+        raise ObservabilityError(f"{where}: unknown record kind {kind!r}")
+    version = record.get("v")
+    if version != TRACE_SCHEMA_VERSION:
+        raise ObservabilityError(
+            f"{where}: schema version {version!r} "
+            f"(this reader understands {TRACE_SCHEMA_VERSION})"
+        )
+    required = _SPAN_KEYS if kind == "span" else _EVENT_KEYS
+    for key, types in required.items():
+        if key not in record:
+            raise ObservabilityError(f"{where}: {kind} record lacks {key!r}")
+        if not isinstance(record[key], types):
+            raise ObservabilityError(
+                f"{where}: {kind} field {key!r} has type "
+                f"{type(record[key]).__name__}"
+            )
+    parent = record.get("parent_id" if kind == "span" else "span_id")
+    if parent is not None and not isinstance(parent, str):
+        raise ObservabilityError(f"{where}: bad parent reference {parent!r}")
+    return record
+
+
+def read_trace(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
+    """Parse and validate a JSONL trace file (blank lines skipped)."""
+    records: list[dict[str, Any]] = []
+    try:
+        with open(os.fspath(path), "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                where = f"{path}:{lineno}"
+                try:
+                    parsed = json.loads(line)
+                except ValueError as exc:
+                    raise ObservabilityError(
+                        f"{where}: not valid JSON: {exc}"
+                    ) from exc
+                records.append(validate_record(parsed, where=where))
+    except FileNotFoundError as exc:
+        raise ObservabilityError(f"no trace file at {path}") from exc
+    return records
+
+
+def validate_trace(records: Iterable[Mapping[str, Any]]) -> None:
+    """Cross-record checks: unique span ids, resolvable parents.
+
+    Parent references may cross process boundaries (forwarded records),
+    but every non-null parent must exist *somewhere* in the trace.
+    """
+    span_ids: set[str] = set()
+    parents: list[tuple[str, str]] = []
+    for record in records:
+        if record.get("kind") != "span":
+            continue
+        span_id = str(record["span_id"])
+        if span_id in span_ids:
+            raise ObservabilityError(f"duplicate span id {span_id}")
+        span_ids.add(span_id)
+        parent = record.get("parent_id")
+        if parent is not None:
+            parents.append((span_id, str(parent)))
+    for span_id, parent in parents:
+        if parent not in span_ids:
+            raise ObservabilityError(
+                f"span {span_id} references unknown parent {parent}"
+            )

@@ -1,0 +1,86 @@
+"""Unified logging for the ``repro`` package.
+
+Every module logs through a child of the single ``repro`` root logger
+(:func:`get_logger`), and the CLI configures that root exactly once per
+invocation via :func:`configure` — which is idempotent, so repeated
+``main()`` calls in one process (tests, notebooks) never stack
+duplicate handlers. Library code never installs handlers itself.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+#: The root logger name every repro module hangs off.
+ROOT = "repro"
+
+#: Accepted ``--log-level`` names, mapped to stdlib levels.
+LEVELS: dict[str, int] = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+#: Attribute marking handlers installed by :func:`configure`.
+_MARKER = "_repro_obs_handler"
+
+
+def get_logger(name: str = ROOT) -> logging.Logger:
+    """A logger under the ``repro`` root (prefix added if missing)."""
+    if name != ROOT and not name.startswith(ROOT + "."):
+        name = f"{ROOT}.{name}"
+    return logging.getLogger(name)
+
+
+def resolve_level(level: int | str | None, verbosity: int = 0) -> int:
+    """Map a ``--log-level`` name and/or ``-v`` count to a stdlib level.
+
+    An explicit name wins; otherwise ``-v`` means INFO and ``-vv`` (or
+    more) DEBUG, defaulting to WARNING.
+    """
+    if isinstance(level, int):
+        return level
+    if level is not None:
+        try:
+            return LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; expected one of {sorted(LEVELS)}"
+            ) from None
+    if verbosity >= 2:
+        return logging.DEBUG
+    if verbosity == 1:
+        return logging.INFO
+    return logging.WARNING
+
+
+def configure(
+    level: int | str | None = None,
+    verbosity: int = 0,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Install (or replace) the single ``repro`` root handler.
+
+    Idempotent: any handler this function previously installed is
+    removed first, so calling it once per CLI invocation always leaves
+    exactly one handler on the root logger.
+    """
+    root = logging.getLogger(ROOT)
+    for handler in list(root.handlers):
+        if getattr(handler, _MARKER, False):
+            root.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    setattr(handler, _MARKER, True)
+    root.addHandler(handler)
+    root.setLevel(resolve_level(level, verbosity))
+    # The repro root owns its output; propagating further would print
+    # every record twice in applications that configure the global root.
+    root.propagate = False
+    return root

@@ -1,0 +1,206 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The registry is a process-local, thread-safe name → instrument map fed
+from the package's hot paths (artifact cache hits/misses/bytes,
+executor task wait/run times and fallbacks, per-sweep sampler
+throughput and likelihood). Samplers only record per *sweep* — never
+per token — and gate their recording on :func:`repro.obs.trace.is_enabled`,
+so an untraced fit pays nothing.
+
+Histograms use fixed log-scale buckets (decades from 1 ns to 1 Gs by
+default): per-observation cost is one bisect into a short static bound
+list, and two histograms of the same name always merge cleanly because
+the bounds never depend on the data.
+
+Metric names are dotted lowercase (``cache.hit``,
+``executor.task_run_seconds``, ``sampler.tokens_per_sec``); see
+``docs/observability.md`` for the full taxonomy.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Any, Union
+
+from repro.errors import ObservabilityError
+
+#: Default histogram bucket upper bounds: log-scale decades. The last
+#: bucket is the overflow (+inf) bucket and has no explicit bound.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(10.0 ** e for e in range(-9, 10))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down; remembers the last set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: float | None = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value = (self._value or 0.0) + amount
+
+    @property
+    def value(self) -> float | None:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Histogram:
+    """Counts of observations in fixed log-scale buckets.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    extra overflow bucket catches everything above the last bound.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        if not bounds or any(
+            b >= c for b, c in zip(bounds, bounds[1:])
+        ):
+            raise ObservabilityError(
+                f"histogram {name!r} needs strictly increasing bounds"
+            )
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self._counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._total = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_right(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._total += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float | None:
+        return self._total / self._count if self._count else None
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "count": self._count,
+            "total": self._total,
+            "mean": self.mean,
+            "min": self._min,
+            "max": self._max,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self._counts),
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Thread-safe name → instrument registry with get-or-create."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, factory: Any, kind: type) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), Gauge)
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, bounds), Histogram
+        )
+
+    def get(self, name: str) -> Metric | None:
+        """The registered metric of that name, if any."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """A JSON-ready view of every registered metric."""
+        with self._lock:
+            return {
+                name: metric.snapshot()
+                for name, metric in sorted(self._metrics.items())
+            }
+
+    def reset(self) -> None:
+        """Drop every registered metric (tests and fresh CLI runs)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide default registry every instrumented module feeds.
+registry = MetricsRegistry()

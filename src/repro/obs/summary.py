@@ -1,0 +1,161 @@
+"""Trace rendering: the ``repro trace summary|tree`` views.
+
+Both views consume the validated record lists of
+:mod:`repro.obs.export`. ``summary`` aggregates spans by name (count,
+total/mean seconds) and folds per-sweep sampler events into a
+throughput/likelihood digest; ``tree`` renders the span forest with
+per-span durations and attached event counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+
+@dataclass
+class SpanNode:
+    """One span with its children and directly attached events."""
+
+    record: Mapping[str, Any]
+    children: list["SpanNode"] = field(default_factory=list)
+    events: list[Mapping[str, Any]] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return str(self.record["name"])
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.record["duration_s"])
+
+
+def build_forest(records: Iterable[Mapping[str, Any]]) -> list[SpanNode]:
+    """Assemble the span forest (roots in file order) from records.
+
+    Spans whose parent never closed (crash mid-trace) and events whose
+    span is unknown are promoted to the root level rather than dropped.
+    """
+    nodes: dict[str, SpanNode] = {}
+    order: list[SpanNode] = []
+    orphan_events: list[Mapping[str, Any]] = []
+    for record in records:
+        if record.get("kind") == "span":
+            node = SpanNode(record)
+            nodes[str(record["span_id"])] = node
+            order.append(node)
+    roots: list[SpanNode] = []
+    for node in order:
+        parent = node.record.get("parent_id")
+        if parent is not None and str(parent) in nodes:
+            nodes[str(parent)].children.append(node)
+        else:
+            roots.append(node)
+    for record in records:
+        if record.get("kind") != "event":
+            continue
+        owner = record.get("span_id")
+        if owner is not None and str(owner) in nodes:
+            nodes[str(owner)].events.append(record)
+        else:
+            orphan_events.append(record)
+    if orphan_events:
+        synthetic: Mapping[str, Any] = {
+            "name": "(unparented events)",
+            "span_id": "",
+            "duration_s": 0.0,
+            "attrs": {},
+        }
+        roots.append(SpanNode(synthetic, events=orphan_events))
+    return roots
+
+
+def _sweep_digest(records: Sequence[Mapping[str, Any]]) -> list[str]:
+    """Per-model digest of the ``sweep`` events in a trace."""
+    by_model: dict[str, list[Mapping[str, Any]]] = {}
+    for record in records:
+        if record.get("kind") == "event" and record.get("name") == "sweep":
+            attrs = record.get("attrs", {})
+            by_model.setdefault(str(attrs.get("model", "?")), []).append(attrs)
+    lines = []
+    for model, sweeps in sorted(by_model.items()):
+        tps = [
+            float(s["tokens_per_sec"])
+            for s in sweeps
+            if isinstance(s.get("tokens_per_sec"), (int, float))
+        ]
+        lls = [
+            float(s["log_likelihood"])
+            for s in sweeps
+            if isinstance(s.get("log_likelihood"), (int, float))
+        ]
+        parts = [f"{model}: {len(sweeps)} sweep events"]
+        if tps:
+            parts.append(
+                f"tokens/sec mean {sum(tps) / len(tps):,.0f} "
+                f"(min {min(tps):,.0f}, max {max(tps):,.0f})"
+            )
+        if lls:
+            parts.append(f"log-likelihood {lls[0]:,.1f} -> {lls[-1]:,.1f}")
+        lines.append("  " + "; ".join(parts))
+    return lines
+
+
+def summarise(records: Sequence[Mapping[str, Any]]) -> str:
+    """The ``repro trace summary`` view: per-span-name time breakdown."""
+    spans = [r for r in records if r.get("kind") == "span"]
+    events = [r for r in records if r.get("kind") == "event"]
+    traces = {str(r.get("trace_id")) for r in records}
+    lines = [
+        f"{len(traces)} trace(s), {len(spans)} spans, {len(events)} events"
+    ]
+    if not spans:
+        return "\n".join(lines)
+    stats: dict[str, list[float]] = {}
+    names_in_order: list[str] = []
+    for record in spans:
+        name = str(record["name"])
+        if name not in stats:
+            stats[name] = []
+            names_in_order.append(name)
+        stats[name].append(float(record["duration_s"]))
+    lines.append(f"{'span':<28} {'count':>5} {'total_s':>9} {'mean_s':>9}")
+    for name in names_in_order:
+        durations = stats[name]
+        lines.append(
+            f"{name:<28} {len(durations):>5} {sum(durations):>9.3f} "
+            f"{sum(durations) / len(durations):>9.3f}"
+        )
+    digest = _sweep_digest(records)
+    if digest:
+        lines.append("sampler sweeps:")
+        lines.extend(digest)
+    return "\n".join(lines)
+
+
+def render_tree(records: Sequence[Mapping[str, Any]]) -> str:
+    """The ``repro trace tree`` view: the indented span forest."""
+    roots = build_forest(records)
+    if not roots:
+        return "(empty trace)"
+    lines: list[str] = []
+
+    def visit(node: SpanNode, depth: int) -> None:
+        indent = "  " * depth
+        suffix = ""
+        if node.events:
+            suffix += f"  [{len(node.events)} events]"
+        status = node.record.get("status", "ok")
+        if status != "ok":
+            suffix += f"  !{status}"
+        forwarded = "  (forwarded)" if node.record.get("forwarded") else ""
+        lines.append(
+            f"{indent}{node.name:<{max(30 - len(indent), 1)}} "
+            f"{node.duration_s:>9.3f}s{suffix}{forwarded}"
+        )
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    return "\n".join(lines)

@@ -34,17 +34,19 @@ from __future__ import annotations
 
 import concurrent.futures
 import functools
-import logging
 import os
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.errors import ParallelError
+from repro.obs import metrics, trace
+from repro.obs.log import get_logger
 from repro.rng import RngLike, spawn
 
-logger = logging.getLogger("repro.parallel")
+logger = get_logger("repro.parallel")
 
 #: Recognised backend names ("auto" resolves at call time).
 BACKENDS = ("serial", "thread", "process", "auto")
@@ -118,21 +120,69 @@ def run_tasks(
     rngs = spawn(rng, len(payloads))
     backend = config.resolve_backend()
     if backend == "serial" or len(payloads) == 1:
-        return [fn(payload, child) for payload, child in zip(payloads, rngs)]
-    return _run_pooled(fn, payloads, rngs, backend, config)
+        with trace.span("run-tasks", backend="serial", n_tasks=len(payloads)):
+            return [
+                _run_timed(fn, payload, child)
+                for payload, child in zip(payloads, rngs)
+            ]
+    with trace.span("run-tasks", backend=backend, n_tasks=len(payloads)):
+        return _run_pooled(fn, payloads, rngs, backend, config)
 
 
-def _guarded(fn: TaskFn, payload: Any, rng: np.random.Generator) -> tuple:
+def _observe_task(wait_s: float | None, run_s: float) -> None:
+    """Feed one task's wait/run wall-clock into the executor metrics."""
+    registry = metrics.registry
+    if wait_s is not None:
+        registry.histogram("executor.task_wait_seconds").observe(wait_s)
+    registry.histogram("executor.task_run_seconds").observe(run_s)
+
+
+def _run_timed(fn: TaskFn, payload: Any, rng: np.random.Generator) -> Any:
+    """Run one task in the caller, feeding the run-time histogram."""
+    started = time.perf_counter()
+    result = fn(payload, rng)
+    _observe_task(None, time.perf_counter() - started)
+    return result
+
+
+def _guarded(
+    fn: TaskFn,
+    capture_sweep_every: int | None,
+    submitted_unix: float,
+    payload: Any,
+    rng: np.random.Generator,
+) -> tuple:
     """Worker shim: capture task-body exceptions as values.
 
     Anything that escapes *this* function is then, by elimination, an
     infrastructure failure (pickling, broken pool, lost worker) and is
     safe to answer with a serial fallback.
+
+    Alongside the ``("ok"|"err", value)`` outcome it ships a telemetry
+    dict back to the caller: how long the task waited in the pool queue
+    (wall clock since submission — the only clock processes share), how
+    long its body ran, and — when ``capture_sweep_every`` is set (the
+    process backend under an active trace) — the span/event records the
+    task produced, for the parent to :func:`repro.obs.trace.replay`.
+    The thread backend passes ``None``: its workers share the parent's
+    live tracer and emit directly.
     """
+    telemetry: dict[str, Any] = {
+        "wait_s": max(0.0, time.time() - submitted_unix)
+    }
+    started = time.perf_counter()
     try:
-        return ("ok", fn(payload, rng))
+        if capture_sweep_every is not None:
+            with trace.capture(sweep_every=capture_sweep_every) as records:
+                result = fn(payload, rng)
+            telemetry["trace"] = records
+        else:
+            result = fn(payload, rng)
+        telemetry["run_s"] = time.perf_counter() - started
+        return ("ok", result, telemetry)
     except Exception as exc:  # noqa: BLE001 - re-raised in the caller
-        return ("err", exc)
+        telemetry["run_s"] = time.perf_counter() - started
+        return ("err", exc, telemetry)
 
 
 def _run_pooled(
@@ -144,7 +194,12 @@ def _run_pooled(
 ) -> list[Any]:
     """Dispatch to a thread/process pool with serial fallback."""
     outcomes: list[Any] = [_PENDING] * len(payloads)
-    body = functools.partial(_guarded, fn)
+    capture_every = (
+        trace.sweep_interval()
+        if backend == "process" and trace.is_enabled()
+        else None
+    )
+    body = functools.partial(_guarded, fn, capture_every, time.time())
     workers = config.resolve_workers(len(payloads))
     try:
         if backend == "thread":
@@ -190,9 +245,13 @@ def _run_pooled(
     results: list[Any] = []
     for i, outcome in enumerate(outcomes):
         if outcome is _PENDING:
-            results.append(fn(payloads[i], rngs[i]))
+            results.append(_run_timed(fn, payloads[i], rngs[i]))
             continue
-        status, value = outcome
+        status, value, telemetry = outcome
+        _observe_task(telemetry.get("wait_s"), telemetry.get("run_s", 0.0))
+        records = telemetry.get("trace")
+        if records:
+            trace.replay(records)
         if status == "err":
             raise value
         results.append(value)
@@ -205,4 +264,6 @@ def _backend_failure(
     """Log-and-continue or raise, per ``fallback_to_serial``."""
     if not config.fallback_to_serial:
         raise ParallelError(message) from exc
+    metrics.registry.counter("executor.fallback").inc()
+    trace.event("executor.fallback", reason=message)
     logger.warning("%s; falling back to serial execution", message)

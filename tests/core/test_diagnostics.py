@@ -29,6 +29,29 @@ class TestSummarise:
         summary = summarise_trace([(-5.0)] * 20)
         assert summary.plateau_fraction == 1.0
 
+    def test_constant_trace_converges(self):
+        """Regression: a zero-spread trace used to report improved=False
+        (last is not *greater* than first) yet plateau_fraction=1.0, so
+        `converged` said False for a chain that cannot possibly move."""
+        summary = summarise_trace([(-5.0)] * 20)
+        assert not summary.improved
+        assert summary.spread == 0.0
+        assert summary.converged
+
+    def test_near_constant_trace_still_uses_heuristic(self):
+        """A trace with any spread at all goes through the normal
+        improved/plateau/Geweke test — the zero-spread special case must
+        not leak into merely *small* spreads."""
+        trace = [-5.0] * 19 + [-5.5]  # ends worse than it started
+        summary = summarise_trace(trace)
+        assert summary.spread > 0.0
+        assert not summary.converged
+
+    def test_spread_field(self, rng):
+        trace = converged_trace(rng)
+        summary = summarise_trace(trace)
+        assert summary.spread == pytest.approx(trace.max() - trace.min())
+
     def test_short_trace_rejected(self):
         with pytest.raises(ConvergenceError):
             summarise_trace([1.0, 2.0])

@@ -1,0 +1,100 @@
+"""Tests for repro.obs.metrics — the zero-dependency registry."""
+
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ObservabilityError):
+            Counter("hits").inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter("hits")
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("ll")
+        assert g.value is None
+        g.set(-120.5)
+        assert g.value == -120.5
+        g.inc(0.5)
+        assert g.value == -120.0
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram("t", bounds=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.snapshot()["bucket_counts"] == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.mean == pytest.approx(138.875)
+        assert h.snapshot()["min"] == 0.5
+        assert h.snapshot()["max"] == 500.0
+
+    def test_default_buckets_are_log_decades(self):
+        assert DEFAULT_BUCKETS[0] == 1e-9
+        assert DEFAULT_BUCKETS[-1] == 1e9
+        h = Histogram("t")
+        h.observe(0.0025)
+        index = h.snapshot()["bucket_counts"].index(1)
+        assert h.bounds[index] == 0.01  # 0.0025 <= 1e-2, > 1e-3
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("t", bounds=(1.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            Histogram("t", bounds=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.gauge("b") is r.gauge("b")
+        assert r.histogram("c") is r.histogram("c")
+
+    def test_kind_mismatch_rejected(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(ObservabilityError):
+            r.gauge("a")
+
+    def test_snapshot_and_reset(self):
+        r = MetricsRegistry()
+        r.counter("cache.hit").inc(3)
+        snap = r.snapshot()
+        assert snap == {"cache.hit": {"kind": "counter", "value": 3.0}}
+        assert r.names() == ["cache.hit"]
+        r.reset()
+        assert r.snapshot() == {}
+
+    def test_get_unknown_is_none(self):
+        assert MetricsRegistry().get("nope") is None

@@ -1,0 +1,88 @@
+"""Tests for repro.obs.summary — the trace summary/tree views."""
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.summary import build_forest, render_tree, summarise
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    trace.disable()
+    yield
+    trace.disable()
+
+
+def _sample_records():
+    tracer = trace.enable(None)
+    with trace.span("run-pipeline", seed=7):
+        with trace.span("fit-model", kind="stage"):
+            trace.event(
+                "sweep", model="gibbs", sweep=0, log_likelihood=-500.0,
+                tokens_per_sec=1e5, sweep_seconds=0.01,
+            )
+            trace.event(
+                "sweep", model="gibbs", sweep=1, log_likelihood=-420.0,
+                tokens_per_sec=2e5, sweep_seconds=0.005,
+            )
+        with trace.span("build-linker", kind="stage"):
+            pass
+    trace.disable()
+    return list(tracer.records)
+
+
+class TestBuildForest:
+    def test_nesting(self):
+        roots = build_forest(_sample_records())
+        assert [r.name for r in roots] == ["run-pipeline"]
+        children = [c.name for c in roots[0].children]
+        assert children == ["fit-model", "build-linker"]
+        fit = roots[0].children[0]
+        assert len(fit.events) == 2
+
+    def test_orphan_events_get_synthetic_root(self):
+        records = [
+            {"kind": "event", "name": "sweep", "span_id": "gone", "attrs": {}}
+        ]
+        roots = build_forest(records)
+        assert [r.name for r in roots] == ["(unparented events)"]
+        assert len(roots[0].events) == 1
+
+    def test_empty(self):
+        assert build_forest([]) == []
+        assert render_tree([]) == "(empty trace)"
+
+
+class TestSummarise:
+    def test_counts_and_digest(self):
+        text = summarise(_sample_records())
+        assert "3 spans, 2 events" in text
+        assert "run-pipeline" in text
+        assert "fit-model" in text
+        assert "gibbs: 2 sweep events" in text
+        assert "-500.0 -> -420.0" in text
+
+    def test_spanless_trace(self):
+        text = summarise([])
+        assert "0 spans" in text
+
+
+class TestRenderTree:
+    def test_indentation_and_event_counts(self):
+        text = render_tree(_sample_records())
+        lines = text.splitlines()
+        assert lines[0].startswith("run-pipeline")
+        assert lines[1].startswith("  fit-model")
+        assert "[2 events]" in lines[1]
+        assert lines[2].startswith("  build-linker")
+
+    def test_error_and_forwarded_markers(self):
+        tracer = trace.enable(None)
+        with pytest.raises(RuntimeError):
+            with trace.span("explodes"):
+                raise RuntimeError
+        tracer.records[0]["forwarded"] = True
+        trace.disable()
+        text = render_tree(tracer.records)
+        assert "!error" in text
+        assert "(forwarded)" in text

@@ -233,3 +233,102 @@ class TestReport:
         assert "wrote" in out
         assert (tmp_path / "out" / "report.txt").exists()
         assert (tmp_path / "out" / "table2a.csv").exists()
+
+
+class TestTraceCli:
+    ARGS = ["run", "--recipes", "250", "--sweeps", "20", "--seed", "3"]
+
+    def test_run_trace_then_summary_and_tree(self, capsys, tmp_path):
+        from repro.pipeline.experiment import clear_cache
+
+        clear_cache()
+        trace_file = tmp_path / "trace.jsonl"
+        assert main([*self.ARGS, "--trace", str(trace_file)]) == 0
+        captured = capsys.readouterr()
+        assert f"wrote trace to {trace_file}" in captured.err
+        assert trace_file.exists()
+
+        assert main(["trace", "summary", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        for stage in (
+            "synth-corpus", "gel-filter", "build-dataset",
+            "fit-model", "build-linker",
+        ):
+            assert stage in out
+        assert "sweep events" in out
+        assert "run-pipeline" in out
+
+        assert main(["trace", "tree", str(trace_file)]) == 0
+        tree = capsys.readouterr().out
+        assert tree.splitlines()[0].startswith("run-pipeline")
+        assert "  fit-model" in tree
+
+    def test_env_var_enables_tracing(self, capsys, tmp_path, monkeypatch):
+        from repro.pipeline.experiment import clear_cache
+
+        clear_cache()
+        path = tmp_path / "env-trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        assert main(self.ARGS) == 0
+        capsys.readouterr()
+        assert path.exists()
+        assert main(["trace", "summary", str(path)]) == 0
+        assert "fit-model" in capsys.readouterr().out
+
+    def test_trace_summary_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["trace", "summary", str(tmp_path / "none.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_ids_land_in_json_manifest(self, capsys, tmp_path):
+        import json
+
+        from repro.pipeline.experiment import clear_cache
+
+        clear_cache()
+        trace_file = tmp_path / "trace.jsonl"
+        manifest_file = tmp_path / "manifest.json"
+        assert main(
+            [*self.ARGS, "--trace", str(trace_file),
+             "--json", str(manifest_file)]
+        ) == 0
+        capsys.readouterr()
+        manifest = json.loads(manifest_file.read_text())
+        from repro.obs.export import read_trace
+
+        span_ids = {
+            r["span_id"] for r in read_trace(trace_file)
+            if r["kind"] == "span"
+        }
+        assert manifest["span_id"] in span_ids
+        for record in manifest["stages"].values():
+            assert record["span_id"] in span_ids
+
+
+class TestLoggingFlags:
+    def test_verbose_sets_info_level(self, capsys):
+        import logging
+
+        assert main(["-v", "table1"]) == 0
+        capsys.readouterr()
+        assert logging.getLogger("repro").level == logging.INFO
+
+    def test_log_level_flag_wins(self, capsys):
+        import logging
+
+        assert main(["--log-level", "error", "-vv", "table1"]) == 0
+        capsys.readouterr()
+        assert logging.getLogger("repro").level == logging.ERROR
+
+    def test_repeat_invocations_single_handler(self, capsys):
+        import logging
+
+        from repro.obs.log import _MARKER
+
+        assert main(["-v", "table1"]) == 0
+        assert main(["-v", "table1"]) == 0
+        capsys.readouterr()
+        handlers = [
+            h for h in logging.getLogger("repro").handlers
+            if getattr(h, _MARKER, False)
+        ]
+        assert len(handlers) == 1
