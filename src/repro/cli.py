@@ -15,6 +15,10 @@ Commands
 ``cache``
     Inspect (``ls``, ``info``) or garbage-collect (``gc``) an on-disk
     artifact store.
+``serve``
+    Start the texture inference HTTP service over a fitted model from
+    an artifact store (``/v1/texture``, ``/v1/terms/{term}``,
+    ``/healthz``, ``/metricz``; see ``docs/serving.md``).
 ``estimate``
     Estimate the texture of a recipe given as ``ingredient=quantity``
     pairs, e.g. ``python -m repro estimate gelatin=5g water=300ml``.
@@ -163,6 +167,39 @@ def _build_parser() -> argparse.ArgumentParser:
             help="artifact store root (default: $REPRO_CACHE_DIR or "
                  "./.repro-cache)",
         )
+
+    serve = sub.add_parser(
+        "serve", help="start the texture inference HTTP service"
+    )
+    serve.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help="artifact store holding the fitted model (default: "
+             "$REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+    serve.add_argument(
+        "--fingerprint", default=None,
+        help="experiment fingerprint (prefix) of the run to serve "
+             "(default: the most recent run in the store)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321)
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="worker cap for batched fold-in passes (>1 uses the "
+             "thread backend; default: serial in-order batches)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8,
+        help="max concurrent requests folded in per batch",
+    )
+    serve.add_argument(
+        "--batch-wait-ms", type=float, default=2.0,
+        help="how long a batch waits for co-travellers before running",
+    )
+    serve.add_argument(
+        "--fold-in-sweeps", type=int, default=48,
+        help="Gibbs fold-in sweeps per request (burn-in is a third)",
+    )
 
     trace_cmd = sub.add_parser(
         "trace", help="inspect a JSONL trace file"
@@ -360,12 +397,76 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.artifacts.store import ArtifactStore
+    from repro.serve import (
+        FoldInConfig,
+        InferenceEngine,
+        MicroBatcher,
+        ModelBundle,
+        make_server,
+    )
+
+    bundle = ModelBundle.load(
+        ArtifactStore(args.cache_dir), fingerprint=args.fingerprint
+    )
+    sweeps = args.fold_in_sweeps
+    if sweeps < 3:
+        raise ModelError("--fold-in-sweeps must be >= 3")
+    engine = InferenceEngine(
+        bundle, config=FoldInConfig(n_sweeps=sweeps, burn_in=sweeps // 3)
+    )
+    batcher = MicroBatcher(
+        engine,
+        max_batch=args.max_batch,
+        max_wait_s=args.batch_wait_ms / 1000.0,
+        backend="thread" if (args.workers or 1) > 1 else "serial",
+        n_workers=args.workers,
+    )
+    server = make_server(engine, args.host, args.port, batcher=batcher)
+    host, port = server.server_address[0], server.server_address[1]
+    print(
+        f"serving model {bundle.fingerprint} on http://{host}:{port} "
+        f"(max_batch={args.max_batch}, workers={args.workers or 1})",
+        flush=True,
+    )
+    # SIGTERM must unwind like Ctrl-C so the trace file and batcher are
+    # flushed/closed cleanly (CI kills the background server with TERM).
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        batcher.close()
+        print("server stopped", file=sys.stderr)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     import json
+    from pathlib import Path
 
     from repro.artifacts.store import ArtifactStore
     from repro.errors import ArtifactError
 
+    root = Path(args.cache_dir)
+    if (
+        args.cache_command == "ls"
+        and not (root / "objects").is_dir()
+        and not (root / "runs").is_dir()
+    ):
+        # Friendly empty/absent-store path: `repro cache ls` on a fresh
+        # checkout must inform, not raise (regression-tested).
+        print(f"no store at {root}")
+        return 0
     store = ArtifactStore(args.cache_dir)
     if args.cache_command == "ls":
         rows = list(store.iter_artifacts())
@@ -581,6 +682,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "search":

@@ -91,3 +91,11 @@ class ParallelError(ReproError, RuntimeError):
 
 class ObservabilityError(ReproError):
     """The tracing/metrics layer was misused or fed a malformed trace."""
+
+
+class ServeError(ReproError):
+    """The inference service was misconfigured or cannot serve."""
+
+
+class BadRequestError(ServeError, ValueError):
+    """A serving request body was malformed or semantically invalid."""

@@ -1,0 +1,247 @@
+"""The HTTP face of the texture service — stdlib only.
+
+Transport and logic are split so the logic is testable without
+sockets: :class:`ServeApp` maps ``(method, path, body)`` to
+``(status, JSON payload)`` — routing, error mapping, spans, metrics —
+and the :class:`ThreadingHTTPServer` subclass below is a thin byte
+shuffler around it.
+
+Endpoints::
+
+    POST /v1/texture      recipe -> fold-in posterior, terms, rheology
+    GET  /v1/terms/{term} term -> topic/rheology profile
+    GET  /healthz         liveness + model identity
+    GET  /metricz         repro.obs metrics snapshot
+
+Error contract: every :class:`~repro.errors.ReproError` family maps to
+one HTTP status (see :func:`status_of`), and every non-2xx body carries
+the uniform ``{"error": {"type", "message"}}`` envelope.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import unquote
+
+from repro.errors import (
+    ArtifactError,
+    BadRequestError,
+    ReproError,
+    ServeError,
+    UnitConversionError,
+    UnitParseError,
+    UnknownIngredientError,
+    UnknownTermError,
+)
+from repro.obs import metrics, trace
+from repro.obs.log import get_logger
+from repro.serve.batch import MicroBatcher
+from repro.serve.engine import InferenceEngine, validate_request
+from repro.serve.schemas import MAX_BODY_BYTES, SCHEMA_VERSION, error_body
+
+logger = get_logger("repro.serve")
+
+#: Routes the service knows, for 404-vs-405 discrimination.
+_ROUTES = {
+    "/healthz": ("GET",),
+    "/metricz": ("GET",),
+    "/v1/texture": ("POST",),
+}
+_TERMS_PREFIX = "/v1/terms/"
+
+
+def status_of(exc: ReproError) -> int:
+    """The HTTP status one ``repro`` error family maps to.
+
+    * malformed bodies / bad quantities / unknown ingredients → 400
+    * unknown texture terms → 404
+    * store/bundle unavailability → 503
+    * anything else from the library → 500
+    """
+    if isinstance(
+        exc,
+        (
+            BadRequestError,
+            UnitParseError,
+            UnitConversionError,
+            UnknownIngredientError,
+        ),
+    ):
+        return 400
+    if isinstance(exc, UnknownTermError):
+        return 404
+    if isinstance(exc, (ServeError, ArtifactError)):
+        return 503
+    return 500
+
+
+class ServeApp:
+    """Transport-free request handling over one warm engine."""
+
+    def __init__(
+        self, engine: InferenceEngine, batcher: MicroBatcher | None = None
+    ) -> None:
+        self.engine = engine
+        self.batcher = batcher
+        self.started_unix = time.time()
+
+    # -- entry point ---------------------------------------------------------
+
+    def handle(
+        self, method: str, path: str, body: bytes = b""
+    ) -> tuple[int, dict[str, Any]]:
+        """Route one request; never raises for request-level failures."""
+        path = path.split("?", 1)[0]
+        started = time.perf_counter()
+        with trace.span("serve.request", method=method, path=path) as span:
+            try:
+                status, payload = self._route(method, path, body)
+            except ReproError as exc:
+                status = status_of(exc)
+                # str() on KeyError-derived errors repr-quotes the
+                # message; read args[0] directly for a clean envelope.
+                message = str(exc.args[0]) if exc.args else str(exc)
+                payload = error_body(type(exc).__name__, message)
+                metrics.registry.counter("serve.errors").inc()
+                span.set(error_type=type(exc).__name__)
+            span.set(status=status)
+        elapsed = time.perf_counter() - started
+        metrics.registry.counter("serve.requests").inc()
+        metrics.registry.histogram("serve.latency_seconds").observe(elapsed)
+        return status, payload
+
+    # -- routing -------------------------------------------------------------
+
+    def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        if path in _ROUTES:
+            if method not in _ROUTES[path]:
+                return 405, error_body(
+                    "MethodNotAllowed", f"{path} accepts {_ROUTES[path]}"
+                )
+            if path == "/healthz":
+                return 200, self._health()
+            if path == "/metricz":
+                return 200, self._metricz()
+            return 200, self._texture(body)
+        if path.startswith(_TERMS_PREFIX):
+            if method != "GET":
+                return 405, error_body(
+                    "MethodNotAllowed", f"{_TERMS_PREFIX}{{term}} accepts GET"
+                )
+            surface = unquote(path[len(_TERMS_PREFIX):])
+            if not surface or "/" in surface:
+                raise BadRequestError(
+                    "term path must be /v1/terms/{surface}"
+                )
+            return 200, self.engine.term_profile(surface).to_dict()
+        return 404, error_body("NotFound", f"no route {method} {path}")
+
+    # -- handlers ------------------------------------------------------------
+
+    def _texture(self, body: bytes) -> dict[str, Any]:
+        request = validate_request(body)
+        if self.batcher is not None:
+            response = self.batcher.infer(request)
+        else:
+            response = self.engine.infer(request)
+        return response.to_dict()
+
+    def _health(self) -> dict[str, Any]:
+        from repro import __version__
+
+        batching: dict[str, Any] | None = None
+        if self.batcher is not None:
+            batching = {
+                "max_batch": self.batcher.max_batch,
+                "max_wait_s": self.batcher.max_wait_s,
+                "closed": self.batcher.closed,
+            }
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "status": "ok",
+            "version": __version__,
+            "model": self.engine.health(),
+            "batching": batching,
+            "uptime_seconds": time.time() - self.started_unix,
+        }
+
+    def _metricz(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "metrics": metrics.registry.snapshot(),
+            "uptime_seconds": time.time() - self.started_unix,
+        }
+
+
+class TextureServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ServeApp`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], app: ServeApp) -> None:
+        super().__init__(address, _Handler)
+        self.app = app
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def _app(self) -> ServeApp:
+        server = self.server
+        assert isinstance(server, TextureServer)
+        return server.app
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if not 0 <= length <= MAX_BODY_BYTES:
+            status, payload = 400, error_body(
+                "BadRequestError",
+                f"Content-Length must be an integer in [0, {MAX_BODY_BYTES}]",
+            )
+        else:
+            body = self.rfile.read(length) if length else b""
+            status, payload = self._app.handle(method, self.path, body)
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        logger.debug("%s %s", self.address_string(), format % args)
+
+
+def make_server(
+    engine: InferenceEngine,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    batcher: MicroBatcher | None = None,
+) -> TextureServer:
+    """Build (but do not start) a server; ``port=0`` picks a free port."""
+    return TextureServer((host, port), ServeApp(engine, batcher=batcher))
+
+
+def run_server(server: TextureServer) -> threading.Thread:
+    """Serve forever on a daemon thread; returns the thread (tests/bench)."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="serve-http", daemon=True
+    )
+    thread.start()
+    return thread

@@ -1,0 +1,100 @@
+"""Golden contract test for ``POST /v1/texture``.
+
+Pins the exact wire schema — field names, nesting, types and the
+confidence enum — so renaming a response field is an intentional,
+visible break (clients parse these keys verbatim).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import CONFIDENCE_VALUES, SCHEMA_VERSION, ServeApp
+
+GOLDEN_BODY = json.dumps(
+    {
+        "ingredients": [
+            {"name": "gelatin", "quantity": "10 g"},
+            {"name": "water", "quantity": "200 ml"},
+        ],
+        "description": "chilled and set until firm",
+        "top_terms": 3,
+    }
+).encode("utf-8")
+
+#: The pinned response surface: every key and its wire type.
+GOLDEN_KEYS = {
+    "schema_version": int,
+    "status": str,
+    "confidence": float,
+    "topic": int,
+    "topic_distribution": list,
+    "predicted_terms": list,
+    "rheology": (dict, type(None)),
+    "linked_settings": list,
+    "model_fingerprint": str,
+    "seed": int,
+}
+
+GOLDEN_ERROR_KEYS = {"schema_version", "error"}
+
+
+@pytest.fixture(scope="module")
+def response(engine):
+    status, payload = ServeApp(engine).handle(
+        "POST", "/v1/texture", GOLDEN_BODY
+    )
+    assert status == 200
+    # The payload must survive a JSON round-trip unchanged (pure wire
+    # types, no numpy scalars or tuples leaking through).
+    return json.loads(json.dumps(payload))
+
+
+class TestTextureContract:
+    def test_exact_key_set(self, response):
+        assert set(response) == set(GOLDEN_KEYS)
+
+    def test_value_types(self, response):
+        for key, expected in GOLDEN_KEYS.items():
+            assert isinstance(response[key], expected), key
+
+    def test_schema_version(self, response):
+        assert response["schema_version"] == SCHEMA_VERSION == 1
+
+    def test_confidence_enum(self, response):
+        assert CONFIDENCE_VALUES == ("ok", "review")
+        assert response["status"] in CONFIDENCE_VALUES
+        assert 0.0 <= response["confidence"] <= 1.0
+
+    def test_predicted_terms_shape(self, response):
+        assert len(response["predicted_terms"]) == 3
+        for term in response["predicted_terms"]:
+            assert set(term) == {"surface", "probability"}
+            assert isinstance(term["surface"], str)
+            assert isinstance(term["probability"], float)
+
+    def test_rheology_shape(self, response):
+        rheology = response["rheology"]
+        if rheology is not None:
+            assert set(rheology) == {
+                "hardness", "cohesiveness", "adhesiveness"
+            }
+            assert all(
+                isinstance(v, float) for v in rheology.values()
+            )
+
+    def test_topic_distribution_shape(self, response):
+        distribution = response["topic_distribution"]
+        assert all(isinstance(p, float) for p in distribution)
+        assert sum(distribution) == pytest.approx(1.0)
+        assert 0 <= response["topic"] < len(distribution)
+
+    def test_error_envelope_contract(self, engine):
+        status, payload = ServeApp(engine).handle(
+            "POST", "/v1/texture", b"{nope"
+        )
+        assert status == 400
+        assert set(payload) == GOLDEN_ERROR_KEYS
+        assert set(payload["error"]) == {"type", "message"}

@@ -1,0 +1,191 @@
+"""Tests for repro.serve.engine: fold-in, determinism, bundle loading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.artifacts.store import ArtifactStore
+from repro.errors import BadRequestError, ServeError, UnknownTermError
+from repro.serve import (
+    FoldInConfig,
+    InferenceEngine,
+    ModelBundle,
+    request_seed,
+)
+from repro.serve.engine import validate_request
+from repro.serve.schemas import TextureRequest
+
+GELATIN = TextureRequest(
+    ingredients=(("gelatin", "10 g"), ("water", "200 ml")),
+    description="chilled and set until firm",
+)
+KANTEN = TextureRequest(
+    ingredients=(("kanten", "4 g"), ("water", "300 ml")),
+    description="boiled then cooled into a crisp jelly",
+)
+
+
+class TestRequestSeed:
+    def test_identical_content_identical_seed(self):
+        assert request_seed(7, GELATIN.canonical()) == request_seed(
+            7, GELATIN.canonical()
+        )
+
+    def test_distinct_content_distinct_seed(self):
+        assert request_seed(7, GELATIN.canonical()) != request_seed(
+            7, KANTEN.canonical()
+        )
+
+    def test_base_seed_separates_streams(self):
+        assert request_seed(1, GELATIN.canonical()) != request_seed(
+            2, GELATIN.canonical()
+        )
+
+    def test_top_terms_does_not_change_the_seed(self):
+        """Presentation knobs must not change the posterior's stream."""
+        more = TextureRequest(
+            ingredients=GELATIN.ingredients,
+            description=GELATIN.description,
+            top_terms=20,
+        )
+        assert GELATIN.canonical() == more.canonical()
+
+
+class TestFoldInConfig:
+    def test_rejects_burn_in_at_or_past_sweeps(self):
+        with pytest.raises(ServeError):
+            FoldInConfig(n_sweeps=8, burn_in=8)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ServeError):
+            FoldInConfig(ok_threshold=0.0)
+
+
+class TestInfer:
+    def test_posterior_is_a_distribution(self, engine):
+        response = engine.infer(GELATIN)
+        posterior = np.array(response.topic_distribution)
+        assert posterior.shape == (engine.n_topics,)
+        assert np.all(posterior >= 0)
+        assert posterior.sum() == pytest.approx(1.0)
+
+    def test_repeat_requests_bit_identical(self, engine):
+        first = engine.infer(GELATIN)
+        second = engine.infer(GELATIN)
+        assert first == second
+        assert first.topic_distribution == second.topic_distribution
+
+    def test_confidence_is_winning_topic_mass(self, engine):
+        response = engine.infer(GELATIN)
+        posterior = response.topic_distribution
+        assert response.confidence == posterior[response.topic]
+        assert response.confidence == max(posterior)
+
+    def test_status_follows_threshold(self, bundle):
+        eager = InferenceEngine(
+            bundle, FoldInConfig(n_sweeps=12, burn_in=4, ok_threshold=1e-6)
+        )
+        assert eager.infer(GELATIN).status == "ok"
+        strict = InferenceEngine(
+            bundle, FoldInConfig(n_sweeps=12, burn_in=4, ok_threshold=1.0)
+        )
+        assert strict.infer(GELATIN).status == "review"
+
+    def test_distinct_gels_distinct_posteriors(self, engine):
+        gelatin = engine.infer(GELATIN)
+        kanten = engine.infer(KANTEN)
+        assert gelatin.topic_distribution != kanten.topic_distribution
+
+    def test_explicit_terms_shift_the_answer(self, engine):
+        surface = engine.vocabulary[0]
+        with_term = TextureRequest(
+            ingredients=GELATIN.ingredients,
+            description=GELATIN.description,
+            terms=(surface,),
+        )
+        assert engine.infer(with_term) != engine.infer(GELATIN)
+
+    def test_unknown_explicit_term_raises(self, engine):
+        bad = TextureRequest(
+            ingredients=GELATIN.ingredients, terms=("zzz-not-a-term",)
+        )
+        with pytest.raises(UnknownTermError):
+            engine.infer(bad)
+
+    def test_predicted_terms_respect_top_terms(self, engine):
+        trimmed = TextureRequest(
+            ingredients=GELATIN.ingredients,
+            description=GELATIN.description,
+            top_terms=3,
+        )
+        assert len(engine.infer(trimmed).predicted_terms) == 3
+
+    def test_response_carries_model_fingerprint(self, engine, bundle):
+        assert engine.infer(GELATIN).model_fingerprint == bundle.fingerprint
+
+
+class TestTermProfile:
+    def test_known_term(self, engine):
+        surface = engine.vocabulary[0]
+        profile = engine.term_profile(surface)
+        assert profile.surface == surface
+        assert len(profile.topic_affinity) == engine.n_topics
+        assert sum(profile.topic_affinity) == pytest.approx(1.0)
+        assert 0 <= profile.best_topic < engine.n_topics
+
+    def test_unknown_term_raises(self, engine):
+        with pytest.raises(UnknownTermError):
+            engine.term_profile("zzz-not-a-term")
+
+
+class TestValidateRequest:
+    def test_empty_ingredients_rejected(self):
+        with pytest.raises(BadRequestError):
+            validate_request(b'{"ingredients": []}')
+
+    def test_parses_mapping_form(self):
+        request = validate_request(
+            b'{"ingredients": {"gelatin": "10 g"}, "description": "x"}'
+        )
+        assert request.ingredients == (("gelatin", "10 g"),)
+
+
+class TestModelBundle:
+    def test_load_matches_in_process_result(self, tmp_path, engine):
+        """A bundle loaded back from disk answers bit-identically."""
+        from repro.pipeline.experiment import quick_config, run_experiment
+
+        run_experiment(
+            quick_config(250, 20, seed=3), cache_dir=str(tmp_path)
+        )
+        loaded = ModelBundle.load(ArtifactStore(str(tmp_path)))
+        disk_engine = InferenceEngine(
+            loaded, FoldInConfig(n_sweeps=12, burn_in=4)
+        )
+        mine = engine.infer(GELATIN)
+        theirs = disk_engine.infer(GELATIN)
+        assert mine.topic_distribution == theirs.topic_distribution
+        assert mine.topic == theirs.topic
+        assert loaded.stage_fingerprints.keys() == {
+            "build-dataset", "fit-model", "build-linker"
+        }
+
+    def test_load_empty_store_raises(self, tmp_path):
+        with pytest.raises(ServeError, match="no fitted runs"):
+            ModelBundle.load(ArtifactStore(str(tmp_path / "void")))
+
+    def test_load_unknown_fingerprint_raises(self, tmp_path):
+        with pytest.raises(ServeError, match="no run matching"):
+            ModelBundle.load(
+                ArtifactStore(str(tmp_path / "void")), fingerprint="beef"
+            )
+
+    def test_unfitted_model_rejected(self, bundle):
+        from dataclasses import replace
+
+        class Unfitted:
+            phi_ = None
+
+        with pytest.raises(ServeError, match="not fitted"):
+            InferenceEngine(replace(bundle, model=Unfitted()))

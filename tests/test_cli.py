@@ -174,8 +174,16 @@ class TestCache:
         assert "5 artifacts, 1 run manifests" in out
 
     def test_ls_empty_store(self, capsys, tmp_path):
-        assert main(["cache", "ls", "--cache-dir", str(tmp_path / "nil")]) == 0
-        assert "no artifacts" in capsys.readouterr().out
+        """`cache ls` on an absent store is a friendly no-op, exit 0."""
+        missing = str(tmp_path / "nil")
+        assert main(["cache", "ls", "--cache-dir", missing]) == 0
+        assert f"no store at {missing}" in capsys.readouterr().out
+
+    def test_ls_empty_directory_is_not_a_store(self, capsys, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["cache", "ls", "--cache-dir", str(empty)]) == 0
+        assert f"no store at {empty}" in capsys.readouterr().out
 
     def test_info_redacts_rng_state(self, capsys, tmp_path):
         cache = self._populate(tmp_path)
@@ -332,3 +340,23 @@ class TestLoggingFlags:
             if getattr(h, _MARKER, False)
         ]
         assert len(handlers) == 1
+
+
+class TestServeCli:
+    def test_empty_store_exits_2(self, capsys, tmp_path):
+        code = main(["serve", "--cache-dir", str(tmp_path / "void")])
+        assert code == 2
+        assert "no fitted runs" in capsys.readouterr().err
+
+    def test_too_few_sweeps_rejected(self, capsys, tmp_path):
+        cache = str(tmp_path / "store")
+        assert main(
+            ["run", "--recipes", "250", "--sweeps", "20", "--seed", "3",
+             "--cache-dir", cache]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["serve", "--cache-dir", cache, "--fold-in-sweeps", "2"]
+        )
+        assert code == 2
+        assert "fold-in-sweeps" in capsys.readouterr().err
