@@ -21,6 +21,8 @@ from benchmarks.common import shared_result
 from repro.pipeline.reporting import format_table
 from repro.synth.reviews import ReviewGenerator
 
+from repro.rng import ensure_rng
+
 
 def _mean_log_prob(result, pairs) -> float:
     theta = np.asarray(result.model.theta_)
@@ -54,7 +56,7 @@ def test_consumer_reports_predicted_by_topics(benchmark):
             for review in reviews
             for surface in review.mentioned_terms
         ]
-        rng = np.random.default_rng(3)
+        rng = ensure_rng(3)
         permuted_targets = rng.permutation(len(pairs))
         shuffled = [
             (pairs[int(permuted_targets[i])][0], pairs[i][1])

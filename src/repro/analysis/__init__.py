@@ -10,17 +10,33 @@ parallel tasks are picklable with explicit RNG streams (PAR001). This
 package enforces those invariants mechanically, so refactors in future
 perf/scale PRs cannot silently erode them.
 
+On top of the per-file rules sits a small data-flow engine
+(:mod:`repro.analysis.graph`): a module import graph, a per-function
+call graph and a class attribute-access index feed the project-wide
+rules — THR001 (lock discipline in concurrent classes), DET001
+(fingerprint purity: no wall-clock/entropy/env/set-order on paths
+reachable from ``Stage.compute``), OBS001 (span/metric names must be
+registered in :mod:`repro.obs.names`) and EXC002 (every error family
+mapped in ``status_of``; serve error returns use the uniform
+envelope).
+
 Usage::
 
-    python -m repro.analysis [paths...] [--format json]
-    repro lint [paths...]
+    python -m repro.analysis [paths...] [--format json|sarif]
+    repro lint [paths...] [--check-ratchet]
 
 Findings can be silenced per line with ``# repro: noqa[RULE]`` (plus a
 written reason), or accepted wholesale in ``analysis-baseline.json`` so
 only *new* violations fail CI. See ``docs/static-analysis.md``.
 """
 
-from repro.analysis.baseline import Baseline, fingerprint, fingerprint_all
+from repro.analysis.baseline import (
+    Baseline,
+    RatchetReport,
+    check_ratchet,
+    fingerprint,
+    fingerprint_all,
+)
 from repro.analysis.core import (
     FileContext,
     ImportTable,
@@ -28,6 +44,7 @@ from repro.analysis.core import (
     SuppressionIndex,
     Violation,
 )
+from repro.analysis.graph import ProjectContext
 from repro.analysis.rules import RULE_CLASSES, default_rules, rules_by_code
 from repro.analysis.runner import (
     RunResult,
@@ -36,22 +53,27 @@ from repro.analysis.runner import (
     render_json,
     render_text,
 )
+from repro.analysis.sarif import render_sarif
 
 __all__ = [
     "Baseline",
     "FileContext",
     "ImportTable",
+    "ProjectContext",
     "RULE_CLASSES",
+    "RatchetReport",
     "Rule",
     "RunResult",
     "SuppressionIndex",
     "Violation",
     "analyze_paths",
+    "check_ratchet",
     "default_rules",
     "discover",
     "fingerprint",
     "fingerprint_all",
     "render_json",
+    "render_sarif",
     "render_text",
     "rules_by_code",
 ]

@@ -5,6 +5,12 @@ says, not *where* it currently sits — ``sha256(rule | path |
 stripped-line-text | duplicate-index)`` — so unrelated edits that shift
 line numbers do not invalidate the baseline, while editing the flagged
 line itself (or adding a second identical offence) surfaces as new.
+
+The baseline is also a **ratchet**: it may only shrink. Regenerating a
+*larger* baseline requires an explicit ``--triage`` note (recorded in
+the file), and :func:`check_ratchet` — ``repro lint --check-ratchet``
+in CI — fails on new findings *and* on stale entries whose debt was
+paid but never removed, forcing the shrink to be committed.
 """
 
 from __future__ import annotations
@@ -54,6 +60,8 @@ class Baseline:
 
     fingerprints: frozenset[str]
     entries: tuple[dict[str, object], ...] = ()
+    #: justification recorded when a regeneration *grew* the baseline.
+    triage: str | None = None
 
     def __contains__(self, fp: str) -> bool:
         return fp in self.fingerprints
@@ -71,7 +79,9 @@ class Baseline:
         return cls(fingerprints=frozenset())
 
     @classmethod
-    def from_violations(cls, violations: Sequence[Violation]) -> "Baseline":
+    def from_violations(
+        cls, violations: Sequence[Violation], triage: str | None = None
+    ) -> "Baseline":
         ordered = sorted(violations, key=Violation.sort_key)
         fps = fingerprint_all(ordered)
         entries = tuple(
@@ -84,7 +94,7 @@ class Baseline:
             }
             for v, fp in zip(ordered, fps)
         )
-        return cls(fingerprints=frozenset(fps), entries=entries)
+        return cls(fingerprints=frozenset(fps), entries=entries, triage=triage)
 
     @classmethod
     def load(cls, path: Path) -> "Baseline":
@@ -95,23 +105,89 @@ class Baseline:
                 f"(expected version {BASELINE_VERSION})"
             )
         entries = tuple(data.get("entries", ()))
+        count = data.get("count")
+        if count is not None and count != len(entries):
+            raise ValueError(
+                f"baseline {path} is corrupt: count says {count} but "
+                f"{len(entries)} entries present (hand-edited?)"
+            )
         fps = frozenset(str(e["fingerprint"]) for e in entries)
-        return cls(fingerprints=fps, entries=entries)
+        triage = data.get("triage")
+        return cls(
+            fingerprints=fps,
+            entries=entries,
+            triage=str(triage) if triage is not None else None,
+        )
 
     def save(self, path: Path) -> None:
-        payload = {
+        payload: dict[str, object] = {
             "version": BASELINE_VERSION,
             "comment": (
                 "Accepted pre-existing findings of `python -m repro.analysis`. "
                 "Regenerate with --write-baseline after deliberate triage; "
-                "never hand-edit fingerprints."
+                "never hand-edit fingerprints. The baseline is a ratchet: "
+                "growing it requires --triage with a written reason."
             ),
-            "entries": list(self.entries),
+            "count": len(self.entries),
         }
+        if self.triage is not None:
+            payload["triage"] = self.triage
+        payload["entries"] = list(self.entries)
         Path(path).write_text(
             json.dumps(payload, indent=2, sort_keys=False) + "\n",
             encoding="utf-8",
         )
+
+
+@dataclass(frozen=True)
+class RatchetReport:
+    """What ``--check-ratchet`` found: the ways a baseline can go bad."""
+
+    #: findings not covered by the baseline (debt tried to grow).
+    new_violations: tuple[Violation, ...]
+    #: baseline entries matching no current finding (debt was paid but
+    #: the baseline was never shrunk — regenerate it).
+    stale_entries: tuple[dict[str, object], ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.new_violations and not self.stale_entries
+
+    def lines(self) -> list[str]:
+        """Human-readable report naming every offending entry."""
+        out: list[str] = []
+        for v in self.new_violations:
+            out.append(f"ratchet: NEW finding not in baseline: {v.format()}")
+        for entry in self.stale_entries:
+            out.append(
+                "ratchet: STALE baseline entry (debt already paid): "
+                f"{entry.get('rule')} {entry.get('path')} "
+                f"{str(entry.get('snippet', ''))!r} — regenerate the "
+                "baseline so it shrinks"
+            )
+        if not out:
+            out.append("ratchet ok: no new findings, no stale entries")
+        return out
+
+
+def check_ratchet(
+    violations: Sequence[Violation], baseline: Baseline
+) -> RatchetReport:
+    """Compare the current findings against the committed baseline.
+
+    The baseline may only shrink: any finding outside it is a failure,
+    and so is any baselined fingerprint that no longer matches a real
+    finding (the fix landed; commit the smaller baseline with it).
+    """
+    ordered = sorted(violations, key=Violation.sort_key)
+    current = set(fingerprint_all(ordered))
+    new = tuple(baseline.filter_new(ordered))
+    stale = tuple(
+        entry
+        for entry in baseline.entries
+        if str(entry.get("fingerprint")) not in current
+    )
+    return RatchetReport(new_violations=new, stale_entries=stale)
 
 
 def merge(baselines: Iterable[Baseline]) -> Baseline:

@@ -1,7 +1,9 @@
 """Command-line front end: ``python -m repro.analysis`` / ``repro lint``.
 
-Exit codes: 0 — clean (or every finding baselined); 1 — new findings;
-2 — usage or configuration error (missing paths, unreadable baseline).
+Exit codes: 0 — clean (or every finding baselined); 1 — new findings
+(or, under ``--check-ratchet``, a baseline that must shrink); 2 — usage
+or configuration error (missing paths, unreadable baseline, a
+``--write-baseline`` that would grow the ratchet without ``--triage``).
 """
 
 from __future__ import annotations
@@ -11,7 +13,11 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    check_ratchet,
+)
 from repro.analysis.rules import rules_by_code
 from repro.analysis.runner import (
     analyze_paths,
@@ -19,6 +25,7 @@ from repro.analysis.runner import (
     render_json,
     render_text,
 )
+from repro.analysis.sarif import render_sarif
 
 #: Scanned when no paths are given and they exist under the cwd.
 DEFAULT_PATHS = ("src/repro", "tests", "benchmarks")
@@ -34,9 +41,9 @@ def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text); sarif emits SARIF 2.1.0",
     )
     parser.add_argument(
         "--baseline",
@@ -76,6 +83,31 @@ def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
         action="store_true",
         help="print every registered rule and exit",
     )
+    parser.add_argument(
+        "--check-ratchet",
+        action="store_true",
+        help=(
+            "fail (exit 1) if the committed baseline must change: new "
+            "findings outside it, or stale entries whose debt was paid"
+        ),
+    )
+    parser.add_argument(
+        "--triage",
+        metavar="NOTE",
+        default=None,
+        help=(
+            "justification required for a --write-baseline that grows "
+            "the baseline; recorded in the file"
+        ),
+    )
+    parser.add_argument(
+        "--dump-obs-names",
+        action="store_true",
+        help=(
+            "scan for literal span/event/metric names and print "
+            "registry sets for repro.obs.names, then exit"
+        ),
+    )
     return parser
 
 
@@ -86,7 +118,8 @@ def build_parser() -> argparse.ArgumentParser:
             description=(
                 "Project-specific static analysis: RNG discipline, guarded "
                 "linear algebra, log clamping, exception discipline, "
-                "parallel task shape."
+                "parallel task shape, lock discipline, fingerprint purity, "
+                "observability-name registry, error-envelope completeness."
             ),
         )
     )
@@ -117,6 +150,30 @@ def _resolve_baseline(args: argparse.Namespace) -> tuple[Baseline | None, Path]:
     return None, path
 
 
+def _dump_obs_names(paths: Sequence[Path]) -> int:
+    """Scan ``paths`` and print ready-to-paste registry sets."""
+    from repro.analysis.core import FileContext
+    from repro.analysis.rules.obs import scan_names
+    from repro.analysis.runner import discover
+
+    found: dict[str, set[str]] = {"span": set(), "event": set(), "metric": set()}
+    for path in discover(paths):
+        try:
+            ctx = FileContext.parse(path)
+        except SyntaxError:
+            continue
+        for kind, name, _ in scan_names(ctx):
+            found[kind].add(name)
+    for kind, label in (("span", "SPANS"), ("event", "EVENTS"), ("metric", "METRICS")):
+        print(f"{label}: frozenset[str] = frozenset(")
+        print("    {")
+        for name in sorted(found[kind]):
+            print(f"        {name!r},")
+        print("    }")
+        print(")")
+    return 0
+
+
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute an analyser invocation from parsed arguments."""
     if args.list_rules:
@@ -131,9 +188,17 @@ def run_from_args(args: argparse.Namespace) -> int:
         )
         paths = _resolve_paths(args)
         baseline, baseline_path = _resolve_baseline(args)
+        if args.check_ratchet and baseline is None:
+            raise FileNotFoundError(
+                "--check-ratchet needs a committed baseline "
+                f"(none at {baseline_path})"
+            )
     except (FileNotFoundError, ValueError) as exc:
         print(f"repro.analysis: {exc}", file=sys.stderr)
         return 2
+
+    if args.dump_obs_names:
+        return _dump_obs_names(paths)
 
     try:
         result = analyze_paths(paths, rules=rules, baseline=baseline)
@@ -141,8 +206,34 @@ def run_from_args(args: argparse.Namespace) -> int:
         print(f"repro.analysis: {exc}", file=sys.stderr)
         return 2
 
+    if args.check_ratchet:
+        assert baseline is not None  # guarded above
+        report = check_ratchet(result.violations, baseline)
+        for line in report.lines():
+            print(line)
+        return 0 if report.ok else 1
+
     if args.write_baseline:
-        Baseline.from_violations(result.violations).save(baseline_path)
+        # The ratchet: regenerating a *larger* baseline is refused
+        # unless the growth comes with a written triage note.
+        previous = Baseline.load(baseline_path) if baseline_path.exists() else None
+        if (
+            previous is not None
+            and len(result.violations) > len(previous.entries)
+            and not args.triage
+        ):
+            print(
+                "repro.analysis: baseline would grow from "
+                f"{len(previous.entries)} to {len(result.violations)} "
+                "entries; the baseline is a ratchet and may only shrink. "
+                "Fix the new findings, or pass --triage 'reason' to "
+                "accept them deliberately.",
+                file=sys.stderr,
+            )
+            return 2
+        Baseline.from_violations(result.violations, triage=args.triage).save(
+            baseline_path
+        )
         print(
             f"wrote {len(result.violations)} finding(s) to {baseline_path}; "
             "they are now accepted debt"
@@ -151,6 +242,8 @@ def run_from_args(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result, rules=rules))
     else:
         print(render_text(result, show_baselined=args.show_baselined))
     return 1 if result.failed else 0

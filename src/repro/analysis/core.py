@@ -12,9 +12,14 @@ module (one :class:`FileContext` per file) and yields
 * :func:`parent_map` lets rules look outward from a node (e.g. "is this
   ``np.log`` wrapped in an ``np.where`` guard?").
 
-Rules are deliberately syntactic and local: no type inference, no
-cross-file data flow. False positives are expected and cheap — that is
-what the suppression comment and the committed baseline are for.
+Rules come in two shapes. Per-file rules stay deliberately syntactic
+and local: no type inference, one :class:`FileContext` at a time.
+Project-wide rules (``project_wide = True``) instead receive a
+:class:`~repro.analysis.graph.ProjectContext` — a whole-program model
+(module import graph, per-function call graph, class attribute-access
+index) built once per run — and implement :meth:`Rule.check_project`.
+False positives are expected and cheap either way — that is what the
+suppression comment and the committed baseline are for.
 """
 
 from __future__ import annotations
@@ -23,7 +28,10 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import ClassVar, Iterator
+from typing import TYPE_CHECKING, ClassVar, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.graph import ProjectContext
 
 #: Recognised severities, most severe first.
 SEVERITIES = ("error", "warning")
@@ -150,6 +158,7 @@ class FileContext:
     suppressions: SuppressionIndex = field(init=False)
     imports: ImportTable = field(init=False)
     _parents: dict[ast.AST, ast.AST] | None = field(default=None, repr=False)
+    _stmt_starts: dict[int, int] | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not self.lines:
@@ -170,6 +179,29 @@ class FileContext:
         if self._parents is None:
             self._parents = parent_map(self.tree)
         return self._parents
+
+    def statement_start(self, lineno: int) -> int:
+        """First line of the innermost statement covering ``lineno``.
+
+        A ``# repro: noqa[...]`` written on the opening line of a
+        multi-line call/def must silence findings reported on any of its
+        continuation lines, so suppressions are checked against this
+        anchor as well as the literal finding line.
+        """
+        if self._stmt_starts is None:
+            starts: dict[int, int] = {}
+            for node in ast.walk(self.tree):
+                if not isinstance(node, ast.stmt):
+                    continue
+                end = getattr(node, "end_lineno", None) or node.lineno
+                for covered in range(node.lineno, end + 1):
+                    prev = starts.get(covered)
+                    # Innermost statement wins: the deepest statement
+                    # covering a line starts latest.
+                    if prev is None or node.lineno > prev:
+                        starts[covered] = node.lineno
+            self._stmt_starts = starts
+        return self._stmt_starts.get(lineno, lineno)
 
     def line_text(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
@@ -213,6 +245,10 @@ class Rule:
     #: posix path suffixes where the rule is structurally exempt (the
     #: module that *implements* the guarded behaviour).
     exempt_suffixes: ClassVar[tuple[str, ...]] = ()
+    #: project-wide rules run once over the whole-program
+    #: :class:`~repro.analysis.graph.ProjectContext` instead of once
+    #: per file; they implement :meth:`check_project`.
+    project_wide: ClassVar[bool] = False
 
     def __init_subclass__(cls, **kwargs: object) -> None:
         super().__init_subclass__(**kwargs)
@@ -227,12 +263,35 @@ class Rule:
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         raise NotImplementedError
 
+    def check_project(self, project: "ProjectContext") -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def suppressed(self, ctx: FileContext, violation: Violation) -> bool:
+        """Suppression lookup at the finding line *and* its statement
+        start, so a noqa on the first line of a multi-line statement
+        covers continuation-line findings."""
+        if ctx.suppressions.is_suppressed(violation.rule, violation.line):
+            return True
+        anchor = ctx.statement_start(violation.line)
+        return anchor != violation.line and ctx.suppressions.is_suppressed(
+            violation.rule, anchor
+        )
+
     def run(self, ctx: FileContext) -> Iterator[Violation]:
         """:meth:`check` filtered through per-line suppressions."""
         if not self.applies_to(ctx):
             return
         for violation in self.check(ctx):
-            if ctx.suppressions.is_suppressed(violation.rule, violation.line):
+            if self.suppressed(ctx, violation):
+                continue
+            yield violation
+
+    def run_project(self, project: "ProjectContext") -> Iterator[Violation]:
+        """:meth:`check_project` filtered through suppressions in the
+        file each finding points at."""
+        for violation in self.check_project(project):
+            ctx = project.context_for(violation.path)
+            if ctx is not None and self.suppressed(ctx, violation):
                 continue
             yield violation
 

@@ -1,0 +1,588 @@
+"""Whole-program model for project-wide analysis rules.
+
+:class:`ProjectContext` turns the per-file :class:`FileContext` pile
+into three cross-file indices the data-flow rules plug into:
+
+* a **module import graph** (which ``repro.*`` modules import which),
+* a **per-function call graph** keyed by qualified name
+  (``repro.serve.batch:MicroBatcher.submit``), with edges resolved
+  through each file's :class:`~repro.analysis.core.ImportTable` and a
+  class-hierarchy-style name-match fallback for ``expr.method()`` calls
+  whose receiver type is unknown,
+* a **class attribute-access index** recording, for every ``self.attr``
+  read/write in every method, whether it happened under a
+  ``with self._lock:`` block — the substrate for THR001's
+  lock-discipline inference.
+
+Resolution is deliberately conservative-but-syntactic: no type
+inference. Unresolvable receivers fall back to matching every project
+method of the same name (minus a stoplist of ubiquitous names), which
+over-approximates reachability — fine for purity checks, where missing
+an edge is worse than following a spurious one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.analysis.core import FileContext
+
+#: Method names too generic for the name-match call fallback — wiring
+#: every ``.get()``/``.items()`` into the call graph would connect half
+#: the stdlib to everything.
+COMMON_METHOD_NAMES = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "close",
+        "copy",
+        "count",
+        "decode",
+        "encode",
+        "endswith",
+        "extend",
+        "format",
+        "get",
+        "index",
+        "insert",
+        "items",
+        "join",
+        "keys",
+        "max",
+        "mean",
+        "min",
+        "open",
+        "pop",
+        "put",
+        "read",
+        "remove",
+        "result",
+        "set",
+        "sort",
+        "split",
+        "startswith",
+        "strip",
+        "sum",
+        "update",
+        "values",
+        "write",
+    }
+)
+
+INIT_METHODS = frozenset({"__init__", "__post_init__"})
+
+_THREAD_FACTORIES = frozenset(
+    {"threading.Thread", "threading.Timer", "Thread", "Timer"}
+)
+
+
+def module_name_of(relpath: str) -> str:
+    """Dotted module name for a repo-relative posix path.
+
+    ``src/repro/serve/batch.py`` → ``repro.serve.batch``;
+    ``src/repro/obs/__init__.py`` → ``repro.obs``.
+    """
+    path = relpath
+    if path.endswith(".py"):
+        path = path[: -len(".py")]
+    parts = [p for p in path.split("/") if p]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def is_product_path(relpath: str) -> bool:
+    """True for shipped product code (excludes tests/ and benchmarks/),
+    where the project-wide rules apply."""
+    top = relpath.split("/", 1)[0]
+    return top not in ("tests", "benchmarks")
+
+
+def iter_own_nodes(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested def/class bodies.
+
+    Nested functions and classes are separate call-graph nodes; a
+    hazard inside one must be attributed there, not to the enclosing
+    function as well.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def base_names(node: ast.ClassDef) -> tuple[str, ...]:
+    """Textual base-class names, with subscripts unwrapped
+    (``Stage[GelConfig]`` → ``Stage``)."""
+    names: list[str] = []
+    for base in node.bases:
+        target: ast.AST = base
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Attribute):
+            names.append(target.attr)
+        elif isinstance(target, ast.Name):
+            names.append(target.id)
+    return tuple(names)
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """One ``self.attr`` read or write inside a method body."""
+
+    attr: str
+    method: str
+    node: ast.AST
+    is_write: bool
+    under_lock: bool
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method: a call-graph node."""
+
+    qualname: str
+    module: str
+    ctx: FileContext
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None = None
+    #: resolved edges to other project functions (qualnames).
+    internal_calls: set[str] = field(default_factory=set)
+    #: calls resolved to a dotted path *outside* the project, with the
+    #: call node for precise reporting (``("time.time", <Call>)``).
+    external_calls: list[tuple[str, ast.Call]] = field(default_factory=list)
+    #: ``expr.method()`` calls whose receiver could not be resolved —
+    #: candidates for the name-match fallback.
+    unresolved_methods: set[str] = field(default_factory=set)
+
+
+@dataclass
+class ClassInfo:
+    """Attribute-access model of one class, for lock-discipline rules."""
+
+    qualname: str
+    module: str
+    name: str
+    ctx: FileContext
+    node: ast.ClassDef
+    bases: tuple[str, ...]
+    #: attribute names that hold locks (``self._lock = threading.Lock()``
+    #: or any ``with self.X:`` whose name mentions "lock").
+    lock_attrs: set[str] = field(default_factory=set)
+    #: the class starts threads (``threading.Thread(...)`` in a method).
+    spawns_thread: bool = False
+    accesses: list[AttrAccess] = field(default_factory=list)
+
+    def writes(self) -> dict[str, list[AttrAccess]]:
+        grouped: dict[str, list[AttrAccess]] = {}
+        for access in self.accesses:
+            if access.is_write:
+                grouped.setdefault(access.attr, []).append(access)
+        return grouped
+
+    def accessing_methods(self, attr: str) -> set[str]:
+        return {a.method for a in self.accesses if a.attr == attr}
+
+
+class ProjectContext:
+    """Cross-file indices over every parsed :class:`FileContext`."""
+
+    def __init__(self, contexts: Iterable[FileContext]) -> None:
+        self.contexts: dict[str, FileContext] = {
+            ctx.relpath: ctx for ctx in contexts
+        }
+        #: dotted module name → its FileContext.
+        self.modules: dict[str, FileContext] = {}
+        #: ``module:Class.method`` / ``module:func`` → FunctionInfo.
+        self.functions: dict[str, FunctionInfo] = {}
+        #: ``module:Class`` → ClassInfo.
+        self.classes: dict[str, ClassInfo] = {}
+        #: bare method name → qualnames of every project method so named.
+        self.methods_by_name: dict[str, set[str]] = {}
+        #: module → modules it imports (project-internal edges only).
+        self.import_graph: dict[str, set[str]] = {}
+        for ctx in self.contexts.values():
+            module = module_name_of(ctx.relpath)
+            if module:
+                self.modules[module] = ctx
+        for module, ctx in self.modules.items():
+            self._collect_module(module, ctx)
+        self._build_import_graph()
+        self._resolve_calls()
+
+    # -- construction --------------------------------------------------
+
+    def _collect_module(self, module: str, ctx: FileContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            scope = self._enclosing_scope(ctx, node)
+            if scope is None:
+                continue  # unreachable: every def has a scope chain
+            names, class_name = scope
+            qualname = f"{module}:{'.'.join([*names, node.name])}"
+            info = FunctionInfo(
+                qualname=qualname,
+                module=module,
+                ctx=ctx,
+                node=node,
+                class_name=class_name,
+            )
+            self.functions[qualname] = info
+            if class_name is not None and not names[:-1]:
+                self.methods_by_name.setdefault(node.name, set()).add(qualname)
+            if names:  # nested def: parent keeps an edge into it
+                parent_qual = f"{module}:{'.'.join(names)}"
+                parent = self.functions.get(parent_qual)
+                if parent is not None:
+                    parent.internal_calls.add(qualname)
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                self._collect_class(module, ctx, node)
+
+    def _enclosing_scope(
+        self, ctx: FileContext, node: ast.AST
+    ) -> tuple[list[str], str | None] | None:
+        """Names of enclosing defs/classes (outermost first) and the
+        immediate owning class, if any."""
+        names: list[str] = []
+        class_name: str | None = None
+        current = ctx.parents.get(node)
+        immediate = True
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.append(current.name)
+                immediate = False
+            elif isinstance(current, ast.ClassDef):
+                if immediate:
+                    class_name = current.name
+                names.append(current.name)
+                immediate = False
+            current = ctx.parents.get(current)
+        names.reverse()
+        return names, class_name
+
+    def _collect_class(
+        self, module: str, ctx: FileContext, node: ast.ClassDef
+    ) -> None:
+        info = ClassInfo(
+            qualname=f"{module}:{node.name}",
+            module=module,
+            name=node.name,
+            ctx=ctx,
+            node=node,
+            bases=base_names(node),
+        )
+        methods = [
+            child
+            for child in node.body
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for method in methods:
+            self._scan_method(ctx, info, method)
+        self.classes[info.qualname] = info
+
+    def _scan_method(
+        self,
+        ctx: FileContext,
+        info: ClassInfo,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> None:
+        self._scan_block(ctx, info, method.name, method.body, under_lock=False)
+
+    def _scan_block(
+        self,
+        ctx: FileContext,
+        info: ClassInfo,
+        method: str,
+        body: Iterable[ast.stmt],
+        under_lock: bool,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                locked = under_lock or any(
+                    self._is_self_lock(info, item.context_expr)
+                    for item in stmt.items
+                )
+                for item in stmt.items:
+                    self._scan_expr(ctx, info, method, item.context_expr, under_lock)
+                self._scan_block(ctx, info, method, stmt.body, locked)
+                continue
+            self._scan_stmt(ctx, info, method, stmt, under_lock)
+            for block in self._inner_blocks(stmt):
+                self._scan_block(ctx, info, method, block, under_lock)
+
+    @staticmethod
+    def _inner_blocks(stmt: ast.stmt) -> Iterator[list[ast.stmt]]:
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, attr, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                yield block
+        for handler in getattr(stmt, "handlers", []) or []:
+            yield handler.body
+
+    def _scan_stmt(
+        self,
+        ctx: FileContext,
+        info: ClassInfo,
+        method: str,
+        stmt: ast.stmt,
+        under_lock: bool,
+    ) -> None:
+        targets: list[ast.expr] = []
+        values: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets, values = list(stmt.targets), [stmt.value]
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+            if getattr(stmt, "value", None) is not None:
+                values = [stmt.value]  # type: ignore[list-item]
+            if isinstance(stmt, ast.AugAssign):
+                # ``self.x += 1`` both reads and writes self.x.
+                values.append(stmt.target)
+        else:
+            # Non-assignment statement: only the expression parts that
+            # belong to *this* statement, not its nested blocks.
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    values.append(child)
+        for target in targets:
+            self._record_target(info, method, target, under_lock)
+            # Subscript/attribute chains inside targets also read.
+            for sub in ast.walk(target):
+                if sub is not target:
+                    self._maybe_record(info, method, sub, under_lock, write=False)
+        for value in values:
+            self._scan_expr(ctx, info, method, value, under_lock)
+
+    def _record_target(
+        self, info: ClassInfo, method: str, target: ast.expr, under_lock: bool
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_target(info, method, elt, under_lock)
+            return
+        self._maybe_record(info, method, target, under_lock, write=True)
+        if isinstance(target, ast.Subscript):
+            # ``self.cache[k] = v`` mutates the object behind self.cache.
+            self._maybe_record(info, method, target.value, under_lock, write=True)
+
+    def _scan_expr(
+        self,
+        ctx: FileContext,
+        info: ClassInfo,
+        method: str,
+        expr: ast.expr,
+        under_lock: bool,
+    ) -> None:
+        for node in ast.walk(expr):
+            self._maybe_record(info, method, node, under_lock, write=False)
+            if isinstance(node, ast.Call):
+                resolved = ctx.imports.resolve(node.func)
+                func_name = (
+                    node.func.id if isinstance(node.func, ast.Name) else resolved
+                )
+                if resolved in _THREAD_FACTORIES or func_name in _THREAD_FACTORIES:
+                    info.spawns_thread = True
+
+    @staticmethod
+    def _maybe_record(
+        info: ClassInfo,
+        method: str,
+        node: ast.AST,
+        under_lock: bool,
+        write: bool,
+    ) -> None:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            info.accesses.append(
+                AttrAccess(
+                    attr=node.attr,
+                    method=method,
+                    node=node,
+                    is_write=write,
+                    under_lock=under_lock,
+                )
+            )
+
+    @staticmethod
+    def _is_self_lock(info: ClassInfo, expr: ast.expr) -> bool:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and "lock" in expr.attr.lower()
+        ):
+            info.lock_attrs.add(expr.attr)
+            return True
+        return False
+
+    def _build_import_graph(self) -> None:
+        for module, ctx in self.modules.items():
+            edges = self.import_graph.setdefault(module, set())
+            for dotted in ctx.imports.aliases.values():
+                target = self._module_prefix(dotted)
+                if target is not None and target != module:
+                    edges.add(target)
+        # ``self._lock = threading.Lock()`` assignments mark lock attrs
+        # even when the class never uses ``with self._lock:`` itself.
+        for cls in self.classes.values():
+            for stmt in ast.walk(cls.node):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                value = stmt.value
+                if not isinstance(value, ast.Call):
+                    continue
+                resolved = cls.ctx.imports.resolve(value.func)
+                if resolved not in ("threading.Lock", "threading.RLock"):
+                    continue
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        cls.lock_attrs.add(target.attr)
+
+    def _module_prefix(self, dotted: str) -> str | None:
+        """Longest project-module prefix of a dotted path, or None."""
+        parts = dotted.split(".")
+        for i in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:i])
+            if prefix in self.modules:
+                return prefix
+        return None
+
+    def _resolve_calls(self) -> None:
+        for info in self.functions.values():
+            for call in self._own_calls(info.node):
+                self._resolve_call(info, call)
+
+    @staticmethod
+    def _is_super_call(expr: ast.expr) -> bool:
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == "super"
+        )
+
+    @staticmethod
+    def _own_calls(node: ast.AST) -> Iterator[ast.Call]:
+        for child in iter_own_nodes(node):
+            if isinstance(child, ast.Call):
+                yield child
+
+    def _resolve_call(self, info: FunctionInfo, call: ast.Call) -> None:
+        func = call.func
+        # self.method() → a method on the same class (or an inherited
+        # one: fall through to the name-match fallback).
+        # super().method() resolves the same way but never falls back:
+        # fanning super().__init__() out to every project __init__
+        # would wire unrelated subsystems together.
+        if (
+            isinstance(func, ast.Attribute)
+            and info.class_name is not None
+            and (
+                (isinstance(func.value, ast.Name) and func.value.id == "self")
+                or self._is_super_call(func.value)
+            )
+        ):
+            own = f"{info.module}:{info.class_name}.{func.attr}"
+            if own in self.functions:
+                info.internal_calls.add(own)
+            elif not self._is_super_call(func.value):
+                info.unresolved_methods.add(func.attr)
+            return
+        resolved = info.ctx.imports.resolve(func)
+        if resolved is None and isinstance(func, ast.Name):
+            # Bare name: module-level function or class in this module.
+            local_fn = f"{info.module}:{func.id}"
+            if local_fn in self.functions:
+                info.internal_calls.add(local_fn)
+                return
+            if local_fn in self.classes:
+                ctor = f"{local_fn}.__init__"
+                if ctor in self.functions:
+                    info.internal_calls.add(ctor)
+                return
+        if resolved is None:
+            if isinstance(func, ast.Attribute):
+                info.unresolved_methods.add(func.attr)
+            return
+        targets = self._project_targets(resolved)
+        if targets is None:
+            info.external_calls.append((resolved, call))
+        else:
+            info.internal_calls.update(targets)
+
+    def _project_targets(self, dotted: str) -> set[str] | None:
+        """Qualnames a resolved dotted call maps onto, or None when the
+        path lies outside the project entirely."""
+        prefix = self._module_prefix(dotted)
+        if prefix is None:
+            return None
+        rest = dotted[len(prefix) :].lstrip(".").split(".") if dotted != prefix else []
+        rest = [p for p in rest if p]
+        if not rest:
+            return set()  # a module object used as a callable: ignore
+        qual = f"{prefix}:{'.'.join(rest)}"
+        if qual in self.functions:
+            return {qual}
+        if len(rest) == 1 and qual in self.classes:
+            ctor = f"{qual}.__init__"
+            return {ctor} if ctor in self.functions else set()
+        # Project-internal path we cannot pin down (re-export through a
+        # package __init__, attribute constant): treat as opaque.
+        return set()
+
+    # -- queries -------------------------------------------------------
+
+    def context_for(self, relpath: str) -> FileContext | None:
+        return self.contexts.get(relpath)
+
+    def classes_with_base(self, base: str) -> Iterator[ClassInfo]:
+        for cls in self.classes.values():
+            if base in cls.bases:
+                yield cls
+
+    def reachable_from(self, roots: Iterable[str]) -> dict[str, str]:
+        """BFS over the call graph: reached qualname → the root that
+        first reached it. Unresolved ``expr.method()`` calls fan out to
+        every project method of that name (CHA-style), minus
+        :data:`COMMON_METHOD_NAMES`."""
+        root_of: dict[str, str] = {}
+        queue: list[tuple[str, str]] = [
+            (root, root) for root in roots if root in self.functions
+        ]
+        while queue:
+            qualname, root = queue.pop()
+            if qualname in root_of:
+                continue
+            root_of[qualname] = root
+            info = self.functions[qualname]
+            targets = set(info.internal_calls)
+            for name in info.unresolved_methods:
+                if name in COMMON_METHOD_NAMES or (
+                    name.startswith("__") and name.endswith("__")
+                ):
+                    continue
+                targets.update(self.methods_by_name.get(name, ()))
+            for target in targets:
+                if target in self.functions and target not in root_of:
+                    queue.append((target, root))
+        return root_of

@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from repro.analysis.core import Rule
+from repro.analysis.rules.determinism import FingerprintPurityRule
+from repro.analysis.rules.envelope import ErrorEnvelopeRule
 from repro.analysis.rules.exceptions import ExceptionDisciplineRule
 from repro.analysis.rules.numerics import GuardedLinalgRule, LogClampRule
+from repro.analysis.rules.obs import ObservabilityNameRule
 from repro.analysis.rules.parallel import ParallelTaskRule
 from repro.analysis.rules.rng import RngDisciplineRule
+from repro.analysis.rules.threading import LockDisciplineRule
 
 #: Every registered rule class, in report order.
 RULE_CLASSES: tuple[type[Rule], ...] = (
@@ -15,6 +19,10 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     LogClampRule,
     ExceptionDisciplineRule,
     ParallelTaskRule,
+    LockDisciplineRule,
+    FingerprintPurityRule,
+    ObservabilityNameRule,
+    ErrorEnvelopeRule,
 )
 
 
@@ -44,4 +52,8 @@ __all__ = [
     "LogClampRule",
     "ExceptionDisciplineRule",
     "ParallelTaskRule",
+    "LockDisciplineRule",
+    "FingerprintPurityRule",
+    "ObservabilityNameRule",
+    "ErrorEnvelopeRule",
 ]

@@ -1,0 +1,145 @@
+"""EXC002: error-envelope completeness for the serving layer.
+
+The service's error contract has two halves, and both rot silently:
+
+* **Status completeness** — every direct :class:`~repro.errors.ReproError`
+  subclass (an error *family*) must appear in
+  :func:`repro.serve.app.status_of`'s mapping. A new family that is
+  never mapped falls through to the catch-all 500, which turns, say, a
+  client-side unit typo into a server error in every dashboard.
+* **Envelope uniformity** — every serve-layer code path that returns an
+  HTTP error status (``return 4xx/5xx, payload``) must build the
+  payload with :func:`repro.serve.schemas.error_body`, so clients can
+  always read ``{"error": {"type", "message"}}``.
+
+The rule is project-wide: it reads the class hierarchy out of
+``repro/errors.py`` and cross-references it against the names mentioned
+in ``repro/serve/app.py``'s ``status_of`` (or any module-level
+``*STATUS*`` table it dispatches over).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.core import FileContext, Rule, Violation
+from repro.analysis.graph import ProjectContext, is_product_path
+
+_ERRORS_SUFFIX = "repro/errors.py"
+_APP_SUFFIX = "repro/serve/app.py"
+_SERVE_FRAGMENT = "repro/serve/"
+
+
+class ErrorEnvelopeRule(Rule):
+    code: ClassVar[str] = "EXC002"
+    name: ClassVar[str] = "error-envelope-completeness"
+    severity: ClassVar[str] = "error"
+    project_wide: ClassVar[bool] = True
+    description: ClassVar[str] = (
+        "Every ReproError family needs an explicit status_of mapping, "
+        "and every serve-layer error return must use the uniform "
+        "error_body envelope."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        errors_ctx = self._find(project, _ERRORS_SUFFIX)
+        app_ctx = self._find(project, _APP_SUFFIX)
+        if errors_ctx is not None and app_ctx is not None:
+            yield from self._check_status_completeness(errors_ctx, app_ctx)
+        for relpath in sorted(project.contexts):
+            if _SERVE_FRAGMENT in relpath and is_product_path(relpath):
+                yield from self._check_envelopes(project.contexts[relpath])
+
+    @staticmethod
+    def _find(project: ProjectContext, suffix: str) -> FileContext | None:
+        for relpath, ctx in project.contexts.items():
+            if relpath.endswith(suffix) and is_product_path(relpath):
+                return ctx
+        return None
+
+    # -- status completeness -------------------------------------------
+
+    def _check_status_completeness(
+        self, errors_ctx: FileContext, app_ctx: FileContext
+    ) -> Iterator[Violation]:
+        mapped = self._mapped_names(app_ctx)
+        if not mapped:
+            return  # no status_of at all: nothing to cross-reference
+        for node in errors_ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if "ReproError" not in {
+                base.id for base in node.bases if isinstance(base, ast.Name)
+            }:
+                continue
+            if node.name not in mapped:
+                yield self.violation(
+                    errors_ctx,
+                    node,
+                    f"error family {node.name} has no status_of mapping in "
+                    "repro.serve.app: it would fall through to the "
+                    "catch-all 500",
+                )
+
+    @staticmethod
+    def _mapped_names(app_ctx: FileContext) -> set[str]:
+        """Class names referenced by ``status_of`` or by a module-level
+        ``*STATUS*`` dispatch table."""
+        names: set[str] = set()
+        for node in app_ctx.tree.body:
+            is_table = isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and "STATUS" in t.id
+                for t in node.targets
+            )
+            is_table = is_table or (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and "STATUS" in node.target.id
+            )
+            is_status_of = (
+                isinstance(node, ast.FunctionDef) and node.name == "status_of"
+            )
+            if not (is_table or is_status_of):
+                continue
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+        return names
+
+    # -- envelope uniformity -------------------------------------------
+
+    def _check_envelopes(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Return) or not isinstance(
+                node.value, ast.Tuple
+            ):
+                continue
+            elts = node.value.elts
+            if len(elts) != 2:
+                continue
+            status = elts[0]
+            if not (
+                isinstance(status, ast.Constant)
+                and isinstance(status.value, int)
+                and status.value >= 400
+            ):
+                continue
+            if not self._is_error_body(elts[1]):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"HTTP {status.value} returned without the uniform "
+                    "error_body(...) envelope: clients expect "
+                    '{"error": {"type", "message"}}',
+                )
+
+    @staticmethod
+    def _is_error_body(expr: ast.expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        func = expr.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        return name == "error_body"

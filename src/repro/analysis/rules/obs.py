@@ -1,0 +1,139 @@
+"""OBS001: observability-name registry.
+
+Span, event and metric names are stringly-typed: a typo'd
+``registry.counter("cache.hti")`` records into a counter nobody reads
+and no dashboard graphs, silently. This rule resolves every string
+literal passed to ``trace.span(...)``, ``trace.event(...)`` and
+``registry.counter|gauge|histogram(...)`` against the registry module
+:mod:`repro.obs.names` and flags unknown names.
+
+Dynamic names (f-strings, variables — e.g. per-stage spans named after
+``stage.name``) are skipped: the registry covers them by hand, and the
+scanner cannot evaluate them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.core import FileContext, Rule, Violation
+from repro.analysis.graph import is_product_path
+
+_TRACE_CALLS = {
+    "repro.obs.trace.span": "span",
+    "repro.obs.trace.event": "event",
+    "repro.obs.span": "span",
+    "repro.obs.event": "event",
+}
+
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+
+def registered_names() -> dict[str, frozenset[str]]:
+    """The live registry; empty when :mod:`repro.obs.names` is absent
+    (so the rule degrades to a no-op rather than erroring)."""
+    try:
+        from repro.obs import names
+    except ImportError:  # pragma: no cover - names.py ships with repro
+        return {}
+    return names.all_names()
+
+
+def scan_names(ctx: FileContext) -> Iterator[tuple[str, str, ast.Call]]:
+    """Yield ``(kind, name, call)`` for every literal observability name
+    in one file — shared by OBS001 and ``--dump-obs-names``."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        kind = _classify(ctx, node)
+        if kind is None or not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            yield kind, first.value, node
+
+
+def _classify(ctx: FileContext, call: ast.Call) -> str | None:
+    resolved = ctx.imports.resolve(call.func)
+    if resolved is not None:
+        if resolved in _TRACE_CALLS:
+            return _TRACE_CALLS[resolved]
+        head, _, tail = resolved.rpartition(".")
+        if tail in _METRIC_METHODS and head.endswith(("metrics.registry", "obs.registry")):
+            return "metric"
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr in _METRIC_METHODS and _mentions_registry(func.value):
+        return "metric"
+    if func.attr in ("span", "event") and _is_trace_receiver(func.value):
+        return "span" if func.attr == "span" else "event"
+    return None
+
+
+def _mentions_registry(expr: ast.expr) -> bool:
+    while isinstance(expr, ast.Attribute):
+        if expr.attr == "registry":
+            return True
+        expr = expr.value
+    return isinstance(expr, ast.Name) and expr.id == "registry"
+
+
+def _is_trace_receiver(expr: ast.expr) -> bool:
+    return isinstance(expr, ast.Name) and "trace" in expr.id
+
+
+class ObservabilityNameRule(Rule):
+    code: ClassVar[str] = "OBS001"
+    name: ClassVar[str] = "observability-name-registry"
+    severity: ClassVar[str] = "error"
+    description: ClassVar[str] = (
+        "Literal span/event/metric names must be declared in "
+        "repro.obs.names — a typo'd name records into an instrument "
+        "nobody reads."
+    )
+    #: the registry itself and the tracer/metrics internals define
+    #: names, they don't emit them.
+    exempt_suffixes: ClassVar[tuple[str, ...]] = (
+        "repro/obs/names.py",
+        "repro/obs/trace.py",
+        "repro/obs/metrics.py",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not is_product_path(ctx.relpath):
+            return  # tests mint throwaway instrument names freely
+        registry = registered_names()
+        if not registry:
+            return
+        for kind, name, call in scan_names(ctx):
+            known = registry.get(kind, frozenset())
+            if name in known:
+                continue
+            hint = _closest(name, known)
+            suffix = f" (did you mean {hint!r}?)" if hint else ""
+            yield self.violation(
+                ctx,
+                call,
+                f"unregistered {kind} name {name!r}{suffix}: declare it "
+                "in repro.obs.names or fix the typo",
+            )
+
+
+def _closest(name: str, known: frozenset[str]) -> str | None:
+    """Cheap typo hint: smallest prefix-distance match."""
+    best: tuple[int, str] | None = None
+    for candidate in known:
+        common = len(_common_prefix(name, candidate))
+        distance = max(len(name), len(candidate)) - common
+        if common >= 3 and (best is None or distance < best[0]):
+            best = (distance, candidate)
+    return best[1] if best is not None and best[0] <= 4 else None
+
+
+def _common_prefix(a: str, b: str) -> str:
+    i = 0
+    while i < min(len(a), len(b)) and a[i] == b[i]:
+        i += 1
+    return a[:i]

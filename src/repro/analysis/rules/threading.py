@@ -1,0 +1,85 @@
+"""THR001: lock-discipline inference for concurrent classes.
+
+Builds on the class attribute-access index in
+:mod:`repro.analysis.graph`: for every class that either owns a lock
+attribute or spawns threads, model which ``self.*`` attributes are
+written under ``with self._lock:`` and which outside it.
+
+* **Mixed discipline** — an attribute written both under the lock and
+  without it (outside ``__init__``) is a data race waiting for a
+  scheduler: the unlocked write tears the invariant the locked writers
+  maintain.
+* **Unguarded shared write** — in a thread-*spawning* class, a
+  non-init write with no lock held to an attribute that more than one
+  method touches crosses the spawned thread's boundary unprotected.
+
+Init-only attributes (written in ``__init__``/``__post_init__`` before
+any thread can observe the instance) and pure-read attributes are
+exempt by construction.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Iterator
+
+from repro.analysis.core import Rule, Violation
+from repro.analysis.graph import (
+    INIT_METHODS,
+    ClassInfo,
+    ProjectContext,
+    is_product_path,
+)
+
+
+class LockDisciplineRule(Rule):
+    code: ClassVar[str] = "THR001"
+    name: ClassVar[str] = "lock-discipline"
+    severity: ClassVar[str] = "error"
+    project_wide: ClassVar[bool] = True
+    description: ClassVar[str] = (
+        "In a class that owns a lock or spawns threads, every non-init "
+        "write to a shared attribute must hold the lock: mixed "
+        "locked/unlocked writes (or unguarded writes to attributes other "
+        "methods touch) are data races."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        for qualname in sorted(project.classes):
+            cls = project.classes[qualname]
+            if not is_product_path(cls.ctx.relpath):
+                continue
+            if not cls.lock_attrs and not cls.spawns_thread:
+                continue
+            yield from self._check_class(cls)
+
+    def _check_class(self, cls: ClassInfo) -> Iterator[Violation]:
+        lock_name = sorted(cls.lock_attrs)[0] if cls.lock_attrs else "_lock"
+        for attr, writes in sorted(cls.writes().items()):
+            non_init = [w for w in writes if w.method not in INIT_METHODS]
+            if not non_init:
+                continue  # init-only: published before threads exist
+            locked = [w for w in writes if w.under_lock]
+            unlocked = [w for w in non_init if not w.under_lock]
+            if locked and unlocked:
+                for access in unlocked:
+                    yield self.violation(
+                        cls.ctx,
+                        access.node,
+                        f"{cls.name}.{attr} is written under "
+                        f"`with self.{lock_name}:` elsewhere but without it "
+                        f"in {access.method}(); mixed lock discipline is a "
+                        "data race",
+                    )
+            elif (
+                cls.spawns_thread
+                and unlocked
+                and len(cls.accessing_methods(attr)) > 1
+            ):
+                for access in unlocked:
+                    yield self.violation(
+                        cls.ctx,
+                        access.node,
+                        f"{cls.name} spawns threads but writes shared "
+                        f"attribute {attr} in {access.method}() without "
+                        f"holding self.{lock_name}",
+                    )

@@ -9,6 +9,7 @@ from typing import Iterable, Sequence
 
 from repro.analysis.baseline import Baseline, fingerprint_all
 from repro.analysis.core import FileContext, Rule, Violation, relative_posix
+from repro.analysis.graph import ProjectContext
 from repro.analysis.rules import default_rules
 
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "venv", "node_modules", ".mypy_cache"}
@@ -68,10 +69,16 @@ def analyze_paths(
 
     Suppressions (``# repro: noqa[...]``) are applied per rule;
     ``baseline`` then decides which of the surviving violations are
-    *new* (blocking) versus accepted debt.
+    *new* (blocking) versus accepted debt. Per-file rules run file by
+    file; project-wide rules run once afterwards over the
+    :class:`~repro.analysis.graph.ProjectContext` built from every file
+    that parsed.
     """
     active = tuple(rules) if rules is not None else default_rules()
+    per_file = [rule for rule in active if not rule.project_wide]
+    project_rules = [rule for rule in active if rule.project_wide]
     result = RunResult()
+    contexts: list[FileContext] = []
     for path in discover(paths):
         result.checked_files += 1
         try:
@@ -88,8 +95,13 @@ def analyze_paths(
                 )
             )
             continue
-        for rule in active:
+        contexts.append(ctx)
+        for rule in per_file:
             result.violations.extend(rule.run(ctx))
+    if project_rules:
+        project = ProjectContext(contexts)
+        for rule in project_rules:
+            result.violations.extend(rule.run_project(project))
     result.violations.sort(key=Violation.sort_key)
     chosen = baseline if baseline is not None else Baseline.empty()
     result.new_violations = chosen.filter_new(result.violations)

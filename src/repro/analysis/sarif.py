@@ -1,0 +1,131 @@
+"""SARIF 2.1.0 export for GitHub code-scanning annotations.
+
+One run object per invocation: the tool section lists every registered
+rule (plus the ``SYNTAX`` pseudo-rule for parse failures), each result
+carries the analyser's stable fingerprint in ``partialFingerprints``
+(so code scanning tracks findings across line drift the same way the
+committed baseline does) and ``baselineState`` distinguishes accepted
+debt (``unchanged``) from blocking findings (``new``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.baseline import fingerprint_all
+from repro.analysis.core import Rule, Violation
+from repro.analysis.rules import default_rules
+from repro.analysis.runner import RunResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: ``partialFingerprints`` key; versioned so a future fingerprint
+#: scheme can coexist during migration.
+FINGERPRINT_KEY = "reproAnalysis/v1"
+
+_DOC_URI = "docs/static-analysis.md"
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, object]:
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.description},
+        "helpUri": _DOC_URI,
+        "defaultConfiguration": {"level": rule.severity},
+    }
+
+
+def _syntax_descriptor() -> dict[str, object]:
+    return {
+        "id": "SYNTAX",
+        "name": "parse-failure",
+        "shortDescription": {"text": "The file could not be parsed as Python."},
+        "helpUri": _DOC_URI,
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(
+    violation: Violation,
+    fingerprint: str | None = None,
+    baseline_state: str | None = None,
+) -> dict[str, object]:
+    region: dict[str, object] = {
+        "startLine": violation.line,
+        "startColumn": violation.col,
+    }
+    if violation.snippet:
+        region["snippet"] = {"text": violation.snippet}
+    record: dict[str, object] = {
+        "ruleId": violation.rule,
+        "level": violation.severity,
+        "message": {"text": violation.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": region,
+                }
+            }
+        ],
+    }
+    if fingerprint is not None:
+        record["partialFingerprints"] = {FINGERPRINT_KEY: fingerprint}
+    if baseline_state is not None:
+        record["baselineState"] = baseline_state
+    return record
+
+
+def render_sarif(
+    result: RunResult, rules: Sequence[Rule] | None = None
+) -> str:
+    """The full report as one SARIF 2.1.0 JSON document."""
+    from repro import __version__
+
+    active = tuple(rules) if rules is not None else default_rules()
+    ordered = sorted(result.violations, key=Violation.sort_key)
+    fps = fingerprint_all(ordered)
+    new_ids = {id(v) for v in result.new_violations}
+    results = [
+        _result(
+            violation,
+            fingerprint=fp,
+            baseline_state="new" if id(violation) in new_ids else "unchanged",
+        )
+        for violation, fp in zip(ordered, fps)
+    ]
+    results.extend(
+        _result(failure, baseline_state="new")
+        for failure in result.parse_failures
+    )
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": _DOC_URI,
+                        "version": __version__,
+                        "rules": sorted(
+                            [
+                                *(_rule_descriptor(rule) for rule in active),
+                                _syntax_descriptor(),
+                            ],
+                            key=lambda descriptor: descriptor["id"],
+                        ),
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

@@ -1,0 +1,76 @@
+"""Registry of canonical span, event and metric names.
+
+Every observability name the codebase emits is declared here, and the
+OBS001 lint rule checks string literals passed to ``trace.span(...)``,
+``trace.event(...)`` and ``registry.counter|gauge|histogram(...)``
+against these sets — so a typo'd ``cache.hti`` counter fails lint
+instead of silently recording into a parallel universe nobody graphs.
+
+Regenerate after adding instrumentation with::
+
+    python -m repro.analysis --dump-obs-names src/repro
+
+which prints the literal name sets found in the tree, ready to paste.
+Names built dynamically (e.g. per-stage spans named after
+``stage.name``) are invisible to the scanner; keep them listed here by
+hand so dashboards and the trace summary have one source of truth.
+"""
+
+from __future__ import annotations
+
+#: Span names, including the five pipeline stages (emitted dynamically
+#: as ``trace.span(stage.name, kind="stage")``).
+SPANS: frozenset[str] = frozenset(
+    {
+        "build-dataset",
+        "build-linker",
+        "collapsed-model.fit",
+        "fit-model",
+        "gel-filter",
+        "joint-model.fit",
+        "joint-model.restart",
+        "lda.fit",
+        "run-pipeline",
+        "run-tasks",
+        "serve.batch",
+        "serve.fold-in",
+        "serve.request",
+        "synth-corpus",
+    }
+)
+
+#: Point-in-time event names.
+EVENTS: frozenset[str] = frozenset(
+    {
+        "executor.fallback",
+        "sweep",
+    }
+)
+
+#: Counter, gauge and histogram names.
+METRICS: frozenset[str] = frozenset(
+    {
+        "cache.bytes_read",
+        "cache.bytes_written",
+        "cache.hit",
+        "cache.miss",
+        "executor.fallback",
+        "executor.task_run_seconds",
+        "executor.task_wait_seconds",
+        "kernel.alias_refresh",
+        "sampler.sweep_log_likelihood",
+        "sampler.sweep_seconds",
+        "sampler.sweeps",
+        "sampler.tokens_per_sec",
+        "serve.batch_size",
+        "serve.errors",
+        "serve.latency_seconds",
+        "serve.queue_depth",
+        "serve.requests",
+    }
+)
+
+
+def all_names() -> dict[str, frozenset[str]]:
+    """Kind → registered names, keyed the way OBS001 classifies calls."""
+    return {"span": SPANS, "event": EVENTS, "metric": METRICS}

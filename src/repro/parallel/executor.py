@@ -201,6 +201,7 @@ def _run_pooled(
     )
     body = functools.partial(_guarded, fn, capture_every, time.time())
     workers = config.resolve_workers(len(payloads))
+    pool: concurrent.futures.Executor | None
     try:
         if backend == "thread":
             pool = concurrent.futures.ThreadPoolExecutor(max_workers=workers)

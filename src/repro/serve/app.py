@@ -30,8 +30,17 @@ from urllib.parse import unquote
 from repro.errors import (
     ArtifactError,
     BadRequestError,
+    CorpusError,
+    DictionaryError,
+    ExperimentError,
+    LinkageError,
+    ModelError,
+    ObservabilityError,
+    ParallelError,
     ReproError,
+    RheologyError,
     ServeError,
+    StoreError,
     UnitConversionError,
     UnitParseError,
     UnknownIngredientError,
@@ -54,28 +63,38 @@ _ROUTES = {
 _TERMS_PREFIX = "/v1/terms/"
 
 
-def status_of(exc: ReproError) -> int:
-    """The HTTP status one ``repro`` error family maps to.
+#: Every ``ReproError`` family's HTTP status, most-derived first (so
+#: ``BadRequestError`` wins over its ``ServeError`` base). EXC002 fails
+#: lint if an error family in :mod:`repro.errors` is missing here —
+#: list new families explicitly instead of leaning on the final 500.
+_STATUS_BY_FAMILY: tuple[tuple[type[ReproError], int], ...] = (
+    # client fault: malformed bodies, bad quantities, unknown inputs
+    (BadRequestError, 400),
+    (UnitParseError, 400),
+    (UnitConversionError, 400),
+    (UnknownIngredientError, 400),
+    (UnknownTermError, 404),
+    # service fault: store/bundle unavailability is retryable
+    (ServeError, 503),
+    (ArtifactError, 503),
+    # library fault: a bug or bad deployment, never the client's doing
+    (CorpusError, 500),
+    (DictionaryError, 500),
+    (ExperimentError, 500),
+    (LinkageError, 500),
+    (ModelError, 500),
+    (ObservabilityError, 500),
+    (ParallelError, 500),
+    (RheologyError, 500),
+    (StoreError, 500),
+)
 
-    * malformed bodies / bad quantities / unknown ingredients → 400
-    * unknown texture terms → 404
-    * store/bundle unavailability → 503
-    * anything else from the library → 500
-    """
-    if isinstance(
-        exc,
-        (
-            BadRequestError,
-            UnitParseError,
-            UnitConversionError,
-            UnknownIngredientError,
-        ),
-    ):
-        return 400
-    if isinstance(exc, UnknownTermError):
-        return 404
-    if isinstance(exc, (ServeError, ArtifactError)):
-        return 503
+
+def status_of(exc: ReproError) -> int:
+    """The HTTP status one ``repro`` error family maps to."""
+    for family, status in _STATUS_BY_FAMILY:
+        if isinstance(exc, family):
+            return status
     return 500
 
 

@@ -74,6 +74,8 @@ class MicroBatcher:
         self.max_wait_s = max_wait_s
         self._config = ParallelConfig(backend=backend, max_workers=n_workers)
         self._queue: "queue.Queue[_Item | None]" = queue.Queue()
+        # Guards _closed: handler threads race close() on it (THR001).
+        self._lock = threading.Lock()
         self._closed = False
         self._thread = threading.Thread(
             target=self._loop, name="serve-batcher", daemon=True
@@ -84,10 +86,13 @@ class MicroBatcher:
 
     def submit(self, request: TextureRequest) -> "Future[TextureResponse]":
         """Enqueue one request; resolve its future when the batch runs."""
-        if self._closed:
-            raise ServeError("batcher is closed")
         future: "Future[TextureResponse]" = Future()
-        self._queue.put((request, future))
+        with self._lock:
+            if self._closed:
+                raise ServeError("batcher is closed")
+            # Enqueue under the lock so a request accepted here is
+            # always ahead of close()'s sentinel and gets drained.
+            self._queue.put((request, future))
         metrics.registry.gauge("serve.queue_depth").set(self._queue.qsize())
         return future
 
@@ -99,15 +104,17 @@ class MicroBatcher:
 
     def close(self, timeout: float = 5.0) -> None:
         """Stop accepting work, drain the queue, join the collector."""
-        if self._closed:
-            return
-        self._closed = True
-        self._queue.put(None)
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(None)
         self._thread.join(timeout)
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     # -- collector ----------------------------------------------------------
 

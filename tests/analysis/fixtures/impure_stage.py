@@ -1,0 +1,20 @@
+"""DET001 fixture: a wall-clock read on a path reachable from compute."""
+
+import time
+
+from repro.artifacts.stage import Stage
+
+
+def _stamp() -> dict:
+    return {"generated_at": time.time()}  # the seeded impurity
+
+
+class BrokenStage(Stage):
+    """A stage whose payload embeds the wall clock via a helper."""
+
+    name = "broken-stage"
+
+    def compute(self, config, inputs, rng):
+        payload = _stamp()
+        payload["value"] = float(rng.random())
+        return payload

@@ -1,0 +1,22 @@
+"""THR001 fixture: one attribute with mixed lock discipline."""
+
+import threading
+
+
+class SharedCounter:
+    """``total`` is written under the lock in add() but bare in reset()."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, n: int) -> None:
+        with self._lock:
+            self.total += n
+
+    def reset(self) -> None:
+        self.total = 0  # the seeded race: no lock held
+
+    def snapshot(self) -> int:
+        with self._lock:
+            return self.total

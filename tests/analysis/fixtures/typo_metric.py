@@ -1,0 +1,11 @@
+"""OBS001 fixture: one typo'd counter name."""
+
+from repro.obs import metrics
+
+
+def record_cache_hit() -> None:
+    metrics.registry.counter("cache.hti").inc()  # the seeded typo
+
+
+def record_cache_miss() -> None:
+    metrics.registry.counter("cache.miss").inc()  # registered: clean

@@ -1,0 +1,372 @@
+"""Tests for the whole-program model in repro.analysis.graph."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis.core import FileContext
+from repro.analysis.graph import (
+    ProjectContext,
+    base_names,
+    is_product_path,
+    iter_own_nodes,
+    module_name_of,
+)
+
+
+def make_ctx(source: str, relpath: str) -> FileContext:
+    src = textwrap.dedent(source)
+    return FileContext(
+        path=Path(relpath),
+        relpath=relpath,
+        source=src,
+        tree=ast.parse(src),
+    )
+
+
+def build(*pairs: tuple[str, str]) -> ProjectContext:
+    return ProjectContext([make_ctx(src, rel) for src, rel in pairs])
+
+
+class TestModuleNames:
+    def test_src_prefix_stripped(self):
+        assert module_name_of("src/repro/serve/batch.py") == "repro.serve.batch"
+
+    def test_package_init_is_the_package(self):
+        assert module_name_of("src/repro/obs/__init__.py") == "repro.obs"
+
+    def test_plain_relative_path(self):
+        assert module_name_of("tests/conftest.py") == "tests.conftest"
+
+    def test_product_path_classification(self):
+        assert is_product_path("src/repro/serve/app.py")
+        assert not is_product_path("tests/analysis/test_graph.py")
+        assert not is_product_path("benchmarks/common.py")
+
+
+class TestBaseNames:
+    def test_subscripted_base_unwrapped(self):
+        node = ast.parse("class S(Stage[int]): pass").body[0]
+        assert base_names(node) == ("Stage",)
+
+    def test_attribute_base(self):
+        node = ast.parse("class S(stage.Stage): pass").body[0]
+        assert base_names(node) == ("Stage",)
+
+
+class TestIterOwnNodes:
+    def test_nested_defs_not_entered(self):
+        tree = ast.parse(
+            "def outer():\n"
+            "    a = 1\n"
+            "    def inner():\n"
+            "        b = 2\n"
+            "    return a\n"
+        )
+        names = {
+            n.id
+            for n in iter_own_nodes(tree.body[0])
+            if isinstance(n, ast.Name)
+        }
+        assert "a" in names
+        assert "b" not in names
+
+
+class TestCallGraph:
+    def test_local_function_edge(self):
+        proj = build(
+            (
+                """
+                def helper():
+                    return 1
+
+                def entry():
+                    return helper()
+                """,
+                "src/repro/pkg/mod.py",
+            )
+        )
+        info = proj.functions["repro.pkg.mod:entry"]
+        assert "repro.pkg.mod:helper" in info.internal_calls
+
+    def test_cross_module_edge_via_import(self):
+        proj = build(
+            (
+                """
+                from repro.pkg.util import helper
+
+                def entry():
+                    return helper()
+                """,
+                "src/repro/pkg/mod.py",
+            ),
+            (
+                """
+                def helper():
+                    return 1
+                """,
+                "src/repro/pkg/util.py",
+            ),
+        )
+        info = proj.functions["repro.pkg.mod:entry"]
+        assert "repro.pkg.util:helper" in info.internal_calls
+
+    def test_class_instantiation_reaches_init(self):
+        proj = build(
+            (
+                """
+                from repro.pkg.impl import Worker
+
+                def entry():
+                    return Worker()
+                """,
+                "src/repro/pkg/mod.py",
+            ),
+            (
+                """
+                class Worker:
+                    def __init__(self):
+                        self.x = 1
+                """,
+                "src/repro/pkg/impl.py",
+            ),
+        )
+        info = proj.functions["repro.pkg.mod:entry"]
+        assert "repro.pkg.impl:Worker.__init__" in info.internal_calls
+
+    def test_self_method_edge(self):
+        proj = build(
+            (
+                """
+                class C:
+                    def a(self):
+                        return self.b()
+
+                    def b(self):
+                        return 1
+                """,
+                "src/repro/pkg/mod.py",
+            )
+        )
+        info = proj.functions["repro.pkg.mod:C.a"]
+        assert "repro.pkg.mod:C.b" in info.internal_calls
+
+    def test_external_call_recorded_with_dotted_path(self):
+        proj = build(
+            (
+                """
+                import time
+
+                def entry():
+                    return time.time()
+                """,
+                "src/repro/pkg/mod.py",
+            )
+        )
+        info = proj.functions["repro.pkg.mod:entry"]
+        assert [dotted for dotted, _ in info.external_calls] == ["time.time"]
+
+    def test_super_init_does_not_fan_out(self):
+        """super().__init__() must not wire every project __init__."""
+        proj = build(
+            (
+                """
+                class Base:
+                    def __init__(self):
+                        pass
+
+                class Child(Base):
+                    def __init__(self):
+                        super().__init__()
+                """,
+                "src/repro/pkg/mod.py",
+            ),
+            (
+                """
+                class Unrelated:
+                    def __init__(self):
+                        self.x = 1
+                """,
+                "src/repro/pkg/other.py",
+            ),
+        )
+        reached = proj.reachable_from(["repro.pkg.mod:Child.__init__"])
+        assert "repro.pkg.other:Unrelated.__init__" not in reached
+
+    def test_cha_fallback_matches_by_method_name(self):
+        proj = build(
+            (
+                """
+                def entry(worker):
+                    return worker.process()
+                """,
+                "src/repro/pkg/mod.py",
+            ),
+            (
+                """
+                class Worker:
+                    def process(self):
+                        return 1
+                """,
+                "src/repro/pkg/impl.py",
+            ),
+        )
+        reached = proj.reachable_from(["repro.pkg.mod:entry"])
+        assert "repro.pkg.impl:Worker.process" in reached
+
+    def test_cha_stoplist_blocks_ubiquitous_names(self):
+        proj = build(
+            (
+                """
+                def entry(store):
+                    return store.get("k")
+                """,
+                "src/repro/pkg/mod.py",
+            ),
+            (
+                """
+                class Store:
+                    def get(self, k):
+                        return None
+                """,
+                "src/repro/pkg/impl.py",
+            ),
+        )
+        reached = proj.reachable_from(["repro.pkg.mod:entry"])
+        assert "repro.pkg.impl:Store.get" not in reached
+
+    def test_reachability_records_first_root(self):
+        proj = build(
+            (
+                """
+                def leaf():
+                    return 1
+
+                def mid():
+                    return leaf()
+
+                def root():
+                    return mid()
+                """,
+                "src/repro/pkg/mod.py",
+            )
+        )
+        root_of = proj.reachable_from(["repro.pkg.mod:root"])
+        assert root_of["repro.pkg.mod:leaf"] == "repro.pkg.mod:root"
+
+    def test_nested_def_is_reachable_from_parent(self):
+        proj = build(
+            (
+                """
+                import time
+
+                def outer():
+                    def inner():
+                        return time.time()
+                    return inner
+                """,
+                "src/repro/pkg/mod.py",
+            )
+        )
+        reached = proj.reachable_from(["repro.pkg.mod:outer"])
+        assert "repro.pkg.mod:outer.inner" in reached
+        inner = proj.functions["repro.pkg.mod:outer.inner"]
+        assert [dotted for dotted, _ in inner.external_calls] == ["time.time"]
+        # and the parent does NOT own the nested call
+        outer = proj.functions["repro.pkg.mod:outer"]
+        assert outer.external_calls == []
+
+
+class TestImportGraph:
+    def test_project_internal_edges_only(self):
+        proj = build(
+            (
+                """
+                import json
+                from repro.pkg.util import helper
+                """,
+                "src/repro/pkg/mod.py",
+            ),
+            (
+                """
+                def helper():
+                    return 1
+                """,
+                "src/repro/pkg/util.py",
+            ),
+        )
+        assert proj.import_graph["repro.pkg.mod"] == {"repro.pkg.util"}
+
+
+class TestClassIndex:
+    SOURCE = """
+        import threading
+
+        class Batcher:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._closed = False
+                self._thread = threading.Thread(target=self._loop)
+
+            def close(self):
+                with self._lock:
+                    self._closed = True
+
+            def poke(self):
+                self._closed = False
+
+            def _loop(self):
+                while not self._closed:
+                    pass
+        """
+
+    def test_lock_attr_detected_from_assignment(self):
+        proj = build((self.SOURCE, "src/repro/pkg/mod.py"))
+        cls = proj.classes["repro.pkg.mod:Batcher"]
+        assert cls.lock_attrs == {"_lock"}
+
+    def test_thread_spawn_detected(self):
+        proj = build((self.SOURCE, "src/repro/pkg/mod.py"))
+        assert proj.classes["repro.pkg.mod:Batcher"].spawns_thread
+
+    def test_write_lock_state_tracked_per_access(self):
+        proj = build((self.SOURCE, "src/repro/pkg/mod.py"))
+        cls = proj.classes["repro.pkg.mod:Batcher"]
+        writes = cls.writes()["_closed"]
+        by_method = {w.method: w.under_lock for w in writes}
+        assert by_method["__init__"] is False
+        assert by_method["close"] is True
+        assert by_method["poke"] is False
+
+    def test_reads_tracked(self):
+        proj = build((self.SOURCE, "src/repro/pkg/mod.py"))
+        cls = proj.classes["repro.pkg.mod:Batcher"]
+        assert "_loop" in cls.accessing_methods("_closed")
+
+    def test_augassign_counts_as_write(self):
+        proj = build(
+            (
+                """
+                class C:
+                    def bump(self):
+                        self.n += 1
+                """,
+                "src/repro/pkg/mod.py",
+            )
+        )
+        cls = proj.classes["repro.pkg.mod:C"]
+        assert "n" in cls.writes()
+
+    def test_subscript_store_counts_as_write(self):
+        proj = build(
+            (
+                """
+                class C:
+                    def put(self, k, v):
+                        self.cache[k] = v
+                """,
+                "src/repro/pkg/mod.py",
+            )
+        )
+        cls = proj.classes["repro.pkg.mod:C"]
+        assert "cache" in cls.writes()

@@ -1,0 +1,147 @@
+"""Tests for the baseline ratchet: debt may only shrink."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline, check_ratchet
+from repro.analysis.cli import main
+from repro.analysis.runner import analyze_paths
+
+ONE_BAD = """\
+import numpy as np
+
+
+def make():
+    return np.random.default_rng(0)
+"""
+
+TWO_BAD = ONE_BAD + """
+
+def make_other():
+    return np.random.default_rng(1)
+"""
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "bad.py").write_text(ONE_BAD)
+    return tmp_path
+
+
+def baseline_path(tree):
+    return tree / "baseline.json"
+
+
+def write_baseline(tree, *extra):
+    return main(
+        ["bad.py", "--baseline", str(baseline_path(tree)), "--write-baseline", *extra]
+    )
+
+
+class TestCheckRatchetApi:
+    def test_clean_report(self, tree):
+        result = analyze_paths(["bad.py"])
+        baseline = Baseline.from_violations(result.violations)
+        report = check_ratchet(result.violations, baseline)
+        assert report.ok
+        assert report.new_violations == ()
+        assert report.stale_entries == ()
+        assert "ratchet ok" in "\n".join(report.lines())
+
+    def test_growth_detected(self, tree):
+        result = analyze_paths(["bad.py"])
+        baseline = Baseline.from_violations(result.violations)
+        (tree / "bad.py").write_text(TWO_BAD)
+        grown = analyze_paths(["bad.py"])
+        report = check_ratchet(grown.violations, baseline)
+        assert not report.ok
+        assert len(report.new_violations) == 1
+        assert any("NEW finding" in line for line in report.lines())
+
+    def test_stale_entries_detected(self, tree):
+        result = analyze_paths(["bad.py"])
+        baseline = Baseline.from_violations(result.violations)
+        (tree / "bad.py").write_text("x = 1\n")
+        shrunk = analyze_paths(["bad.py"])
+        report = check_ratchet(shrunk.violations, baseline)
+        assert not report.ok
+        assert len(report.stale_entries) == 1
+        assert any("STALE baseline entry" in line for line in report.lines())
+
+
+class TestCheckRatchetCli:
+    def test_exit_zero_when_ratchet_holds(self, tree, capsys):
+        assert write_baseline(tree) == 0
+        code = main(
+            ["bad.py", "--baseline", str(baseline_path(tree)), "--check-ratchet"]
+        )
+        assert code == 0
+        assert "ratchet ok" in capsys.readouterr().out
+
+    def test_exit_nonzero_when_baseline_grows(self, tree, capsys):
+        assert write_baseline(tree) == 0
+        (tree / "bad.py").write_text(TWO_BAD)
+        code = main(
+            ["bad.py", "--baseline", str(baseline_path(tree)), "--check-ratchet"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "NEW finding" in out
+        assert "bad.py" in out  # names the offending entry
+
+    def test_exit_nonzero_on_stale_entries(self, tree, capsys):
+        assert write_baseline(tree) == 0
+        (tree / "bad.py").write_text("x = 1\n")
+        code = main(
+            ["bad.py", "--baseline", str(baseline_path(tree)), "--check-ratchet"]
+        )
+        assert code == 1
+        assert "STALE baseline entry" in capsys.readouterr().out
+
+    def test_exit_two_without_baseline_file(self, tree, capsys):
+        code = main(
+            ["bad.py", "--baseline", str(baseline_path(tree)), "--check-ratchet"]
+        )
+        assert code == 2
+
+
+class TestWriteBaselineGuard:
+    def test_growth_refused_without_triage(self, tree, capsys):
+        assert write_baseline(tree) == 0
+        (tree / "bad.py").write_text(TWO_BAD)
+        assert write_baseline(tree) == 2
+        assert "--triage" in capsys.readouterr().err
+
+    def test_growth_accepted_with_triage_note(self, tree):
+        assert write_baseline(tree) == 0
+        (tree / "bad.py").write_text(TWO_BAD)
+        note = "vendored benchmark code lands next PR"
+        assert write_baseline(tree, "--triage", note) == 0
+        data = json.loads(baseline_path(tree).read_text())
+        assert data["triage"] == note
+        assert data["count"] == 2
+
+    def test_shrinking_needs_no_triage(self, tree):
+        (tree / "bad.py").write_text(TWO_BAD)
+        assert write_baseline(tree) == 0
+        (tree / "bad.py").write_text(ONE_BAD)
+        assert write_baseline(tree) == 0
+        assert json.loads(baseline_path(tree).read_text())["count"] == 1
+
+
+class TestBaselineFileFormat:
+    def test_count_mismatch_rejected(self, tree):
+        assert write_baseline(tree) == 0
+        data = json.loads(baseline_path(tree).read_text())
+        data["count"] = 99
+        baseline_path(tree).write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="hand-edited"):
+            Baseline.load(baseline_path(tree))
+
+    def test_roundtrip_preserves_triage(self, tree):
+        result = analyze_paths(["bad.py"])
+        baseline = Baseline.from_violations(result.violations, triage="note")
+        baseline.save(baseline_path(tree))
+        assert Baseline.load(baseline_path(tree)).triage == "note"

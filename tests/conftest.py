@@ -17,6 +17,8 @@ from repro.rheology.gel_system import GelSystemModel
 from repro.synth.generator import CorpusGenerator
 from repro.synth.presets import CorpusPreset
 
+from repro.rng import ensure_rng
+
 
 @pytest.fixture(scope="session")
 def dictionary():
@@ -62,4 +64,4 @@ def fitted_joint(tiny_dataset):
 @pytest.fixture()
 def rng():
     """A fresh deterministic generator per test."""
-    return np.random.default_rng(0)
+    return ensure_rng(0)

@@ -9,6 +9,8 @@ from repro.core.priors import NormalWishartPrior
 from repro.errors import ModelError, NotFittedError
 from tests.core.test_joint_model import synthetic_joint_data
 
+from repro.rng import ensure_rng
+
 
 class TestSuffStats:
     def test_add_remove_round_trip(self, rng):
@@ -36,7 +38,7 @@ class TestSuffStats:
 
     def test_remove_tolerates_cancellation_noise(self):
         """Exact add/remove round-trips must never trip the guard."""
-        rng = np.random.default_rng(8)
+        rng = ensure_rng(8)
         stats = _SuffStats.empty(3)
         points = rng.normal(size=(50, 3)) * 1e3
         for x in points:
@@ -120,7 +122,7 @@ class TestCachedPredictive:
 class TestCollapsedModel:
     @pytest.fixture(scope="class")
     def fitted(self):
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         docs, gels, emulsions, truth = synthetic_joint_data(rng, n_docs=60)
         config = JointModelConfig(n_topics=3, n_sweeps=30, burn_in=15, thin=3)
         model = CollapsedJointModel(config).fit(
@@ -159,7 +161,7 @@ class TestCollapsedModel:
     def test_restarts_pick_best_chain(self):
         from repro.core.collapsed import run_chains
 
-        rng = np.random.default_rng(2)
+        rng = ensure_rng(2)
         docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=30)
         config = JointModelConfig(
             n_topics=3, n_sweeps=8, burn_in=4, thin=2, n_restarts=3,
@@ -177,7 +179,7 @@ class TestCollapsedModel:
         from repro.core.joint_model import JointTextureTopicModel
         from repro.eval.metrics import normalized_mutual_information
 
-        rng = np.random.default_rng(3)
+        rng = ensure_rng(3)
         docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=60)
         config = JointModelConfig(n_topics=3, n_sweeps=30, burn_in=15, thin=3)
         semi = JointTextureTopicModel(config).fit(docs, gels, emulsions, 9, rng=4)

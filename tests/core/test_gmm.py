@@ -6,6 +6,8 @@ import pytest
 from repro.core.gmm import BayesianGaussianMixture, GMMConfig
 from repro.errors import ModelError, NotFittedError
 
+from repro.rng import ensure_rng
+
 
 def three_blobs(rng, n_per=40):
     centres = [(-5.0, 0.0), (5.0, 0.0), (0.0, 6.0)]
@@ -18,7 +20,7 @@ def three_blobs(rng, n_per=40):
 
 @pytest.fixture(scope="module")
 def fitted():
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     data, truth = three_blobs(rng)
     config = GMMConfig(n_components=3, n_sweeps=60, burn_in=30, thin=3)
     model = BayesianGaussianMixture(config).fit(data, rng=1)

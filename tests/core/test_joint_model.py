@@ -6,6 +6,8 @@ import pytest
 from repro.core.joint_model import JointModelConfig, JointTextureTopicModel
 from repro.errors import ModelError, NotFittedError
 
+from repro.rng import ensure_rng
+
 
 def synthetic_joint_data(rng, n_docs=90):
     """Three coupled clusters: word range AND gel location per cluster."""
@@ -27,7 +29,7 @@ def synthetic_joint_data(rng, n_docs=90):
 
 @pytest.fixture(scope="module")
 def fitted():
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     docs, gels, emulsions, truth = synthetic_joint_data(rng)
     config = JointModelConfig(n_topics=3, n_sweeps=60, burn_in=30, thin=3)
     model = JointTextureTopicModel(config).fit(
@@ -175,7 +177,7 @@ class TestSerialRegression:
 
     @pytest.fixture(scope="class")
     def pinned(self):
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=45)
         config = JointModelConfig(n_topics=3, n_sweeps=20, burn_in=10, thin=2)
         return JointTextureTopicModel(config).fit(
@@ -206,7 +208,7 @@ class TestSerialRegression:
         assert pinned.y_.tolist() == [2, 0, 1] * 15
 
     def test_restart_selection_pinned(self):
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=45)
         config = JointModelConfig(
             n_topics=3, n_sweeps=12, burn_in=6, thin=2, n_restarts=3

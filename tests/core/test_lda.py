@@ -6,6 +6,8 @@ import pytest
 from repro.core.lda import LDAConfig, LatentDirichletAllocation
 from repro.errors import ModelError, NotFittedError
 
+from repro.rng import ensure_rng
+
 
 def two_topic_corpus(rng, n_docs=60, doc_len=12):
     """Vocabulary 0–3 belongs to topic A, 4–7 to topic B."""
@@ -23,7 +25,7 @@ def two_topic_corpus(rng, n_docs=60, doc_len=12):
 
 @pytest.fixture(scope="module")
 def fitted():
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     docs, truth = two_topic_corpus(rng)
     config = LDAConfig(n_topics=2, n_sweeps=80, burn_in=40, thin=4)
     model = LatentDirichletAllocation(config).fit(docs, vocab_size=8, rng=1)
@@ -78,7 +80,7 @@ class TestFit:
             LatentDirichletAllocation().fit([np.array([9])], vocab_size=5)
 
     def test_deterministic_per_seed(self):
-        rng = np.random.default_rng(4)
+        rng = ensure_rng(4)
         docs, _ = two_topic_corpus(rng, n_docs=20)
         config = LDAConfig(n_topics=2, n_sweeps=10, burn_in=5)
         a = LatentDirichletAllocation(config).fit(docs, 8, rng=2)

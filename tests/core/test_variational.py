@@ -7,10 +7,12 @@ from repro.core.variational import VariationalConfig, VariationalJointModel
 from repro.errors import ModelError, NotFittedError
 from tests.core.test_joint_model import synthetic_joint_data
 
+from repro.rng import ensure_rng
+
 
 @pytest.fixture(scope="module")
 def fitted():
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     docs, gels, emulsions, truth = synthetic_joint_data(rng, n_docs=90)
     config = VariationalConfig(n_topics=3, max_iter=100)
     model = VariationalJointModel(config).fit(

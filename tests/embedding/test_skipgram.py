@@ -6,6 +6,8 @@ import pytest
 from repro.embedding.skipgram import SkipGramConfig, SkipGramModel
 from repro.errors import ModelError, NotFittedError
 
+from repro.rng import ensure_rng
+
 
 def toy_corpus(rng, n=300):
     """Two disjoint topic clusters: fruit words and tool words."""
@@ -20,7 +22,7 @@ def toy_corpus(rng, n=300):
 
 @pytest.fixture(scope="module")
 def trained():
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     sentences = toy_corpus(rng)
     config = SkipGramConfig(dim=16, window=3, epochs=8, min_count=2)
     return SkipGramModel(config).fit(sentences, rng=1)
@@ -48,7 +50,7 @@ class TestTraining:
         assert fruit_hits >= 2
 
     def test_deterministic(self):
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         sentences = toy_corpus(rng, n=100)
         config = SkipGramConfig(dim=8, epochs=2, min_count=1)
         a = SkipGramModel(config).fit(sentences, rng=3)

@@ -6,6 +6,8 @@ import pytest
 from repro.embedding.vocab import Vocabulary
 from repro.errors import ModelError
 
+from repro.rng import ensure_rng
+
 SENTENCES = [
     ["puru", "zerii", "oishii"],
     ["puru", "zerii", "katai"],
@@ -52,7 +54,7 @@ class TestEncode:
     def test_subsampling_drops_frequent_tokens(self):
         sentences = [["the"] * 50 + ["rare"]] * 40
         vocab = Vocabulary(sentences, min_count=1, subsample_t=1e-4)
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         encoded = vocab.encode(sentences[0], rng=rng)
         assert len(encoded) < 51
 
@@ -64,14 +66,14 @@ class TestEncode:
 class TestNegativeSampling:
     def test_shape(self):
         vocab = Vocabulary(SENTENCES, min_count=1)
-        negatives = vocab.sample_negatives((4, 3), np.random.default_rng(0))
+        negatives = vocab.sample_negatives((4, 3), ensure_rng(0))
         assert negatives.shape == (4, 3)
         assert negatives.max() < len(vocab)
 
     def test_frequent_tokens_sampled_more(self):
         sentences = [["common"] * 20 + ["rare"]] * 30
         vocab = Vocabulary(sentences, min_count=1, subsample_t=0)
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         draws = vocab.sample_negatives((5000,), rng)
         common_id = vocab.id_of("common")
         assert (draws == common_id).mean() > 0.5

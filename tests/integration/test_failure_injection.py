@@ -9,6 +9,8 @@ from repro.pipeline.dataset import DatasetBuilder
 from repro.synth.generator import CorpusGenerator
 from repro.synth.presets import CorpusPreset
 
+from repro.rng import ensure_rng
+
 
 def recipe(rid, description="purupuru zerii desu", ingredients=None):
     return Recipe(
@@ -98,7 +100,7 @@ class TestHostileModelInputs:
         """All recipes identical in composition: degenerate Gaussians."""
         from repro.core.joint_model import JointModelConfig, JointTextureTopicModel
 
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         docs = [rng.integers(0, 5, size=3) for _ in range(40)]
         gels = np.tile([4.0, 13.8, 13.8], (40, 1))
         emulsions = np.tile([2.0, 13.8, 13.8, 13.8, 1.0, 13.8], (40, 1))
@@ -109,7 +111,7 @@ class TestHostileModelInputs:
     def test_single_token_vocabulary(self):
         from repro.core.joint_model import JointModelConfig, JointTextureTopicModel
 
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         docs = [np.zeros(2, dtype=int) for _ in range(20)]
         gels = rng.normal(10, 1, size=(20, 3))
         emulsions = rng.normal(10, 1, size=(20, 6))

@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import ParallelError
 from repro.parallel import BACKENDS, ParallelConfig, run_tasks
-from repro.rng import spawn
+from repro.rng import ensure_rng, spawn
 
 
 def _draw(payload, rng):
@@ -131,7 +131,7 @@ class TestModelIntegration:
         from repro.core.joint_model import JointModelConfig
         from tests.core.test_joint_model import synthetic_joint_data
 
-        rng = np.random.default_rng(1)
+        rng = ensure_rng(1)
         docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=30)
         reference = None
         for backend in ("serial", "thread"):

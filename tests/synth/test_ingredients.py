@@ -13,6 +13,8 @@ from repro.synth.ingredients import (
 from repro.units.convert import to_grams
 from repro.units.parser import parse_quantity
 
+from repro.rng import ensure_rng
+
 
 def parsed_grams(text, name):
     from repro.units.parser import is_unquantified
@@ -39,7 +41,7 @@ class TestRoles:
 
     def test_every_role_ingredient_has_physics_or_water_equivalent(self):
         # rendering must never produce an unparseable line
-        rng = np.random.default_rng(0)
+        rng = ensure_rng(0)
         for name in ROLES:
             text = render_quantity(name, 50.0, rng)
             assert parsed_grams(text, name) > 0
@@ -58,7 +60,7 @@ class TestRenderQuantity:
         ],
     )
     def test_round_trip_within_factor(self, name, grams):
-        rng = np.random.default_rng(42)
+        rng = ensure_rng(42)
         for _ in range(10):
             text = render_quantity(name, grams, rng)
             back = parsed_grams(text, name)
@@ -68,18 +70,18 @@ class TestRenderQuantity:
             assert grams / 2.2 <= back <= grams * 2.2
 
     def test_small_gelatin_never_zero(self):
-        rng = np.random.default_rng(3)
+        rng = ensure_rng(3)
         for _ in range(30):
             text = render_quantity("gelatin", 0.8, rng)
             assert parsed_grams(text, "gelatin") > 0
 
     def test_deterministic_given_rng(self):
-        a = render_quantity("milk", 200.0, np.random.default_rng(1))
-        b = render_quantity("milk", 200.0, np.random.default_rng(1))
+        a = render_quantity("milk", 200.0, ensure_rng(1))
+        b = render_quantity("milk", 200.0, ensure_rng(1))
         assert a == b
 
     def test_variety_of_units(self):
-        rng = np.random.default_rng(5)
+        rng = ensure_rng(5)
         rendered = {render_quantity("milk", 200.0, rng) for _ in range(50)}
         assert len(rendered) > 1  # ml / cc / cups all appear over draws
 

@@ -5,15 +5,17 @@ import numpy as np
 from repro.corpus.tokenizer import Tokenizer
 from repro.synth import templates
 
+from repro.rng import ensure_rng
+
 
 def test_pick_is_deterministic_per_rng():
-    a = templates.pick(templates.INTRO_SENTENCES, np.random.default_rng(1))
-    b = templates.pick(templates.INTRO_SENTENCES, np.random.default_rng(1))
+    a = templates.pick(templates.INTRO_SENTENCES, ensure_rng(1))
+    b = templates.pick(templates.INTRO_SENTENCES, ensure_rng(1))
     assert a == b
 
 
 def test_texture_sentence_embeds_term():
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     for _ in range(20):
         sentence = templates.sentence_for_term("purupuru", "zerii", "gelatin", rng)
         assert "purupuru" in sentence
@@ -22,7 +24,7 @@ def test_texture_sentence_embeds_term():
 def test_topping_sentence_keeps_term_near_topping():
     """The word2vec filter needs term and topping within one window."""
     tok = Tokenizer()
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     for _ in range(20):
         sentence = templates.sentence_for_topping("karikari", "almond", rng)
         tokens = tok.tokenize(sentence)
@@ -32,7 +34,7 @@ def test_topping_sentence_keeps_term_near_topping():
 
 
 def test_all_templates_format_cleanly():
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     for template in templates.TEXTURE_SENTENCES:
         assert "{term}" in template
         template.format(term="x", dish="y", gel="z")

@@ -13,6 +13,8 @@ from repro.units.convert import concentrations, information_quantity, to_grams
 from repro.units.parser import parse_quantity
 from repro.units.quantity import Quantity, Unit
 
+from repro.rng import ensure_rng
+
 # --- units ----------------------------------------------------------------
 
 amounts = st.floats(min_value=0.01, max_value=10_000, allow_nan=False)
@@ -119,7 +121,7 @@ def test_variational_elbo_monotone_on_random_data(seed):
     """The CAVI ELBO must be non-decreasing for any data and seed."""
     from repro.core.variational import VariationalConfig, VariationalJointModel
 
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     n = 24
     docs = [rng.integers(0, 6, size=int(rng.integers(1, 5))) for _ in range(n)]
     gels = rng.normal(8.0, 2.0, size=(n, 3))

@@ -19,11 +19,11 @@ class TestEnsureRng:
         assert ensure_rng(1).random() != ensure_rng(2).random()
 
     def test_generator_passthrough(self):
-        gen = np.random.default_rng(5)
+        gen = np.random.default_rng(5)  # repro: noqa[RNG001] - passthrough of a raw generator is the behaviour under test
         assert ensure_rng(gen) is gen
 
     def test_seed_sequence_accepted(self):
-        seq = np.random.SeedSequence(7)
+        seq = np.random.SeedSequence(7)  # repro: noqa[RNG001] - SeedSequence interop is the behaviour under test
         gen = ensure_rng(seq)
         assert isinstance(gen, np.random.Generator)
 
@@ -66,7 +66,7 @@ class TestSeedOf:
         assert seed_of(9) == 9
 
     def test_generator_returns_none(self):
-        assert seed_of(np.random.default_rng(0)) is None
+        assert seed_of(np.random.default_rng(0)) is None  # repro: noqa[RNG001] - raw generators must map to seed None
 
     def test_default_seed_is_stable(self):
         assert DEFAULT_SEED == 20220501
