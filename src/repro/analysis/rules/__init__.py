@@ -9,12 +9,13 @@ from repro.analysis.rules.exceptions import ExceptionDisciplineRule
 from repro.analysis.rules.numerics import GuardedLinalgRule, LogClampRule
 from repro.analysis.rules.obs import ObservabilityNameRule
 from repro.analysis.rules.parallel import ParallelTaskRule
-from repro.analysis.rules.rng import RngDisciplineRule
+from repro.analysis.rules.rng import KernelRngRule, RngDisciplineRule
 from repro.analysis.rules.threading import LockDisciplineRule
 
 #: Every registered rule class, in report order.
 RULE_CLASSES: tuple[type[Rule], ...] = (
     RngDisciplineRule,
+    KernelRngRule,
     GuardedLinalgRule,
     LogClampRule,
     ExceptionDisciplineRule,
@@ -48,6 +49,7 @@ __all__ = [
     "default_rules",
     "rules_by_code",
     "RngDisciplineRule",
+    "KernelRngRule",
     "GuardedLinalgRule",
     "LogClampRule",
     "ExceptionDisciplineRule",

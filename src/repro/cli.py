@@ -275,7 +275,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
     """Execution flags shared by the model-fitting commands."""
-    from repro.core.kernels import KERNELS
+    from repro.core.kernels import KERNEL_CHOICES
 
     parser.add_argument(
         "--backend",
@@ -289,13 +289,14 @@ def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--kernel",
-        choices=KERNELS,
+        choices=KERNEL_CHOICES,
         default="dense",
         help=(
             "token-sampling kernel for the Gibbs z-sweep: dense "
             "(default; bit-identical fast path), legacy (original "
-            "per-token numpy loop) or sparse (SparseLDA buckets + "
-            "alias table, statistically equivalent)"
+            "per-token numpy loop), sparse (SparseLDA buckets + alias "
+            "table), alias (LightLDA Metropolis-Hastings, O(1) per "
+            "token) or auto (pick from K and corpus shape)"
         ),
     )
 

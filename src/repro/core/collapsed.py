@@ -115,9 +115,48 @@ class _BatchedStudentT:
         self._dof_t = np.ones(n_topics)
         self._norm = np.zeros(n_topics)
         self._fresh = np.zeros(n_topics, dtype=bool)
+        # Monotonic per-topic build ids: every rebuild stamps a number
+        # never used before, so a cached density row can validate each
+        # entry by id equality alone. Ids are only ever *restored* to an
+        # older value together with the exact factorisation bits they
+        # stamped (see snapshot/restore), never reused for new bits.
+        self._build = np.zeros(n_topics, dtype=np.int64)
+        self._next_build = 1
+
+    @property
+    def build_versions(self) -> np.ndarray:
+        """Per-topic factorisation version stamps (see ``__init__``)."""
+        return self._build
 
     def invalidate(self, k: int) -> None:
         self._fresh[k] = False
+
+    def snapshot(self, k: int):
+        """Bitwise copy of topic ``k``'s factorisation state.
+
+        Paired with :meth:`restore` around a speculative update: float
+        remove-then-add does not round-trip (``(t - x) + x ≠ t``), so a
+        self-move must put back the exact original bits — including the
+        build id, which re-validates cache entries stamped against it.
+        """
+        return (
+            self._means[k].copy(),
+            self._inv_scale_t[k].copy(),
+            float(self._dof_t[k]),
+            float(self._norm[k]),
+            bool(self._fresh[k]),
+            int(self._build[k]),
+        )
+
+    def restore(self, k: int, snap) -> None:
+        (
+            self._means[k],
+            self._inv_scale_t[k],
+            self._dof_t[k],
+            self._norm[k],
+            self._fresh[k],
+            self._build[k],
+        ) = snap
 
     def _rebuild(self, k: int, stats: "_SuffStats") -> None:
         # Posterior parameters computed inline (equation (4)) — the
@@ -159,6 +198,8 @@ class _BatchedStudentT:
             - 0.5 * (d * np.log(dof_t * np.pi) + logdet_t)  # repro: noqa[NUM002] - dof_t > 0 by prior validation
         )
         self._fresh[k] = True
+        self._build[k] = self._next_build
+        self._next_build += 1
 
     def refresh(self, stats: Sequence["_SuffStats"]) -> None:
         """Rebuild every stale topic from its sufficient statistics."""
@@ -176,6 +217,26 @@ class _BatchedStudentT:
         return self._norm - 0.5 * (self._dof_t + d) * np.log1p(
             quad / self._dof_t
         )
+
+    def logpdf_some(
+        self, stats: Sequence["_SuffStats"], x: np.ndarray, idx: np.ndarray
+    ) -> np.ndarray:
+        """Predictive log-densities of ``x`` for the topic subset ``idx``.
+
+        Entry-for-entry **bitwise equal** to the corresponding entries
+        of :meth:`logpdf_all`: the einsum contraction and the follow-up
+        elementwise arithmetic are per-row computations, so evaluating
+        a row subset performs the identical IEEE operations per entry.
+        This is what lets the density cache recompute only stale topics
+        while staying bit-identical to the uncached sampler.
+        """
+        self.refresh(stats)
+        means = self._means[idx]
+        diff = x - means
+        quad = np.einsum("ki,kij,kj->k", diff, self._inv_scale_t[idx], diff)
+        d = self._means.shape[1]
+        dof = self._dof_t[idx]
+        return self._norm[idx] - 0.5 * (dof + d) * np.log1p(quad / dof)
 
 
 class _CachedPredictive:
@@ -319,6 +380,21 @@ class CollapsedJointModel:
         n_samples = 0
         self.log_likelihoods_ = []
         trace_enabled = trace.is_enabled()
+        # (n_docs, K) density cache: dens_*[d, k] holds topic k's
+        # predictive log-density of document d, valid while ver_*[d, k]
+        # equals the topic's factorisation build id. Only topics whose
+        # statistics changed since document d last looked are
+        # recomputed — O(moves) instead of O(K) per document — and the
+        # recompute path (logpdf_some) is bitwise equal to the full
+        # logpdf_all evaluation, so the flag flips cost, not results.
+        use_cache = cfg.cache_y_densities
+        use_emu = cfg.use_emulsions
+        if use_cache:
+            dens_gel = np.zeros((n_docs, k_range))
+            ver_gel = np.zeros((n_docs, k_range), dtype=np.int64)
+            if use_emu:
+                dens_emu = np.zeros((n_docs, k_range))
+                ver_emu = np.zeros((n_docs, k_range), dtype=np.int64)
 
         for sweep in range(cfg.n_sweeps):
             # -- z updates (identical to the semi-collapsed sampler) --------
@@ -333,23 +409,74 @@ class CollapsedJointModel:
             gauss_ll = 0.0
             for d in range(n_docs):
                 k_old = int(y[d])
-                gel_stats[k_old].remove(gels[d])
-                emu_stats[k_old].remove(emulsions[d])
+                # Snapshot topic k_old before the speculative removal:
+                # if the draw lands back on k_old (most draws do, once
+                # mixed), the exact pre-removal bits are restored —
+                # float remove-then-add does not round-trip, and the
+                # density cache needs the build id put back with them.
+                old_gel = gel_stats[k_old]
+                old_emu = emu_stats[k_old]
+                stats_snap = (
+                    old_gel.n, old_gel.total.copy(), old_gel.scatter.copy(),
+                    old_emu.n, old_emu.total.copy(), old_emu.scatter.copy(),
+                )
+                pred_snap = (
+                    gel_pred.snapshot(k_old), emu_pred.snapshot(k_old)
+                )
+                old_gel.remove(gels[d])
+                old_emu.remove(emulsions[d])
                 gel_pred.invalidate(k_old)
                 emu_pred.invalidate(k_old)
-                gauss = gel_pred.logpdf_all(gel_stats, gels[d])
-                if cfg.use_emulsions:
-                    gauss = gauss + emu_pred.logpdf_all(emu_stats, emulsions[d])
+                if use_cache:
+                    gel_pred.refresh(gel_stats)
+                    stale = np.flatnonzero(
+                        ver_gel[d] != gel_pred.build_versions
+                    )
+                    if stale.size:
+                        dens_gel[d, stale] = gel_pred.logpdf_some(
+                            gel_stats, gels[d], stale
+                        )
+                        ver_gel[d, stale] = gel_pred.build_versions[stale]
+                    gauss = dens_gel[d]
+                    if use_emu:
+                        emu_pred.refresh(emu_stats)
+                        stale = np.flatnonzero(
+                            ver_emu[d] != emu_pred.build_versions
+                        )
+                        if stale.size:
+                            dens_emu[d, stale] = emu_pred.logpdf_some(
+                                emu_stats, emulsions[d], stale
+                            )
+                            ver_emu[d, stale] = emu_pred.build_versions[stale]
+                        gauss = gauss + dens_emu[d]
+                else:
+                    gauss = gel_pred.logpdf_all(gel_stats, gels[d])
+                    if use_emu:
+                        gauss = gauss + emu_pred.logpdf_all(
+                            emu_stats, emulsions[d]
+                        )
                 logits = np.log(counts.n_dk[d] + alpha) + gauss  # repro: noqa[NUM002] - counts >= 0 and alpha > 0 (DirichletPrior)
                 logits -= logsumexp(logits)
                 cumulative = np.cumsum(np.exp(logits))
                 k_new = sample_from_cumulative(cumulative, generator.random())
                 y[d] = k_new
                 gauss_ll += float(gauss[k_new])
-                gel_stats[k_new].add(gels[d])
-                emu_stats[k_new].add(emulsions[d])
-                gel_pred.invalidate(k_new)
-                emu_pred.invalidate(k_new)
+                if k_new == k_old:
+                    # self-move: restore the exact pre-removal state
+                    (
+                        old_gel.n, old_gel.total, old_gel.scatter,
+                        old_emu.n, old_emu.total, old_emu.scatter,
+                    ) = stats_snap
+                    gel_pred.restore(k_old, pred_snap[0])
+                    emu_pred.restore(k_old, pred_snap[1])
+                else:
+                    # k_old's factorisation was just rebuilt from the
+                    # post-removal statistics, which are now its true
+                    # statistics — no invalidation needed for it.
+                    gel_stats[k_new].add(gels[d])
+                    emu_stats[k_new].add(emulsions[d])
+                    gel_pred.invalidate(k_new)
+                    emu_pred.invalidate(k_new)
 
             self.log_likelihoods_.append(
                 word_log_likelihood(docs, counts, alpha, gamma) + gauss_ll

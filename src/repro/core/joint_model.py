@@ -30,7 +30,7 @@ import numpy as np
 from scipy.special import logsumexp
 
 from repro.core import normal_wishart as nw
-from repro.core.kernels import KERNELS, CSRTokens, make_kernel
+from repro.core.kernels import KERNEL_CHOICES, CSRTokens, make_kernel
 from repro.core.lda import word_log_likelihood
 from repro.core.priors import DirichletPrior, NormalWishartPrior
 from repro.core.seeding import kmeans_plus_plus
@@ -78,10 +78,19 @@ class JointModelConfig:
     n_workers: int | None = None
     #: Token-sampling kernel for the z-sweep: "dense" (default,
     #: bit-identical to the historical per-token loop), "legacy" (that
-    #: loop itself, kept for benchmarking) or "sparse" (SparseLDA
-    #: buckets + alias table; statistically equivalent, wins at large
-    #: K). See :mod:`repro.core.kernels`.
+    #: loop itself, kept for benchmarking), "sparse" (SparseLDA
+    #: buckets + alias table), "alias" (LightLDA Metropolis–Hastings,
+    #: O(1) per token) or "auto" (pick from K and corpus shape). The
+    #: last three are statistically equivalent to dense, not
+    #: bit-identical. See :mod:`repro.core.kernels`.
     kernel: str = "dense"
+    #: Cache the per-topic terms of the y-draw between sweeps, keyed on
+    #: the sufficient statistics that feed them, so only topics whose
+    #: membership changed are recomputed. Bit-identical to the uncached
+    #: path (pure memoisation — the RNG stream is untouched); the flag
+    #: exists for A/B verification and memory-constrained runs of the
+    #: collapsed model, whose cache is O(n_docs × K).
+    cache_y_densities: bool = True
 
     def __post_init__(self) -> None:
         from repro.parallel import BACKENDS
@@ -98,7 +107,7 @@ class JointModelConfig:
             raise ModelError(f"unknown backend {self.backend!r}")
         if self.n_workers is not None and self.n_workers < 1:
             raise ModelError("n_workers must be >= 1")
-        if self.kernel not in KERNELS:
+        if self.kernel not in KERNEL_CHOICES:
             raise ModelError(f"unknown sampling kernel {self.kernel!r}")
 
 
@@ -288,16 +297,33 @@ class JointTextureTopicModel:
         n_samples = 0
         self.log_likelihoods_ = []
         trace_enabled = trace.is_enabled()
+        # Per-topic NW posterior cache, keyed on topic membership: a
+        # posterior depends only on {d : y_d = k}, so after a y-sweep
+        # only topics that gained or lost documents need recomputing.
+        # Pure memoisation — identical posteriors, identical RNG stream
+        # — hence bit-identical to the uncached path.
+        use_cache = cfg.cache_y_densities
+        gel_post: list[NormalWishartPrior | None] = [None] * k_range
+        emu_post: list[NormalWishartPrior | None] = [None] * k_range
+        prev_y: np.ndarray | None = None
 
         for sweep in range(cfg.n_sweeps):
             # -- equation (4): resample topic Gaussians given y ------------
+            if use_cache and prev_y is not None:
+                moved = prev_y != y
+                stale = np.unique(np.concatenate((prev_y[moved], y[moved])))
+            else:
+                stale = np.arange(k_range)
+            for k in stale:
+                members = y == k
+                gel_post[k] = nw.posterior(gel_prior, gels[members])
+                emu_post[k] = nw.posterior(emulsion_prior, emulsions[members])
+            prev_y = y.copy()
             gel_params = [
-                nw.sample(nw.posterior(gel_prior, gels[y == k]), generator)
-                for k in range(k_range)
+                nw.sample(gel_post[k], generator) for k in range(k_range)
             ]
             emu_params = [
-                nw.sample(nw.posterior(emulsion_prior, emulsions[y == k]), generator)
-                for k in range(k_range)
+                nw.sample(emu_post[k], generator) for k in range(k_range)
             ]
             # per-doc Gaussian log-likelihood matrix, fixed for the sweep:
             # all K topics evaluated in one batched einsum/slogdet

@@ -26,6 +26,16 @@ three hand-rolled loops:
     equivalent to the dense kernel but *not* bit-identical (it spends
     randomness differently); it wins when ``n_topics`` is large
     relative to the per-word topic support.
+``"alias"``
+    A LightLDA-style Metropolis–Hastings kernel (Yuan et al., WWW'15):
+    per token one O(1) proposal — drawn from a cached per-word Walker
+    alias table or from the document's own token topics, alternating
+    cycle by cycle — followed by an exact acceptance test against the
+    true collapsed conditional. Amortised O(1) per token independent
+    of K; statistically equivalent, not bit-identical.
+``"auto"``
+    Not a kernel but a selection policy: :func:`select_kernel` picks
+    dense, sparse or alias from K and the corpus statistics.
 
 Kernel objects are built **once per fit**: the ragged ``docs`` list is
 flattened into contiguous CSR-style arrays (``token_words``,
@@ -49,14 +59,51 @@ import numpy as np
 from repro.core.state import TopicCounts
 from repro.errors import ModelError
 from repro.obs import metrics, trace
+from repro.obs.log import get_logger
+
+logger = get_logger("repro.core.kernels")
 
 #: Recognised kernel names, in documentation order.
-KERNELS: tuple[str, ...] = ("dense", "legacy", "sparse")
+KERNELS: tuple[str, ...] = ("alias", "dense", "legacy", "sparse")
+
+#: Everything a ``kernel=`` config field accepts: a concrete kernel or
+#: the "auto" selection policy resolved by :func:`make_kernel`.
+KERNEL_CHOICES: tuple[str, ...] = KERNELS + ("auto",)
 
 #: Token moves between Walker-alias rebuilds of the sparse kernel's
 #: smoothing bucket. The bucket's *mass* is always exact — the budget
 #: only bounds how stale the within-bucket distribution may get.
 ALIAS_REFRESH_DEFAULT: int = 2048
+
+
+def build_alias_table(
+    weights: Sequence[float], prob: list[float], alias: list[int]
+) -> float:
+    """Fill ``prob``/``alias`` with Walker's alias decomposition.
+
+    ``weights`` are unnormalised positive masses; after the call, the
+    draw ``slot = int(u * n); slot if u * n - slot < prob[slot] else
+    alias[slot]`` samples index ``k`` with probability
+    ``weights[k] / sum(weights)`` (to within float rounding of the
+    table construction). Returns the total mass so callers tracking an
+    exact bucket mass can resync it from the same pass.
+    """
+    total = sum(weights)
+    n = len(weights)
+    scaled = [w * n / total for w in weights]
+    small = [k for k, p in enumerate(scaled) if p < 1.0]
+    large = [k for k, p in enumerate(scaled) if p >= 1.0]
+    while small and large:
+        s_k, l_k = small.pop(), large.pop()
+        prob[s_k] = scaled[s_k]
+        alias[s_k] = l_k
+        scaled[l_k] = (scaled[l_k] + scaled[s_k]) - 1.0
+        (small if scaled[l_k] < 1.0 else large).append(l_k)
+    for k in large:
+        prob[k], alias[k] = 1.0, k
+    for k in small:
+        prob[k], alias[k] = 1.0, k
+    return total
 
 
 def sample_from_cumulative(cumulative: np.ndarray, uniform: float) -> int:
@@ -418,18 +465,22 @@ class SparseKernel(TokenKernel):
 
     with ``q_k = (n'_dk + α_k) n_kv / (n_k + γV)``,
     ``r_k = n'_dk γ / (n_k + γV)`` and ``s_k = α_k γ / (n_k + γV)``.
-    The q and r buckets are rebuilt per token by iterating only the
-    nonzero entries (dict-of-counts mirrors of ``n_kv`` columns and
-    ``n_dk`` rows), and their masses are exact. The smoothing bucket's
-    mass is maintained exactly too (it only changes through ``n_k``),
-    but *within* the bucket — hit with probability ``s / (q + r + s)``,
-    typically well under a percent — topics are drawn from a Walker
-    alias table that is allowed to go stale for up to
-    ``alias_refresh`` token moves before it is rebuilt from the live
-    counts. Statistically equivalent to the dense kernel, not
-    bit-identical: it spends randomness differently (one extra uniform
-    per smoothing-bucket hit) and sums the buckets in a different
-    order.
+    The q bucket is rebuilt per token by iterating only the nonzero
+    ``n_kv`` entries (dict-of-counts mirrors of the columns), and its
+    mass is exact. The doc bucket's mass is maintained *incrementally*
+    — per token move only the ``k_old``/``k_new`` terms change — and
+    recomputed exactly at every document entry so float drift cannot
+    outlive one document; its topics are only materialised (a scan
+    over the document's nonzero topics) on an actual r-bucket hit.
+    The smoothing bucket's mass is maintained exactly too (it only
+    changes through ``n_k``), but *within* the bucket — hit with
+    probability ``s / (q + r + s)``, typically well under a percent —
+    topics are drawn from a Walker alias table that is allowed to go
+    stale for up to ``alias_refresh`` token moves before it is rebuilt
+    from the live counts. Statistically equivalent to the dense
+    kernel, not bit-identical: it spends randomness differently (one
+    extra uniform per smoothing-bucket hit) and sums the buckets in a
+    different order.
     """
 
     def __init__(
@@ -461,11 +512,9 @@ class SparseKernel(TokenKernel):
         self._words: list[int] = self.csr.token_words.tolist()
         self._topics: list[int] = self.csr.token_topics.tolist()
         self._offsets: list[int] = self.csr.doc_offsets.tolist()
-        # Reusable per-token bucket buffers (topic ids + cumulative mass).
+        # Reusable per-token q-bucket buffers (topic ids + cumulative mass).
         self._bucket_topics: list[int] = [0] * n_topics
         self._bucket_cum: list[float] = [0.0] * n_topics
-        self._doc_topics: list[int] = [0] * n_topics
-        self._doc_cum: list[float] = [0.0] * n_topics
         # Walker alias table over the smoothing bucket.
         self._alias_prob: list[float] = [1.0] * n_topics
         self._alias_topic: list[int] = list(range(n_topics))
@@ -491,25 +540,9 @@ class SparseKernel(TokenKernel):
         replaced by a fresh sum every rebuild, so float error cannot
         accumulate past one staleness window.
         """
-        terms = self._smoothing_terms()
-        total = sum(terms)
-        self._smooth_mass = total
-        n_topics = len(terms)
-        prob = self._alias_prob
-        alias = self._alias_topic
-        scaled = [t * n_topics / total for t in terms]
-        small = [k for k, p in enumerate(scaled) if p < 1.0]
-        large = [k for k, p in enumerate(scaled) if p >= 1.0]
-        while small and large:
-            s_k, l_k = small.pop(), large.pop()
-            prob[s_k] = scaled[s_k]
-            alias[s_k] = l_k
-            scaled[l_k] = (scaled[l_k] + scaled[s_k]) - 1.0
-            (small if scaled[l_k] < 1.0 else large).append(l_k)
-        for k in large:
-            prob[k], alias[k] = 1.0, k
-        for k in small:
-            prob[k], alias[k] = 1.0, k
+        self._smooth_mass = build_alias_table(
+            self._smoothing_terms(), self._alias_prob, self._alias_topic
+        )
         self._alias_age = 0
         self.alias_refreshes += 1
 
@@ -535,7 +568,6 @@ class SparseKernel(TokenKernel):
         gamma, v_total = self.gamma, self.v_total
         words, topics, offsets = self._words, self._topics, self._offsets
         q_topics, q_cum = self._bucket_topics, self._bucket_cum
-        r_topics, r_cum = self._doc_topics, self._doc_cum
         refreshes_before = self.alias_refreshes
         self._rebuild_smoothing()
         for d in range(self.csr.n_docs):
@@ -543,21 +575,35 @@ class SparseKernel(TokenKernel):
             uniforms = generator.random(end - start).tolist()
             row = rows[d]
             y_d = -1 if y is None else int(y[d])
+            # Exact doc-bucket mass at document entry — the drift
+            # kill-switch for the incremental ±term updates below, so
+            # float error cannot outlive one document.
+            r_total = 0.0
+            for k, c in row.items():
+                boosted = c + 1.0 if k == y_d else c
+                r_total += boosted * gamma / (nk[k] + v_total)
+            if y_d >= 0 and y_d not in row:
+                r_total += gamma / (nk[y_d] + v_total)
             t = start
             for u in uniforms:
                 v = words[t]
                 k_old = topics[t]
                 column = cols[v]
                 # remove the token (the -dn superscript), keeping the
-                # smoothing mass exact under the n_k change
-                count = row[k_old] - 1
+                # smoothing and doc-bucket masses exact under the change
+                boost_old = 1.0 if k_old == y_d else 0.0
+                count = row[k_old]
+                r_total -= (count + boost_old) * gamma / (
+                    nk[k_old] + v_total
+                )
+                count -= 1
                 if count:
                     row[k_old] = count
                 else:
                     del row[k_old]
-                count = column[k_old] - 1
-                if count:
-                    column[k_old] = count
+                ccount = column[k_old] - 1
+                if ccount:
+                    column[k_old] = ccount
                 else:
                     del column[k_old]
                 n_old = nk[k_old]
@@ -565,21 +611,10 @@ class SparseKernel(TokenKernel):
                 self._smooth_mass += alpha_gamma[k_old] / (
                     n_old - 1 + v_total
                 ) - alpha_gamma[k_old] / (n_old + v_total)
-
-                # document bucket r: nonzero n'_dk only
-                r_total = 0.0
-                n_r = 0
-                for k, c in row.items():
-                    boosted = c + 1.0 if k == y_d else c
-                    r_total += boosted * gamma / (nk[k] + v_total)
-                    r_topics[n_r] = k
-                    r_cum[n_r] = r_total
-                    n_r += 1
-                if y_d >= 0 and y_d not in row:
-                    r_total += gamma / (nk[y_d] + v_total)
-                    r_topics[n_r] = y_d
-                    r_cum[n_r] = r_total
-                    n_r += 1
+                if count or boost_old:
+                    r_total += (count + boost_old) * gamma / (
+                        nk[k_old] + v_total
+                    )
 
                 # topic-word bucket q: nonzero n_kv only
                 q_total = 0.0
@@ -597,21 +632,44 @@ class SparseKernel(TokenKernel):
                 if target < q_total:
                     k_new = q_topics[bisect_left(q_cum, target, 0, n_q)]
                 elif target - q_total < r_total:
-                    k_new = r_topics[
-                        bisect_left(r_cum, target - q_total, 0, n_r)
-                    ]
+                    # materialise the doc bucket lazily — only on a hit
+                    rem = target - q_total
+                    acc = 0.0
+                    k_new = -1
+                    for k, c in row.items():
+                        boosted = c + 1.0 if k == y_d else c
+                        acc += boosted * gamma / (nk[k] + v_total)
+                        k_new = k
+                        if acc >= rem:
+                            break
+                    else:
+                        if y_d >= 0 and y_d not in row:
+                            k_new = y_d
+                    if k_new < 0:
+                        # drift pushed r_total above the true mass of an
+                        # empty bucket; fall through to the smoothing draw
+                        k_new = self._draw_smoothing(generator)
                 else:
                     k_new = self._draw_smoothing(generator)
 
                 # add the token back under its new topic
                 topics[t] = k_new
-                row[k_new] = row.get(k_new, 0) + 1
+                boost_new = 1.0 if k_new == y_d else 0.0
+                count = row.get(k_new, 0)
+                if count or boost_new:
+                    r_total -= (count + boost_new) * gamma / (
+                        nk[k_new] + v_total
+                    )
+                row[k_new] = count + 1
                 column[k_new] = column.get(k_new, 0) + 1
                 n_old = nk[k_new]
                 nk[k_new] = n_old + 1
                 self._smooth_mass += alpha_gamma[k_new] / (
                     n_old + 1 + v_total
                 ) - alpha_gamma[k_new] / (n_old + v_total)
+                r_total += (count + 1 + boost_new) * gamma / (
+                    nk[k_new] + v_total
+                )
                 self._alias_age += 1
                 t += 1
         if trace.is_enabled():
@@ -635,6 +693,288 @@ class SparseKernel(TokenKernel):
         self.csr.token_topics[...] = self._topics
 
 
+class AliasKernel(TokenKernel):
+    """LightLDA-style Metropolis–Hastings kernel: O(1) per token.
+
+    Instead of materialising the K-term conditional, each token gets
+    **one** cheap proposal followed by an exact MH acceptance test
+    against the true collapsed conditional (with the ``M_dk`` boost of
+    the joint models), so the stationary distribution is exactly the
+    conditional of equation (2) no matter how stale the proposal is.
+    Proposal types alternate per token (and the phase flips every
+    sweep), cycling the two factors of the conditional:
+
+    word proposal
+        ``q_w(k) ∝ (n_kv + γ) / (n_k + γV)`` drawn in O(1) from a
+        per-word Walker alias table. Tables are built lazily on first
+        use and allowed to serve up to ``alias_refresh`` draws before
+        being rebuilt from the live counts (the staleness budget). The
+        exact weights each table was built from are kept alongside it:
+        the MH ratio must use the *proposal's own* (stale) weights,
+        not the live counts, for the acceptance to stay exact.
+    doc proposal
+        ``q_d(k) ∝ n_dk + α_k`` (token-inclusive count) drawn in O(1)
+        without any per-document table: with probability
+        ``len(doc) / (len(doc) + Σα)`` pick the topic of a uniformly
+        random token position of the document (the positions *are* an
+        alias table for the count term), otherwise draw from a static
+        Walker table over ``α``. Never stale — but state-dependent, so
+        the Hastings ratio pairs the forward density with the
+        *reverse-state* density; the token-inclusive +1 terms cancel
+        and the ratio reduces to the exclusive doc counts.
+
+    Per token exactly two uniforms are consumed (proposal + acceptance,
+    batched per document), so the RNG stream is deterministic given the
+    corpus layout. Statistically equivalent to the dense kernel, not
+    bit-identical. Amortised cost per token is O(1 + K/alias_refresh),
+    independent of K for the default budget ``max(4K, 256)``.
+    """
+
+    def __init__(
+        self,
+        csr: CSRTokens,
+        counts: TopicCounts,
+        alpha: np.ndarray,
+        gamma: float,
+        alias_refresh: int | None = None,
+    ) -> None:
+        super().__init__(csr, counts, alpha, gamma)
+        n_topics = self.n_topics
+        if alias_refresh is None:
+            # amortise the O(K) table rebuild well below one op per
+            # draw; MH acceptance corrects the extra staleness exactly
+            alias_refresh = max(4 * n_topics, 256)
+        if alias_refresh < 1:
+            raise ModelError("alias_refresh must be >= 1")
+        self._alias_refresh = alias_refresh
+        self._rows: list[dict[int, int]] = [
+            {k: int(c) for k, c in enumerate(row) if c}
+            for row in counts.n_dk
+        ]
+        self._nvk: list[list[int]] = [
+            [int(c) for c in column] for column in counts.n_kv.T
+        ]
+        self._nk: list[int] = [int(c) for c in counts.n_k]
+        self._alpha_list: list[float] = [float(a) for a in self.alpha]
+        self._alpha_sum: float = sum(self._alpha_list)
+        self._words: list[int] = self.csr.token_words.tolist()
+        self._topics: list[int] = self.csr.token_topics.tolist()
+        self._offsets: list[int] = self.csr.doc_offsets.tolist()
+        # Per-word Walker tables, built lazily on first proposal. The
+        # weight list each table was built from is retained — the MH
+        # ratio needs the stale proposal density, not the live counts.
+        vocab_size = counts.vocab_size
+        self._wprob: list[list[float] | None] = [None] * vocab_size
+        self._walias: list[list[int] | None] = [None] * vocab_size
+        self._wweight: list[list[float] | None] = [None] * vocab_size
+        self._wage: list[int] = [0] * vocab_size
+        # Static alias table over α for the doc proposal's prior part.
+        self._aprob: list[float] = [1.0] * n_topics
+        self._aalias: list[int] = list(range(n_topics))
+        if n_topics > 1:
+            build_alias_table(self._alpha_list, self._aprob, self._aalias)
+        #: Flips every sweep so the word/doc proposal alternation also
+        #: alternates per token *position* across sweeps.
+        self._sweep_parity = 0
+        #: Lifetime count of per-word alias-table (re)builds
+        #: (observability surface; the tracer reports per-sweep deltas).
+        self.alias_refreshes: int = 0
+
+    def _rebuild_word_table(self, v: int) -> list[float]:
+        """(Re)build word ``v``'s alias table from the live counts."""
+        v_total, nk, gamma = self.v_total, self._nk, self.gamma
+        weights = [
+            (c + gamma) / (n + v_total) for c, n in zip(self._nvk[v], nk)
+        ]
+        prob = self._wprob[v]
+        alias = self._walias[v]
+        if prob is None or alias is None:
+            n_topics = len(weights)
+            prob = [1.0] * n_topics
+            alias = list(range(n_topics))
+            self._wprob[v] = prob
+            self._walias[v] = alias
+        if len(weights) > 1:
+            build_alias_table(weights, prob, alias)
+        self._wweight[v] = weights
+        self._wage[v] = 0
+        self.alias_refreshes += 1
+        return weights
+
+    def sweep(
+        self, generator: np.random.Generator, y: np.ndarray | None = None
+    ) -> None:
+        rows, nvk, nk = self._rows, self._nvk, self._nk
+        alpha, alpha_sum = self._alpha_list, self._alpha_sum
+        gamma, v_total = self.gamma, self.v_total
+        words, topics, offsets = self._words, self._topics, self._offsets
+        wprob, walias = self._wprob, self._walias
+        wweight, wage = self._wweight, self._wage
+        aprob, aalias = self._aprob, self._aalias
+        refresh = self._alias_refresh
+        n_topics = len(nk)
+        last = n_topics - 1
+        parity = self._sweep_parity
+        refreshes_before = self.alias_refreshes
+        # Two uniforms per token (proposal + acceptance), drawn as one
+        # batch per sweep: the bench corpora average ~1–2 tokens per
+        # document, where a per-document generator call would dominate
+        # the whole token budget. The kernel owns its RNG pattern, so
+        # one deterministic batch is as reproducible as many.
+        uniforms = generator.random(2 * self.csr.n_tokens).tolist()
+        i = 0
+        for d in range(self.csr.n_docs):
+            start, end = offsets[d], offsets[d + 1]
+            n_d = end - start
+            row = rows[d]
+            row_get = row.get
+            y_d = -1 if y is None else int(y[d])
+            doc_mass = n_d + alpha_sum
+            for t in range(start, end):
+                v = words[t]
+                k_old = topics[t]
+                # remove the token (the -dn superscript)
+                count = row[k_old] - 1
+                if count:
+                    row[k_old] = count
+                else:
+                    del row[k_old]
+                col = nvk[v]
+                col[k_old] -= 1
+                nk[k_old] -= 1
+                u1 = uniforms[i]
+                u2 = uniforms[i + 1]
+                i += 2
+                if (t + parity) & 1:
+                    # -- word proposal from the (stale) alias table ----
+                    weights_v = wweight[v]
+                    if weights_v is None or wage[v] >= refresh:
+                        weights_v = self._rebuild_word_table(v)
+                    wage[v] += 1
+                    scaled = u1 * n_topics
+                    slot = int(scaled)
+                    if slot > last:
+                        slot = last
+                    if scaled - slot < wprob[v][slot]:  # type: ignore[index]
+                        k_new = slot
+                    else:
+                        k_new = walias[v][slot]  # type: ignore[index]
+                    if k_new != k_old:
+                        base_new = row_get(k_new, 0) + alpha[k_new]
+                        base_old = row_get(k_old, 0) + alpha[k_old]
+                        if k_new == y_d:
+                            base_new += 1.0  # the M_dk term
+                        elif k_old == y_d:
+                            base_old += 1.0
+                        p_new = (
+                            base_new
+                            * (col[k_new] + gamma)
+                            / (nk[k_new] + v_total)
+                        )
+                        p_old = (
+                            base_old
+                            * (col[k_old] + gamma)
+                            / (nk[k_old] + v_total)
+                        )
+                        # accept w.p. min(1, (p_new q(k_old))/(p_old q(k_new)))
+                        if (
+                            u2 * p_old * weights_v[k_new]
+                            >= p_new * weights_v[k_old]
+                        ):
+                            k_new = k_old
+                else:
+                    # -- doc proposal: token positions + α table -------
+                    scaled = u1 * doc_mass
+                    if scaled < n_d:
+                        k_new = topics[start + int(scaled)]
+                    else:
+                        # reuse the tail of the uniform for the α draw
+                        ascaled = (scaled - n_d) / alpha_sum * n_topics
+                        slot = int(ascaled)
+                        if slot > last:
+                            slot = last
+                        if ascaled - slot < aprob[slot]:
+                            k_new = slot
+                        else:
+                            k_new = aalias[slot]
+                    if k_new != k_old:
+                        # The draw itself uses token-inclusive counts
+                        # (topics[t] still records k_old), but the
+                        # Hastings ratio needs the *reverse-state*
+                        # density q(k_old | token at k_new), where the
+                        # +1 sits at k_new instead — so the inclusive
+                        # terms cancel and both sides reduce to the
+                        # exclusive counts. (Using the inclusive count
+                        # for k_old, as LightLDA's printed formula does,
+                        # measurably breaks detailed balance on short
+                        # documents — the staleness chi-square test
+                        # catches it.)
+                        base_new = row_get(k_new, 0) + alpha[k_new]
+                        base_old = row_get(k_old, 0) + alpha[k_old]
+                        boost_new = base_new + 1.0 if k_new == y_d else base_new
+                        boost_old = base_old + 1.0 if k_old == y_d else base_old
+                        p_new = (
+                            boost_new
+                            * (col[k_new] + gamma)
+                            / (nk[k_new] + v_total)
+                        )
+                        p_old = (
+                            boost_old
+                            * (col[k_old] + gamma)
+                            / (nk[k_old] + v_total)
+                        )
+                        if u2 * p_old * base_new >= p_new * base_old:
+                            k_new = k_old
+                # add the token back under its (possibly new) topic
+                topics[t] = k_new
+                row[k_new] = row_get(k_new, 0) + 1
+                col[k_new] += 1
+                nk[k_new] += 1
+        self._sweep_parity = parity ^ 1
+        if trace.is_enabled():
+            metrics.registry.counter("kernel.alias_refresh").inc(
+                self.alias_refreshes - refreshes_before
+            )
+        self._sync_out()
+
+    def _sync_out(self) -> None:
+        """Write the sparse-row/dense-column mirrors back to numpy."""
+        counts = self.counts
+        counts.n_dk[...] = 0
+        for d, row in enumerate(self._rows):
+            for k, c in row.items():
+                counts.n_dk[d, k] = c
+        counts.n_kv.T[...] = self._nvk
+        counts.n_k[...] = self._nk
+        self.csr.token_topics[...] = self._topics
+
+
+def select_kernel(
+    n_topics: int, n_docs: int, n_tokens: int, vocab_size: int
+) -> str:
+    """The ``kernel="auto"`` policy: pick a concrete kernel from shape.
+
+    The decision table (pinned by a unit test, re-derived from
+    ``BENCH_sampler.json`` whenever the floors move):
+
+    * small K (≤ 24): ``dense`` — the O(K) flat loop's constants beat
+      every O(1) scheme while K is this small, and it stays
+      bit-identical to the reference;
+    * large K with an affordable table footprint: ``alias`` — the MH
+      proposals are O(1) in K, so it wins as soon as dense's O(K) scan
+      dominates;
+    * large K with a huge ``V × K`` table footprint (> 64M cells):
+      ``sparse`` — per-word alias tables would not fit comfortably, so
+      fall back to the bucket decomposition whose memory follows the
+      nonzero support instead.
+    """
+    if n_topics <= 24:
+        return "dense"
+    if vocab_size * n_topics > 64_000_000:
+        return "sparse"
+    return "alias"
+
+
 def make_kernel(
     name: str,
     csr: CSRTokens,
@@ -642,7 +982,20 @@ def make_kernel(
     alpha: np.ndarray,
     gamma: float,
 ) -> TokenKernel:
-    """Instantiate the named token-sampling kernel over a flattened corpus."""
+    """Instantiate the named token-sampling kernel over a flattened corpus.
+
+    ``"auto"`` resolves through :func:`select_kernel` first (and bumps
+    the ``sampler.kernel_selected`` counter when tracing is on).
+    """
+    if name == "auto":
+        name = select_kernel(
+            counts.n_topics, csr.n_docs, csr.n_tokens, counts.vocab_size
+        )
+        logger.debug("kernel auto-selection picked %r", name)
+        if trace.is_enabled():
+            metrics.registry.counter("sampler.kernel_selected").inc()
+    if name == "alias":
+        return AliasKernel(csr, counts, alpha, gamma)
     if name == "dense":
         return DenseKernel(csr, counts, alpha, gamma)
     if name == "legacy":

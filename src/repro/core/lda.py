@@ -14,7 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.kernels import KERNELS, CSRTokens, make_kernel
+from repro.core.kernels import KERNEL_CHOICES, CSRTokens, make_kernel
 from repro.core.priors import DirichletPrior
 from repro.core.state import TopicCounts, initialise_assignments, validate_docs
 from repro.core.telemetry import should_sample, sweep_telemetry
@@ -34,8 +34,10 @@ class LDAConfig:
     burn_in: int = 200
     thin: int = 5
     #: Token-sampling kernel: "dense" (default, bit-identical fast
-    #: path), "legacy" (original per-token numpy loop) or "sparse"
-    #: (SparseLDA buckets + alias table; statistically equivalent).
+    #: path), "legacy" (original per-token numpy loop), "sparse"
+    #: (SparseLDA buckets + alias table), "alias" (LightLDA MH, O(1)
+    #: per token) or "auto" (picked from K and corpus shape); the last
+    #: three are statistically equivalent, not bit-identical.
     kernel: str = "dense"
 
     def __post_init__(self) -> None:
@@ -45,7 +47,7 @@ class LDAConfig:
             raise ModelError("need 0 <= burn_in < n_sweeps")
         if self.thin < 1:
             raise ModelError("thin must be >= 1")
-        if self.kernel not in KERNELS:
+        if self.kernel not in KERNEL_CHOICES:
             raise ModelError(f"unknown sampling kernel {self.kernel!r}")
 
 

@@ -58,6 +58,7 @@ METRICS: frozenset[str] = frozenset(
         "executor.task_run_seconds",
         "executor.task_wait_seconds",
         "kernel.alias_refresh",
+        "sampler.kernel_selected",
         "sampler.sweep_log_likelihood",
         "sampler.sweep_seconds",
         "sampler.sweeps",

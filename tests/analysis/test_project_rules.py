@@ -15,6 +15,7 @@ from repro.analysis.graph import ProjectContext
 from repro.analysis.rules.determinism import FingerprintPurityRule
 from repro.analysis.rules.envelope import ErrorEnvelopeRule
 from repro.analysis.rules.obs import ObservabilityNameRule
+from repro.analysis.rules.rng import KernelRngRule
 from repro.analysis.rules.threading import LockDisciplineRule
 
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -302,6 +303,82 @@ class TestObservabilityNames:
             "typo_metric.py", "tests/analysis/fixtures/typo_metric.py"
         )
         assert run_file(ObservabilityNameRule(), ctx) == []
+
+
+KERNEL_MINTS_STREAM = """
+from repro.core.kernels import TokenKernel
+from repro.rng import ensure_rng
+
+class ShadyKernel(TokenKernel):
+    def sweep(self, generator, y=None):
+        local = ensure_rng(0)  # the seeded defect
+        return local.random()
+"""
+
+
+class TestKernelRng:
+    def test_stream_minting_inside_kernel_flagged(self):
+        ctx = ctx_from_source(
+            KERNEL_MINTS_STREAM, "src/repro/core/shady.py"
+        )
+        violations = run_project(KernelRngRule(), ctx)
+        assert [v.rule for v in violations] == ["RNG002"]
+        assert "ensure_rng" in violations[0].message
+        assert "ShadyKernel.sweep" in violations[0].message
+
+    def test_minting_via_reachable_helper_flagged(self):
+        ctx = ctx_from_source(
+            """
+            from repro.core.kernels import TokenKernel
+            from repro.rng import derive
+
+            def _fresh_stream():
+                return derive(0, "kernel")
+
+            class SneakyKernel(TokenKernel):
+                def sweep(self, generator, y=None):
+                    return _fresh_stream().random()
+            """,
+            "src/repro/core/sneaky.py",
+        )
+        violations = run_project(KernelRngRule(), ctx)
+        assert [v.rule for v in violations] == ["RNG002"]
+        assert "reachable from" in violations[0].message
+
+    def test_generator_parameter_use_passes(self):
+        ctx = ctx_from_source(
+            """
+            from repro.core.kernels import TokenKernel
+
+            class HonestKernel(TokenKernel):
+                def sweep(self, generator, y=None):
+                    return generator.random()
+            """,
+            "src/repro/core/honest.py",
+        )
+        assert run_project(KernelRngRule(), ctx) == []
+
+    def test_minting_outside_kernels_not_this_rules_problem(self):
+        ctx = ctx_from_source(
+            """
+            from repro.rng import ensure_rng
+
+            def seed_everything():
+                return ensure_rng(0).random()
+            """,
+            "src/repro/pipeline/seeds.py",
+        )
+        assert run_project(KernelRngRule(), ctx) == []
+
+    def test_shipped_kernel_layer_is_clean(self):
+        root = Path(__file__).resolve().parents[2]
+        rel = "src/repro/core/kernels.py"
+        source = (root / rel).read_text()
+        ctx = FileContext(
+            path=root / rel, relpath=rel, source=source,
+            tree=ast.parse(source),
+        )
+        assert run_project(KernelRngRule(), ctx) == []
 
 
 ERRORS_SOURCE = """

@@ -158,6 +158,42 @@ class TestCollapsedModel:
         model, _ = fitted
         assert len(model.log_likelihoods_) == model.config.n_sweeps
 
+    def test_y_density_cache_bit_identical(self):
+        """The per-(doc, topic) Student-t density cache, keyed on
+        factorization build ids, must reproduce the uncached fit
+        bitwise — including the self-move snapshot/restore path."""
+        rng = ensure_rng(4)
+        docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=45)
+        fits = {}
+        for cache in (True, False):
+            config = JointModelConfig(
+                n_topics=3, n_sweeps=14, burn_in=7, thin=2,
+                cache_y_densities=cache,
+            )
+            fits[cache] = CollapsedJointModel(config).fit(
+                docs, gels, emulsions, vocab_size=9, rng=4
+            )
+        a, b = fits[True], fits[False]
+        assert np.array_equal(a.phi_, b.phi_)
+        assert np.array_equal(a.y_, b.y_)
+        assert np.array_equal(a.gel_means_, b.gel_means_)
+        assert a.log_likelihoods_ == b.log_likelihoods_
+
+    def test_y_density_cache_bit_identical_without_emulsions(self):
+        rng = ensure_rng(9)
+        docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=30)
+        fits = {}
+        for cache in (True, False):
+            config = JointModelConfig(
+                n_topics=3, n_sweeps=10, burn_in=5, thin=2,
+                use_emulsions=False, cache_y_densities=cache,
+            )
+            fits[cache] = CollapsedJointModel(config).fit(
+                docs, gels, emulsions, vocab_size=9, rng=4
+            )
+        assert np.array_equal(fits[True].y_, fits[False].y_)
+        assert fits[True].log_likelihoods_ == fits[False].log_likelihoods_
+
     def test_restarts_pick_best_chain(self):
         from repro.core.collapsed import run_chains
 

@@ -126,6 +126,26 @@ class TestDeterminism:
         assert np.allclose(a.phi_, b.phi_)
         assert np.array_equal(a.y_, b.y_)
 
+    def test_y_density_cache_bit_identical(self, rng):
+        """The membership-keyed posterior cache is pure memoisation:
+        every field of the fit must match the uncached path bitwise."""
+        docs, gels, emulsions, _ = synthetic_joint_data(rng, n_docs=30)
+        fits = {}
+        for cache in (True, False):
+            config = JointModelConfig(
+                n_topics=3, n_sweeps=12, burn_in=6, thin=2,
+                cache_y_densities=cache,
+            )
+            fits[cache] = JointTextureTopicModel(config).fit(
+                docs, gels, emulsions, 9, rng=5
+            )
+        a, b = fits[True], fits[False]
+        assert np.array_equal(a.phi_, b.phi_)
+        assert np.array_equal(a.theta_, b.theta_)
+        assert np.array_equal(a.y_, b.y_)
+        assert np.array_equal(a.gel_means_, b.gel_means_)
+        assert a.log_likelihoods_ == b.log_likelihoods_
+
 
 class TestRestarts:
     def test_invalid_count_rejected(self):

@@ -19,13 +19,17 @@ from hypothesis import strategies as st
 
 from repro.core.joint_model import JointModelConfig, JointTextureTopicModel
 from repro.core.kernels import (
+    KERNEL_CHOICES,
     KERNELS,
+    AliasKernel,
     CSRTokens,
     DenseKernel,
     LegacyKernel,
     SparseKernel,
+    build_alias_table,
     make_kernel,
     sample_from_cumulative,
+    select_kernel,
 )
 from repro.core.lda import LatentDirichletAllocation, LDAConfig
 from repro.core.priors import DirichletPrior
@@ -298,6 +302,177 @@ class TestSparseKernel:
         observed = draws / draws.sum()
         assert np.abs(observed - expected).max() < 0.02
 
+    def test_all_empty_docs(self):
+        """The incremental doc bucket must survive zero-token documents."""
+        docs = [np.array([], dtype=np.int64) for _ in range(5)]
+        kernel, generator = _build_kernel("sparse", docs, 9, 4, 0)
+        y = ensure_rng(0).integers(0, 4, size=len(docs))
+        for sweep in range(3):
+            kernel.sweep(generator, None if sweep % 2 else y)
+            kernel.counts.check()
+        assert kernel.counts.n_k.sum() == 0
+
+    def test_single_topic_doc(self):
+        """A document whose tokens all share one topic: the doc bucket
+        has exactly one nonzero entry, and removing a token may drive
+        that entry to zero mid-document — both paths must keep the
+        incremental r-mass and the counts exact."""
+        docs = [np.array([0, 1, 2, 0, 1], dtype=np.int64),
+                np.array([3], dtype=np.int64)]
+        counts = TopicCounts(len(docs), 4, 9)
+        z = [np.full(len(d), 2, dtype=np.int64) for d in docs]
+        for d, (doc, zs) in enumerate(zip(docs, z)):
+            for v, k in zip(doc, zs):
+                counts.n_dk[d, k] += 1
+                counts.n_kv[k, v] += 1
+                counts.n_k[k] += 1
+                counts.n_d[d] += 1
+        csr = CSRTokens.from_docs(docs, z)
+        kernel = SparseKernel(
+            csr, counts, DirichletPrior(0.5).vector(4), 0.1
+        )
+        generator = ensure_rng(3)
+        y = np.array([2, 1])
+        for sweep in range(6):
+            kernel.sweep(generator, None if sweep % 2 else y)
+            kernel.counts.check()
+        assert kernel.counts.n_k.sum() == csr.n_tokens
+
+
+# -- alias kernel -------------------------------------------------------------
+
+
+class TestAliasKernel:
+    def test_counts_stay_consistent(self, rng):
+        docs = synthetic_docs(rng)
+        y = ensure_rng(0).integers(0, 4, size=len(docs))
+        kernel, generator = _build_kernel("alias", docs, 9, 4, 0)
+        assert isinstance(kernel, AliasKernel)
+        for sweep in range(6):
+            kernel.sweep(generator, None if sweep % 2 else y)
+            kernel.counts.check()
+        assert kernel.counts.n_k.sum() == kernel.csr.n_tokens
+
+    def test_matches_dense_partition(self):
+        """Alias/MH recovers the dense partition (NMI) over three
+        seeds — the same :func:`run_chains` harness the sparse kernel's
+        statistical-equivalence test uses."""
+        from repro.core.collapsed import run_chains
+
+        rng = ensure_rng(1)
+        docs, gels, emulsions, truth = synthetic_joint_data(rng, n_docs=90)
+        assignments = {}
+        for kernel in ("dense", "alias"):
+            config = JointModelConfig(
+                n_topics=3, n_sweeps=40, burn_in=20, thin=2, kernel=kernel
+            )
+            chains = run_chains(
+                config, docs, gels, emulsions, vocab_size=9, n_chains=3,
+                rng=2,
+            )
+            assignments[kernel] = [
+                chain.topic_assignments() for chain in chains
+            ]
+        for dense_z, alias_z in zip(
+            assignments["dense"], assignments["alias"]
+        ):
+            assert normalized_mutual_information(dense_z, alias_z) > 0.8
+            assert normalized_mutual_information(alias_z, truth) > 0.8
+
+    def test_alias_refresh_validation(self, rng):
+        docs = synthetic_docs(rng)
+        counts = TopicCounts(len(docs), 4, 9)
+        generator = ensure_rng(0)
+        z = initialise_assignments(docs, counts, generator)
+        with pytest.raises(ModelError):
+            AliasKernel(
+                CSRTokens.from_docs(docs, z), counts,
+                DirichletPrior(1.0).vector(4), 0.1, alias_refresh=0,
+            )
+
+    def test_empty_docs_consume_no_randomness(self):
+        docs = [np.array([], dtype=np.int64) for _ in range(4)]
+        kernel, generator = _build_kernel("alias", docs, 9, 3, 0)
+        kernel.sweep(generator)
+        kernel.counts.check()
+        assert kernel.counts.n_k.sum() == 0
+
+    @staticmethod
+    def _stale_fixture(stale_weights):
+        """One token of word 0 over phantom background counts, with the
+        word-proposal table deliberately built from ``stale_weights``
+        instead of the live counts (and a refresh budget that never
+        triggers a rebuild)."""
+        docs = [np.array([0], dtype=np.int64)]
+        counts = TopicCounts(1, 3, 3)
+        generator = ensure_rng(5)
+        z = initialise_assignments(docs, counts, generator)
+        # Phantom corpus: fixed background counts the single token sits
+        # on top of, so its exact conditional is non-trivial and
+        # constant across sweeps.
+        background = np.array(
+            [[50, 5, 5], [5, 30, 5], [2, 2, 20]], dtype=counts.n_kv.dtype
+        )
+        counts.n_kv += background
+        counts.n_k += background.sum(axis=1)
+        alpha = np.array([0.5, 1.0, 2.0])
+        kernel = AliasKernel(
+            CSRTokens.from_docs(docs, z), counts, alpha, 0.1,
+            alias_refresh=10**9,
+        )
+        prob, alias = [1.0] * 3, [0, 1, 2]
+        build_alias_table(stale_weights, prob, alias)
+        kernel._wprob[0] = prob
+        kernel._walias[0] = alias
+        kernel._wweight[0] = list(stale_weights)
+        kernel._wage[0] = 0
+        # Exact conditional with the token removed: the background is
+        # all that remains, so p(k) ∝ α_k (n_kv+γ)/(n_k+γV) is fixed.
+        v_total = 0.1 * 3
+        weights = alpha * (background[:, 0] + 0.1) / (
+            background.sum(axis=1) + v_total
+        )
+        return kernel, generator, weights / weights.sum()
+
+    @pytest.mark.parametrize(
+        "stale_weights",
+        [[0.7, 0.2, 0.1], [0.05, 0.05, 0.9], [1.0, 1.0, 1.0]],
+    )
+    def test_mh_targets_exact_conditional_despite_stale_tables(
+        self, stale_weights
+    ):
+        """Chi-square: however wrong the stale proposal is, the MH
+        acceptance must leave the chain targeting the exact collapsed
+        conditional. Word and doc proposals alternate across sweeps, so
+        both cycles are exercised."""
+        kernel, generator, expected = self._stale_fixture(stale_weights)
+        n_sweeps, thin = 30000, 3
+        hits = np.zeros(3)
+        for sweep in range(n_sweeps):
+            kernel.sweep(generator)
+            if sweep % thin == 0:
+                hits[kernel._topics[0]] += 1
+        # table never rebuilt: the proposal stayed stale throughout
+        assert kernel._wweight[0] == list(stale_weights)
+        n = hits.sum()
+        chi2 = float((((hits - n * expected) ** 2) / (n * expected)).sum())
+        # df=2 critical value at p=0.001 is 13.8; thinned MH samples are
+        # still mildly correlated, so allow generous headroom.
+        assert chi2 < 25.0, (hits / n, expected)
+
+    def test_word_tables_refresh_on_budget(self, rng):
+        docs = synthetic_docs(rng, n_docs=40)
+        counts = TopicCounts(len(docs), 4, 9)
+        generator = ensure_rng(2)
+        z = initialise_assignments(docs, counts, generator)
+        kernel = AliasKernel(
+            CSRTokens.from_docs(docs, z), counts,
+            DirichletPrior(1.0).vector(4), 0.1, alias_refresh=1,
+        )
+        before = kernel.alias_refreshes
+        kernel.sweep(generator)
+        assert kernel.alias_refreshes > before
+
 
 # -- wiring -------------------------------------------------------------------
 
@@ -319,7 +494,37 @@ class TestKernelSelection:
             )
 
     def test_kernel_names_exported(self):
-        assert set(KERNELS) == {"dense", "legacy", "sparse"}
+        assert set(KERNELS) == {"alias", "dense", "legacy", "sparse"}
+        assert set(KERNEL_CHOICES) == set(KERNELS) | {"auto"}
+
+    def test_auto_accepted_by_configs(self):
+        assert LDAConfig(kernel="auto").kernel == "auto"
+        assert JointModelConfig(kernel="auto").kernel == "auto"
+
+    def test_auto_decision_table(self):
+        """Pins the ``kernel="auto"`` policy. Re-derive from
+        ``BENCH_sampler.json`` before moving any of these cells."""
+        # small K → dense, regardless of corpus size
+        assert select_kernel(10, 100, 10_000, 500) == "dense"
+        assert select_kernel(24, 1_000_000, 10**8, 100_000) == "dense"
+        # large K, affordable V×K table footprint → alias
+        assert select_kernel(25, 100, 10_000, 500) == "alias"
+        assert select_kernel(50, 3000, 10**6, 20_000) == "alias"
+        assert select_kernel(200, 3000, 10**6, 200_000) == "alias"
+        # large K and V×K > 64M cells → sparse (table memory blows up)
+        assert select_kernel(200, 3000, 10**6, 400_000) == "sparse"
+        assert select_kernel(1000, 10**6, 10**9, 100_000) == "sparse"
+
+    def test_make_kernel_auto_resolves(self, rng):
+        docs = synthetic_docs(rng)
+        counts = TopicCounts(len(docs), 4, 9)
+        generator = ensure_rng(0)
+        z = initialise_assignments(docs, counts, generator)
+        kernel = make_kernel(
+            "auto", CSRTokens.from_docs(docs, z), counts,
+            DirichletPrior(1.0).vector(4), 0.1,
+        )
+        assert isinstance(kernel, DenseKernel)  # K=4 ≤ 24
 
     def test_cli_kernel_flag_reaches_config(self):
         import argparse
