@@ -1,0 +1,167 @@
+"""Sharded-corpus scale bench: out-of-core build + distributed AD-LDA.
+
+The unsharded pipeline tops out where the corpus stops fitting in
+memory. This bench walks the whole sharded data path at large corpus
+sizes — streaming shard generation, per-shard featurisation, dataset
+merge, then a distributed AD-LDA fit — and records two things:
+
+* throughput rows appended to the committed ``BENCH_sampler.json``
+  trajectory (kernel ``"adlda"`` rows additionally carry ``n_shards``
+  and ``peak_rss_mb``);
+* the process peak RSS, asserted against the committed ceiling in
+  ``benchmarks/memory_ceiling.json`` — the bound the sharded layer
+  exists to hold.
+
+Environment knobs:
+
+* ``REPRO_BENCH_TINY=1`` — CI smoke preset: a 5,000-recipe corpus so
+  the module finishes in seconds; the full preset measures the paper's
+  above-scale point (200,000 recipes ≈ 3x the raw crawl of 63k).
+* ``REPRO_BENCH_BACKEND`` — executor backend for the shard sweeps
+  (default ``serial``: tokens/sec comparable with the single-stream
+  kernel rows; ``process`` measures true wall-clock scaling).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.kernels import CSRTokens, make_kernel
+from repro.core.priors import DirichletPrior
+from repro.core.state import TopicCounts, initialise_assignments
+from repro.parallel import ParallelConfig
+from repro.pipeline.dataset import DatasetBuilder, merge_datasets
+from repro.rng import ensure_rng
+from repro.synth.generator import CorpusGenerator
+from repro.synth.presets import CorpusPreset
+
+_TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+_BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "serial")
+_ROOT = Path(__file__).resolve().parent.parent
+
+BENCH_SEED = 11
+N_RECIPES = 5_000 if _TINY else 200_000
+N_SHARDS = 4
+N_TOPICS = 50
+N_SWEEPS = 3
+
+TRAJECTORY_PATH = _ROOT / "BENCH_sampler.json"
+CEILING_PATH = _ROOT / "benchmarks" / "memory_ceiling.json"
+
+
+def peak_rss_mb() -> float:
+    """Process high-water RSS in MB (ru_maxrss is KB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_ROOT, capture_output=True, text=True, timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except OSError:  # repro: noqa[EXC001] - bench must run outside git checkouts too
+        return "unknown"
+
+
+def build_sharded_dataset(n_recipes: int, n_shards: int, seed: int = BENCH_SEED):
+    """Featurise shard-by-shard: at most one shard of recipes resident.
+
+    Mirrors the pipeline's sharded stages (w2v filter off — it has its
+    own bench, and an empty exclusion set keeps rows comparable with the
+    unsharded kernel-bench corpora).
+    """
+    generator = CorpusGenerator(rng=ensure_rng(seed))
+    builder = DatasetBuilder(use_w2v_filter=False)
+    preset = CorpusPreset(name=f"sharded-bench{n_recipes}", n_recipes=n_recipes)
+    parts = [
+        builder.build_shard(shard.recipes, excluded=frozenset())
+        for shard in generator.generate_shards(preset, n_shards)
+    ]
+    return merge_datasets(parts)
+
+
+def measure(n_recipes: int = N_RECIPES, n_shards: int = N_SHARDS) -> dict:
+    """One trajectory record for the sharded build + AD-LDA sweep cell."""
+    build_start = time.perf_counter()
+    dataset = build_sharded_dataset(n_recipes, n_shards)
+    build_seconds = time.perf_counter() - build_start
+
+    docs = list(dataset.docs)
+    generator = ensure_rng(BENCH_SEED)
+    counts = TopicCounts(len(docs), N_TOPICS, dataset.vocab_size)
+    z = initialise_assignments(docs, counts, generator)
+    alpha = DirichletPrior(1.0).vector(N_TOPICS)
+    kernel = make_kernel(
+        "adlda", CSRTokens.from_docs(docs, z), counts, alpha, 0.1,
+        n_shards=n_shards, parallel=ParallelConfig(backend=_BACKEND),
+    )
+    y = generator.integers(0, N_TOPICS, size=len(docs)).astype(np.int64)
+    start = time.perf_counter()
+    for _ in range(N_SWEEPS):
+        kernel.sweep(generator, y)
+    elapsed = time.perf_counter() - start
+    n_tokens = kernel.csr.n_tokens
+    return {
+        "commit": _git_commit(),
+        "preset": "tiny" if _TINY else "full",
+        "n_recipes": n_recipes,
+        "kernel": "adlda",
+        "n_shards": n_shards,
+        "n_topics": N_TOPICS,
+        "n_tokens": n_tokens,
+        "tokens_per_sec": round(n_tokens * N_SWEEPS / elapsed, 1),
+        "build_seconds": round(build_seconds, 3),
+        "fit_seconds": None,
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+    }
+
+
+def append_trajectory(records: list[dict]) -> None:
+    trajectory = []
+    if TRAJECTORY_PATH.exists():
+        trajectory = json.loads(TRAJECTORY_PATH.read_text())
+    trajectory.extend(records)
+    TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def load_ceiling() -> float:
+    raw = json.loads(CEILING_PATH.read_text())
+    key = "bench_tiny_mb" if _TINY else "bench_full_mb"
+    return float(raw["ceilings"][key])
+
+
+# -- pytest entry points (CI smoke) ------------------------------------------
+
+
+def test_sharded_scale_under_memory_ceiling():
+    """Build + fit the bench corpus sharded; peak RSS must stay under
+    the committed ceiling, and the throughput row joins the trajectory."""
+    record = measure()
+    append_trajectory([record])
+    ceiling = load_ceiling()
+    print(
+        f"\nsharded scale: {record['n_recipes']:,} recipes / "
+        f"{record['n_shards']} shards, {record['tokens_per_sec']:,.0f} "
+        f"tokens/s, peak RSS {record['peak_rss_mb']:.0f} MB "
+        f"(ceiling {ceiling:.0f} MB)"
+    )
+    assert record["peak_rss_mb"] < ceiling, (
+        f"peak RSS {record['peak_rss_mb']:.0f} MB breached the committed "
+        f"{ceiling:.0f} MB ceiling: the sharded path stopped bounding "
+        "resident memory"
+    )
+
+
+if __name__ == "__main__":
+    row = measure()
+    append_trajectory([row])
+    print(json.dumps(row, indent=2))

@@ -43,7 +43,7 @@ def shared_result() -> ExperimentResult:
     return run_experiment(BENCH_CONFIG, cache_dir=BENCH_CACHE_DIR)
 
 
-def _experiment_task(config: ExperimentConfig, _rng) -> ExperimentResult:
+def _experiment_task(config: ExperimentConfig, rng) -> ExperimentResult:
     """Run one configured pipeline (module-level for process pools).
 
     The executor's spawned stream is ignored: each ``ExperimentConfig``

@@ -96,16 +96,26 @@ class FingerprintPurityRule(Rule):
                 continue
             yield from self._check_function(info, root_of[qualname])
 
-    @staticmethod
-    def _roots(project: ProjectContext) -> list[str]:
+    #: Modules whose every function is a fingerprint input and therefore
+    #: a purity root: the canonicalise/hash helpers, and the chunked
+    #: payload digests (a chunk's SHA-256 is rolled into its artifact's
+    #: provenance, so wall-clock or entropy in chunk bytes would split
+    #: cache entries between identical corpora).
+    _ROOT_MODULES: ClassVar[tuple[str, ...]] = (
+        "repro.artifacts.chunks",
+        "repro.artifacts.fingerprint",
+    )
+
+    @classmethod
+    def _roots(cls, project: ProjectContext) -> list[str]:
         roots: list[str] = []
-        for cls in project.classes_with_base("Stage"):
+        for stage_cls in project.classes_with_base("Stage"):
             for method in ("compute", "config_of"):
-                qualname = f"{cls.qualname}.{method}"
+                qualname = f"{stage_cls.qualname}.{method}"
                 if qualname in project.functions:
                     roots.append(qualname)
         for qualname, info in project.functions.items():
-            if info.module == "repro.artifacts.fingerprint":
+            if info.module in cls._ROOT_MODULES:
                 roots.append(qualname)
         return sorted(set(roots))
 

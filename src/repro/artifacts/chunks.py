@@ -1,0 +1,198 @@
+"""Chunked artifact payloads: N content-hashed chunks, one artifact.
+
+A *chunked* payload is an ordered sequence of opaque byte blobs written
+under one artifact directory::
+
+    <artifact>/
+      chunks/chunk-00000        # blob 0
+      chunks/chunk-00001        # blob 1
+      ...
+      chunks.json               # index: per-chunk SHA-256 + rolled digest
+      manifest.json             # written last by the store, as always
+
+Every chunk carries its own SHA-256; the index rolls them into one
+``combined`` digest so a chunked artifact has a single content
+fingerprint derived purely from its bytes. Readers verify each chunk's
+digest on access and raise :class:`~repro.errors.ArtifactError` naming
+the offending chunk index, so a flipped bit in chunk 17 of a
+million-recipe corpus is reported as exactly that.
+
+The digest helpers (:func:`chunk_digest`, :func:`combined_digest`) are
+fingerprint inputs — the DET001 purity rule walks them like the
+``repro.artifacts.fingerprint`` functions, so wall-clock or entropy can
+never leak into a chunk hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.errors import ArtifactError
+from repro.obs import metrics
+
+#: Schema version of ``chunks.json`` index files.
+CHUNK_INDEX_VERSION = 1
+
+#: Index file name inside a chunked artifact directory.
+CHUNK_INDEX = "chunks.json"
+
+#: Subdirectory holding the chunk blobs.
+CHUNK_DIR = "chunks"
+
+
+def chunk_digest(data: bytes) -> str:
+    """Full SHA-256 hex digest of one chunk's bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def combined_digest(digests: Sequence[str]) -> str:
+    """Roll an ordered list of chunk digests into one payload digest.
+
+    Order-sensitive by design: the same chunks in a different order are
+    a different payload.
+    """
+    rolled = hashlib.sha256()
+    for digest in digests:
+        rolled.update(digest.encode("ascii"))
+        rolled.update(b"\n")
+    return rolled.hexdigest()
+
+
+def chunk_filename(index: int) -> str:
+    """Blob file name of chunk ``index``."""
+    return f"chunk-{index:05d}"
+
+
+class ChunkWriter:
+    """Streams chunks into a directory, hashing as it goes.
+
+    Memory use is bounded by one chunk: each :meth:`add` writes its blob
+    straight to disk and keeps only the digest. :meth:`finalize` writes
+    the ``chunks.json`` index (digests first, blobs already durable), so
+    an interrupted writer leaves no index and the directory reads as
+    incomplete.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        (self.directory / CHUNK_DIR).mkdir(parents=True, exist_ok=True)
+        self._digests: list[str] = []
+        self._sizes: list[int] = []
+        self._meta: list[Mapping[str, Any]] = []
+        self._finalized = False
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._digests)
+
+    def add(self, data: bytes, meta: Mapping[str, Any] | None = None) -> str:
+        """Append one chunk; returns its SHA-256 hex digest.
+
+        ``meta`` is an optional JSON-encodable record stored alongside
+        the digest in the index (shard row counts, offsets, …).
+        """
+        if self._finalized:
+            raise ArtifactError("ChunkWriter already finalized")
+        index = len(self._digests)
+        digest = chunk_digest(data)
+        path = self.directory / CHUNK_DIR / chunk_filename(index)
+        path.write_bytes(data)
+        self._digests.append(digest)
+        self._sizes.append(len(data))
+        self._meta.append(dict(meta) if meta else {})
+        metrics.registry.counter("cache.chunks_written").inc()
+        metrics.registry.counter("cache.chunk_bytes_written").inc(len(data))
+        return digest
+
+    def finalize(self) -> dict[str, Any]:
+        """Write the index; returns it. No chunks may be added after."""
+        if self._finalized:
+            raise ArtifactError("ChunkWriter already finalized")
+        self._finalized = True
+        index = {
+            "index_version": CHUNK_INDEX_VERSION,
+            "n_chunks": len(self._digests),
+            "digests": list(self._digests),
+            "sizes": list(self._sizes),
+            "meta": [dict(m) for m in self._meta],
+            "combined": combined_digest(self._digests),
+        }
+        path = self.directory / CHUNK_INDEX
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(index, handle, indent=2, sort_keys=True)
+        return index
+
+
+class ChunkReader:
+    """Verified random access over a chunked artifact directory."""
+
+    def __init__(self, directory: str | Path, index: Mapping[str, Any]) -> None:
+        self.directory = Path(directory)
+        self.digests: tuple[str, ...] = tuple(index["digests"])
+        self.sizes: tuple[int, ...] = tuple(index.get("sizes", ()))
+        self.meta: tuple[Mapping[str, Any], ...] = tuple(
+            index.get("meta", [{}] * len(self.digests))
+        )
+        self.combined: str = str(index["combined"])
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "ChunkReader":
+        """Open a chunked directory, validating its index."""
+        directory = Path(directory)
+        path = directory / CHUNK_INDEX
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                index = json.load(handle)
+        except FileNotFoundError as exc:
+            raise ArtifactError(f"no chunk index at {path}") from exc
+        except (OSError, ValueError) as exc:
+            raise ArtifactError(f"corrupt chunk index at {path}") from exc
+        if (
+            not isinstance(index, dict)
+            or index.get("index_version") != CHUNK_INDEX_VERSION
+            or not isinstance(index.get("digests"), list)
+            or "combined" not in index
+        ):
+            raise ArtifactError(f"corrupt chunk index at {path}")
+        if index["combined"] != combined_digest(index["digests"]):
+            raise ArtifactError(
+                f"chunk index at {path} fails its rolled digest"
+            )
+        return cls(directory, index)
+
+    def __len__(self) -> int:
+        return len(self.digests)
+
+    def read(self, index: int) -> bytes:
+        """One chunk's bytes, digest-verified.
+
+        Raises :class:`~repro.errors.ArtifactError` naming ``index``
+        when the blob is missing or its content does not hash to the
+        recorded digest.
+        """
+        if not 0 <= index < len(self.digests):
+            raise ArtifactError(
+                f"chunk index {index} out of range [0, {len(self.digests)})"
+            )
+        path = self.directory / CHUNK_DIR / chunk_filename(index)
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise ArtifactError(
+                f"chunk {index} missing from {self.directory}"
+            ) from exc
+        if chunk_digest(data) != self.digests[index]:
+            raise ArtifactError(
+                f"chunk {index} of {self.directory} is corrupt: content "
+                f"does not match its recorded SHA-256"
+            )
+        metrics.registry.counter("cache.chunks_read").inc()
+        metrics.registry.counter("cache.chunk_bytes_read").inc(len(data))
+        return data
+
+    def __iter__(self) -> Iterator[bytes]:
+        for index in range(len(self.digests)):
+            yield self.read(index)

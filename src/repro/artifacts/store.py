@@ -24,8 +24,9 @@ import shutil
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
+from repro.artifacts.chunks import ChunkReader, ChunkWriter
 from repro.artifacts.stage import Stage
 from repro.errors import ArtifactError
 from repro.obs import metrics
@@ -115,6 +116,64 @@ class ArtifactStore:
             self.size_of(final)
         )
         return final
+
+    def put_chunked(
+        self,
+        stage_name: str,
+        fingerprint: str,
+        chunks: Iterable[bytes],
+        manifest: Mapping[str, Any],
+    ) -> Path:
+        """Store a streamed sequence of byte chunks under ``fingerprint``.
+
+        Chunks are consumed lazily and written one at a time, so memory
+        stays bounded by the largest single chunk. Each chunk's SHA-256
+        and the rolled payload digest land in both the ``chunks.json``
+        index and the manifest (``chunks`` / ``payload_digest`` keys),
+        rolling the per-chunk hashes into the artifact's provenance. The
+        manifest is still written last inside the staging directory, so
+        completeness semantics are identical to :meth:`put`.
+        """
+        final = self.artifact_dir(stage_name, fingerprint)
+        if self.has(stage_name, fingerprint):
+            return final
+        final.parent.mkdir(parents=True, exist_ok=True)
+        staging = Path(
+            tempfile.mkdtemp(prefix=f".{fingerprint}-", dir=final.parent)
+        )
+        try:
+            writer = ChunkWriter(staging)
+            for data in chunks:
+                writer.add(data)
+            index = writer.finalize()
+            body = {
+                "manifest_version": MANIFEST_VERSION,
+                "chunks": index["digests"],
+                "payload_digest": index["combined"],
+                **manifest,
+            }
+            with (staging / _MANIFEST).open("w", encoding="utf-8") as handle:
+                json.dump(body, handle, indent=2, sort_keys=True)
+            try:
+                os.replace(staging, final)
+            except OSError:
+                if not self.has(stage_name, fingerprint):
+                    raise
+        finally:
+            if staging.exists():
+                shutil.rmtree(staging, ignore_errors=True)
+        metrics.registry.counter("cache.bytes_written").inc(
+            self.size_of(final)
+        )
+        return final
+
+    def open_chunked(self, stage_name: str, fingerprint: str) -> ChunkReader:
+        """Open a chunked artifact for verified chunk-by-chunk reads."""
+        if not self.has(stage_name, fingerprint):
+            raise ArtifactError(
+                f"no {stage_name} artifact with fingerprint {fingerprint}"
+            )
+        return ChunkReader.open(self.artifact_dir(stage_name, fingerprint))
 
     def load(self, stage: Stage, fingerprint: str) -> tuple[Any, dict[str, Any]]:
         """Load one artifact; returns ``(payload, manifest)``."""
@@ -226,6 +285,33 @@ class ArtifactStore:
 
     # -- garbage collection ------------------------------------------------
 
+    def _remove_artifact(self, directory: Path) -> None:
+        """Delete one artifact directory atomically w.r.t. readers.
+
+        The manifest goes first: the instant it is unlinked the artifact
+        reads as absent (:meth:`has` keys on the manifest), so a crash
+        anywhere in the remaining removal can never leave a manifest
+        whose payload — chunks included — was partially collected. The
+        leftover manifest-less directory is debris that the next
+        :meth:`gc` sweeps up.
+        """
+        manifest = directory / _MANIFEST
+        if manifest.exists():
+            manifest.unlink()
+        shutil.rmtree(directory)
+
+    def _debris(self) -> list[Path]:
+        """Manifest-less object directories (crashed writers or gcs)."""
+        if not self.objects_dir.is_dir():
+            return []
+        return [
+            entry
+            for stage_dir in sorted(self.objects_dir.iterdir())
+            if stage_dir.is_dir()
+            for entry in sorted(stage_dir.iterdir())
+            if entry.is_dir() and not (entry / _MANIFEST).is_file()
+        ]
+
     def gc(
         self, keep_runs: int = 10, dry_run: bool = False
     ) -> tuple[list[Path], int]:
@@ -233,9 +319,13 @@ class ArtifactStore:
 
         Returns ``(removed_paths, freed_bytes)``. Run manifests beyond
         the ``keep_runs`` most recent are deleted, then every artifact
-        not referenced by a surviving run manifest is deleted. With
-        ``dry_run`` nothing is touched; the would-be removals are
-        returned.
+        not referenced by a surviving run manifest is deleted —
+        manifest-first per artifact (see :meth:`_remove_artifact`), so a
+        chunked payload is collected together with its manifest as one
+        unit and readers never observe a manifest with missing chunks.
+        Manifest-less debris directories left by crashed writers or a
+        crashed earlier gc are swept too. With ``dry_run`` nothing is
+        touched; the would-be removals are returned.
         """
         if keep_runs < 0:
             raise ArtifactError("keep_runs must be >= 0")
@@ -259,5 +349,10 @@ class ArtifactStore:
             removed.append(directory)
             freed += self.size_of(directory)
             if not dry_run:
-                shutil.rmtree(directory)
+                self._remove_artifact(directory)
+        for directory in self._debris():
+            removed.append(directory)
+            freed += self.size_of(directory)
+            if not dry_run:
+                shutil.rmtree(directory, ignore_errors=True)
         return removed, freed

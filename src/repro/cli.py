@@ -133,6 +133,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="export a span/event trace of the run as JSON lines to PATH "
              f"(also enabled for any command via ${obs_trace.TRACE_ENV})",
     )
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="split the corpus into N content-hashed shards and run the "
+             "sharded out-of-core pipeline with a distributed N-shard "
+             "AD-LDA fit (default: 1, or planned from --max-resident-mb)",
+    )
+    run.add_argument(
+        "--max-resident-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="memory ceiling the shard plan targets for resident corpus "
+             "shards; ignored when --shards is given explicitly",
+    )
     _add_backend_flags(run)
     _add_cache_flags(run)
 
@@ -374,6 +391,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config = dataclasses.replace(config, inference=args.method)
     if args.no_w2v_filter:
         config = dataclasses.replace(config, use_w2v_filter=False)
+    if args.shards is not None:
+        n_shards = args.shards
+    else:
+        from repro.corpus.sharded import plan_shards
+
+        n_shards = plan_shards(args.recipes, args.max_resident_mb)
+    if n_shards > 1:
+        # A sharded corpus gets the distributed fit to match: shard-local
+        # AD-LDA sweeps with the same shard count as the data layout.
+        config = dataclasses.replace(
+            config,
+            n_shards=n_shards,
+            model=dataclasses.replace(
+                config.model, kernel="adlda", n_shards=n_shards
+            ),
+        )
     config = _apply_parallel_options(config, args)
     result = run_experiment(config, cache_dir=args.cache_dir)
     manifest = result.provenance

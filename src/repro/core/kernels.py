@@ -33,6 +33,14 @@ three hand-rolled loops:
     cycle by cycle — followed by an exact acceptance test against the
     true collapsed conditional. Amortised O(1) per token independent
     of K; statistically equivalent, not bit-identical.
+``"adlda"``
+    Approximate Distributed LDA (Newman et al., JMLR'09): documents are
+    split into token-balanced shards, each sweep runs one shard-local
+    Gibbs sweep per shard — concurrently over
+    :func:`repro.parallel.run_tasks`, against a stale copy of the
+    global word-topic counts — then merges the shards' count deltas.
+    Statistically equivalent, not bit-identical; the fit path for
+    corpora too large for one serial sweep to be practical.
 ``"auto"``
     Not a kernel but a selection policy: :func:`select_kernel` picks
     dense, sparse or alias from K and the corpus statistics.
@@ -52,7 +60,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -61,10 +69,13 @@ from repro.errors import ModelError
 from repro.obs import metrics, trace
 from repro.obs.log import get_logger
 
+if TYPE_CHECKING:  # import cycle guard: repro.parallel traces via repro.obs
+    from repro.parallel import ParallelConfig
+
 logger = get_logger("repro.core.kernels")
 
 #: Recognised kernel names, in documentation order.
-KERNELS: tuple[str, ...] = ("alias", "dense", "legacy", "sparse")
+KERNELS: tuple[str, ...] = ("adlda", "alias", "dense", "legacy", "sparse")
 
 #: Everything a ``kernel=`` config field accepts: a concrete kernel or
 #: the "auto" selection policy resolved by :func:`make_kernel`.
@@ -167,6 +178,23 @@ class CSRTokens:
             if z is not None:
                 topics[start:end] = np.asarray(z[d], dtype=np.int32)
         return cls(token_words=words, token_topics=topics, doc_offsets=offsets)
+
+    def shard(self, lo: int, hi: int) -> "CSRTokens":
+        """Tokens of documents ``[lo, hi)``, offsets rebased to local 0.
+
+        Word/topic arrays are views into the parent (cheap; pickling for
+        a process worker copies them), offsets are a fresh rebased array.
+        """
+        if not 0 <= lo < hi <= self.n_docs:
+            raise ModelError(
+                f"shard bounds [{lo}, {hi}) outside [0, {self.n_docs}]"
+            )
+        t0, t1 = int(self.doc_offsets[lo]), int(self.doc_offsets[hi])
+        return CSRTokens(
+            token_words=self.token_words[t0:t1],
+            token_topics=self.token_topics[t0:t1],
+            doc_offsets=self.doc_offsets[lo:hi + 1] - t0,
+        )
 
     def words_per_doc(self) -> list[np.ndarray]:
         """Un-flatten the word ids back into per-document arrays."""
@@ -949,6 +977,152 @@ class AliasKernel(TokenKernel):
         self.csr.token_topics[...] = self._topics
 
 
+def shard_bounds(doc_offsets: np.ndarray, n_shards: int) -> list[tuple[int, int]]:
+    """Token-balanced contiguous document shards.
+
+    Splits ``[0, n_docs)`` into up to ``n_shards`` ranges whose token
+    counts are as equal as the document boundaries allow (documents are
+    never split across shards). Degenerate targets that would produce an
+    empty shard are merged away, so every returned range is non-empty.
+    """
+    n_docs = len(doc_offsets) - 1
+    n_tokens = int(doc_offsets[-1])
+    n_shards = max(1, min(int(n_shards), n_docs))
+    targets = np.linspace(0, n_tokens, n_shards + 1)
+    cuts = np.searchsorted(doc_offsets, targets, side="left")
+    cuts[0], cuts[-1] = 0, n_docs
+    bounds: list[tuple[int, int]] = []
+    lo = 0
+    for cut in cuts[1:]:
+        hi = int(cut)
+        if hi <= lo:
+            continue
+        bounds.append((lo, hi))
+        lo = hi
+    if bounds and bounds[-1][1] != n_docs:
+        lo, _ = bounds[-1]
+        bounds[-1] = (lo, n_docs)
+    return bounds or [(0, n_docs)]
+
+
+def _shard_sweep_task(payload, rng):
+    """One AD-LDA round on one shard (module-level for process pickling).
+
+    Rebuilds shard-local CSR state and counts from the payload — the
+    doc-topic rows are the shard's exact counts, the word-topic matrix a
+    *stale* copy of the global one — runs one inner-kernel sweep, and
+    returns ``(topics, n_dk, delta_n_kv)`` where the delta is measured
+    against the stale matrix so the parent can merge exactly.
+
+    Every array is copied before mutation, so thread and serial backends
+    never write through to the parent's live state mid-round.
+    """
+    words, topics, offsets, n_dk, n_d, n_kv, n_k, alpha, gamma, y, inner = payload
+    csr = CSRTokens(
+        token_words=np.asarray(words, dtype=np.int32).copy(),
+        token_topics=np.asarray(topics, dtype=np.int32).copy(),
+        doc_offsets=np.asarray(offsets, dtype=np.int32),
+    )
+    counts = TopicCounts(csr.n_docs, n_kv.shape[0], n_kv.shape[1])
+    counts.n_dk[:] = n_dk
+    counts.n_d[:] = n_d
+    counts.n_kv[:] = n_kv
+    counts.n_k[:] = n_k
+    kernel = make_kernel(inner, csr, counts, alpha, gamma)
+    kernel.sweep(rng, y)
+    delta = counts.n_kv - n_kv
+    return csr.token_topics.copy(), counts.n_dk.copy(), delta
+
+
+class DistributedKernel(TokenKernel):
+    """AD-LDA: shard-local sweeps with per-round topic-count merges.
+
+    Approximate Distributed LDA (Newman et al.): documents are split
+    into token-balanced contiguous shards; each :meth:`sweep` runs one
+    Gibbs sweep per shard *concurrently*, every shard sampling against a
+    stale copy of the global word-topic counts, then merges the shards'
+    count deltas back into the global matrices. Doc-topic rows are
+    disjoint across shards, so they stay exact; the word-topic matrix is
+    stale within a round and exact at every round boundary —
+    ``counts.check()`` passes after each sweep.
+
+    The result is statistically equivalent to a serial fit (pinned by
+    the same NMI harness as the sparse/alias kernels), not
+    bit-identical: within a round, shard ``i`` does not see shard
+    ``j``'s moves. Shards draw from per-shard RNG streams pre-spawned
+    from the sweep generator via :func:`repro.parallel.run_tasks`, so
+    the fit is deterministic and backend-independent; the backend
+    (serial / thread / process) comes from the ``parallel`` config.
+    """
+
+    def __init__(
+        self,
+        csr: CSRTokens,
+        counts: TopicCounts,
+        alpha: np.ndarray,
+        gamma: float,
+        n_shards: int | None = None,
+        parallel: "ParallelConfig | None" = None,
+        inner: str = "dense",
+    ) -> None:
+        from repro.parallel import ParallelConfig
+
+        super().__init__(csr, counts, alpha, gamma)
+        if n_shards is None:
+            n_shards = min(4, csr.n_docs)
+        if n_shards < 1:
+            raise ModelError("n_shards must be >= 1")
+        if inner in ("adlda", "auto"):
+            raise ModelError(f"invalid inner kernel {inner!r} for adlda")
+        self.parallel = parallel or ParallelConfig(backend="serial")
+        self.inner = inner
+        self.bounds = shard_bounds(csr.doc_offsets, n_shards)
+        self.n_shards = len(self.bounds)
+
+    def sweep(
+        self, generator: np.random.Generator, y: np.ndarray | None = None
+    ) -> None:
+        from repro.parallel import run_tasks
+
+        counts, csr = self.counts, self.csr
+        payloads = []
+        for lo, hi in self.bounds:
+            shard_csr = csr.shard(lo, hi)
+            payloads.append(
+                (
+                    shard_csr.token_words,
+                    shard_csr.token_topics,
+                    shard_csr.doc_offsets,
+                    counts.n_dk[lo:hi],
+                    counts.n_d[lo:hi],
+                    counts.n_kv,
+                    counts.n_k,
+                    self.alpha,
+                    self.gamma,
+                    None if y is None else np.asarray(y)[lo:hi],
+                    self.inner,
+                )
+            )
+        results = run_tasks(
+            _shard_sweep_task, payloads, rng=generator, config=self.parallel
+        )
+        delta_total = np.zeros_like(counts.n_kv)
+        for (lo, hi), (topics, n_dk, delta) in zip(self.bounds, results):
+            t0, t1 = int(csr.doc_offsets[lo]), int(csr.doc_offsets[hi])
+            csr.token_topics[t0:t1] = topics
+            counts.n_dk[lo:hi] = n_dk
+            delta_total += delta
+        counts.n_kv += delta_total
+        counts.n_k += delta_total.sum(axis=1)
+        if trace.is_enabled():
+            metrics.registry.counter("sampler.adlda_merges").inc()
+            trace.event(
+                "adlda.merge",
+                n_shards=self.n_shards,
+                moved=int(np.abs(delta_total).sum() // 2),
+            )
+
+
 def select_kernel(
     n_topics: int, n_docs: int, n_tokens: int, vocab_size: int
 ) -> str:
@@ -981,11 +1155,15 @@ def make_kernel(
     counts: TopicCounts,
     alpha: np.ndarray,
     gamma: float,
+    n_shards: int | None = None,
+    parallel: "ParallelConfig | None" = None,
 ) -> TokenKernel:
     """Instantiate the named token-sampling kernel over a flattened corpus.
 
     ``"auto"`` resolves through :func:`select_kernel` first (and bumps
     the ``sampler.kernel_selected`` counter when tracing is on).
+    ``n_shards`` and ``parallel`` configure the ``"adlda"`` distributed
+    kernel and are ignored by the single-stream kernels.
     """
     if name == "auto":
         name = select_kernel(
@@ -994,6 +1172,10 @@ def make_kernel(
         logger.debug("kernel auto-selection picked %r", name)
         if trace.is_enabled():
             metrics.registry.counter("sampler.kernel_selected").inc()
+    if name == "adlda":
+        return DistributedKernel(
+            csr, counts, alpha, gamma, n_shards=n_shards, parallel=parallel
+        )
     if name == "alias":
         return AliasKernel(csr, counts, alpha, gamma)
     if name == "dense":

@@ -36,9 +36,14 @@ class LDAConfig:
     #: Token-sampling kernel: "dense" (default, bit-identical fast
     #: path), "legacy" (original per-token numpy loop), "sparse"
     #: (SparseLDA buckets + alias table), "alias" (LightLDA MH, O(1)
-    #: per token) or "auto" (picked from K and corpus shape); the last
-    #: three are statistically equivalent, not bit-identical.
+    #: per token), "adlda" (AD-LDA distributed shard sweeps) or "auto"
+    #: (picked from K and corpus shape); all but dense/legacy are
+    #: statistically equivalent, not bit-identical.
     kernel: str = "dense"
+    #: Document shards for the "adlda" kernel (``None`` → min(4, D));
+    #: ignored by every other kernel. The baseline LDA always fans the
+    #: shards out on the serial executor.
+    n_shards: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_topics < 1:
@@ -49,6 +54,8 @@ class LDAConfig:
             raise ModelError("thin must be >= 1")
         if self.kernel not in KERNEL_CHOICES:
             raise ModelError(f"unknown sampling kernel {self.kernel!r}")
+        if self.n_shards is not None and self.n_shards < 1:
+            raise ModelError("n_shards must be >= 1")
 
 
 class LatentDirichletAllocation:
@@ -84,7 +91,12 @@ class LatentDirichletAllocation:
 
         # Flatten the ragged corpus once; the kernel owns the z-sweep.
         kernel = make_kernel(
-            cfg.kernel, CSRTokens.from_docs(docs, z), counts, alpha, gamma
+            cfg.kernel,
+            CSRTokens.from_docs(docs, z),
+            counts,
+            alpha,
+            gamma,
+            n_shards=cfg.n_shards,
         )
 
         phi_acc = np.zeros((cfg.n_topics, vocab_size))

@@ -1,0 +1,244 @@
+"""Sharded, out-of-core corpus handles.
+
+A :class:`ShardedCorpus` is a lazy view over a corpus stored as N
+content-hashed chunks (see :mod:`repro.artifacts.chunks`): each chunk is
+one *shard* — a gzipped-JSON :func:`repro.persistence.corpus_body` slice
+of contiguous recipes. Only a bounded number of shards is ever resident
+(a small LRU), so a million-recipe corpus can be iterated, filtered and
+featurised on a machine whose memory holds a few shards.
+
+Shard chunks are gzipped with ``mtime=0`` so their bytes — and therefore
+their SHA-256 digests — are a pure function of the recipes they hold.
+That purity is what lets the staged pipeline key per-shard dataset
+stages on chunk digests: regenerate an identical shard and its
+downstream slice still cache-hits.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
+
+from repro.artifacts.chunks import ChunkReader
+from repro.errors import ArtifactError, CorpusError
+from repro.persistence import corpus_body, corpus_from_body
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (synth imports us)
+    from repro.synth.generator import GroundTruth, SyntheticCorpus
+
+#: Shards kept resident by default. Two covers the common sequential
+#: scan-with-lookback access pattern without ballooning memory.
+DEFAULT_RESIDENT_SHARDS = 2
+
+#: Rough resident-memory cost of one decoded recipe (Python objects,
+#: truth record included). Measured on the DEFAULT preset; used only to
+#: plan shard counts against a memory ceiling, never for enforcement.
+APPROX_RECIPE_BYTES = 8_000
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """Placement and identity of one shard within the corpus."""
+
+    index: int
+    #: Global index of the shard's first recipe.
+    start: int
+    n_recipes: int
+    #: SHA-256 of the shard's serialized chunk bytes.
+    digest: str
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.n_recipes
+
+
+def shard_sizes(n_recipes: int, n_shards: int) -> list[int]:
+    """Balanced contiguous shard sizes (first shards take the remainder)."""
+    if n_recipes < 1:
+        raise CorpusError("n_recipes must be >= 1")
+    n_shards = max(1, min(n_shards, n_recipes))
+    base, extra = divmod(n_recipes, n_shards)
+    return [base + (1 if i < extra else 0) for i in range(n_shards)]
+
+
+def plan_shards(
+    n_recipes: int, max_resident_mb: float | None = None
+) -> int:
+    """Pick a shard count that keeps resident recipes under a ceiling.
+
+    The plan targets :data:`DEFAULT_RESIDENT_SHARDS` resident shards of
+    roughly :data:`APPROX_RECIPE_BYTES` per recipe. Without a ceiling the
+    corpus stays unsharded.
+    """
+    if max_resident_mb is None:
+        return 1
+    if max_resident_mb <= 0:
+        raise CorpusError("max_resident_mb must be > 0")
+    budget_recipes = (max_resident_mb * 1e6) / (
+        APPROX_RECIPE_BYTES * DEFAULT_RESIDENT_SHARDS
+    )
+    return max(1, math.ceil(n_recipes / max(budget_recipes, 1.0)))
+
+
+def encode_shard(corpus: "SyntheticCorpus") -> bytes:
+    """Serialise one corpus shard to deterministic gzipped-JSON bytes.
+
+    ``gzip`` normally stamps the wall clock into its header; ``mtime=0``
+    pins it so identical recipes always produce identical bytes — the
+    shard digest is pure content.
+    """
+    body = json.dumps(corpus_body(corpus), sort_keys=True)
+    buffer = io.BytesIO()
+    with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as handle:
+        handle.write(body.encode("utf-8"))
+    return buffer.getvalue()
+
+
+def decode_shard(data: bytes) -> "SyntheticCorpus":
+    """Rebuild one shard from :func:`encode_shard` bytes."""
+    try:
+        body = json.loads(gzip.decompress(data).decode("utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ArtifactError(f"corrupt corpus shard chunk: {exc}") from exc
+    return corpus_from_body(body, "<shard chunk>")
+
+
+class ShardedCorpus:
+    """A chunked on-disk corpus, loaded shard-by-shard on demand.
+
+    Mirrors the read surface of
+    :class:`~repro.synth.generator.SyntheticCorpus` (``len``,
+    ``truth_of``, ``preset_name``) without ever holding more than
+    ``max_resident_shards`` shards of recipes in memory.
+    """
+
+    def __init__(
+        self,
+        reader: ChunkReader,
+        shards: Sequence[ShardInfo],
+        preset_name: str,
+        max_resident_shards: int = DEFAULT_RESIDENT_SHARDS,
+    ) -> None:
+        if max_resident_shards < 1:
+            raise CorpusError("max_resident_shards must be >= 1")
+        self._reader = reader
+        self.shards: tuple[ShardInfo, ...] = tuple(shards)
+        self.preset_name = preset_name
+        self.max_resident_shards = max_resident_shards
+        self._resident: OrderedDict[int, "SyntheticCorpus"] = OrderedDict()
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        max_resident_shards: int = DEFAULT_RESIDENT_SHARDS,
+    ) -> "ShardedCorpus":
+        """Open a chunked corpus artifact directory."""
+        reader = ChunkReader.open(directory)
+        shards: list[ShardInfo] = []
+        start = 0
+        preset_name = ""
+        for index, digest in enumerate(reader.digests):
+            meta = dict(reader.meta[index]) if index < len(reader.meta) else {}
+            n_recipes = int(meta.get("n_recipes", -1))
+            if n_recipes < 0:
+                raise ArtifactError(
+                    f"chunk {index} of {directory} lacks shard metadata"
+                )
+            preset_name = str(meta.get("preset_name", preset_name))
+            shards.append(
+                ShardInfo(
+                    index=index,
+                    start=start,
+                    n_recipes=n_recipes,
+                    digest=digest,
+                )
+            )
+            start += n_recipes
+        return cls(
+            reader,
+            shards,
+            preset_name=preset_name,
+            max_resident_shards=max_resident_shards,
+        )
+
+    # -- sizing -------------------------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        """The chunked artifact directory backing this corpus."""
+        return self._reader.directory
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def __len__(self) -> int:
+        return sum(info.n_recipes for info in self.shards)
+
+    # -- shard access -------------------------------------------------------
+
+    def load_shard(self, index: int) -> "SyntheticCorpus":
+        """One shard as an in-memory corpus slice (LRU-cached)."""
+        if not 0 <= index < len(self.shards):
+            raise CorpusError(
+                f"shard index {index} out of range [0, {len(self.shards)})"
+            )
+        cached = self._resident.get(index)
+        if cached is not None:
+            self._resident.move_to_end(index)
+            return cached
+        shard = decode_shard(self._reader.read(index))
+        self._resident[index] = shard
+        while len(self._resident) > self.max_resident_shards:
+            self._resident.popitem(last=False)
+        return shard
+
+    def iter_shards(self) -> Iterator["SyntheticCorpus"]:
+        """All shards in corpus order, each loaded lazily."""
+        for info in self.shards:
+            yield self.load_shard(info.index)
+
+    # -- recipe-level reads --------------------------------------------------
+
+    def shard_of(self, recipe_id: str) -> int:
+        """The shard index holding ``recipe_id`` (ids are ``R<global>``)."""
+        try:
+            global_index = int(recipe_id.lstrip("R"))
+        except ValueError as exc:
+            raise CorpusError(f"malformed recipe id {recipe_id!r}") from exc
+        for info in self.shards:
+            if info.start <= global_index < info.stop:
+                return info.index
+        raise CorpusError(f"recipe {recipe_id!r} outside every shard")
+
+    def truth_of(self, recipe_id: str) -> "GroundTruth":
+        """Ground truth for one recipe id (loads its shard if needed)."""
+        shard = self.load_shard(self.shard_of(recipe_id))
+        return shard.truth_of(recipe_id)
+
+    def describe(self) -> Mapping[str, Any]:
+        """Shard layout summary (CLI/debug surface)."""
+        return {
+            "preset_name": self.preset_name,
+            "n_recipes": len(self),
+            "n_shards": self.n_shards,
+            "payload_digest": self._reader.combined,
+            "shards": [
+                {
+                    "index": info.index,
+                    "start": info.start,
+                    "n_recipes": info.n_recipes,
+                    "digest": info.digest,
+                }
+                for info in self.shards
+            ],
+        }

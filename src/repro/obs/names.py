@@ -42,22 +42,31 @@ SPANS: frozenset[str] = frozenset(
 #: Point-in-time event names.
 EVENTS: frozenset[str] = frozenset(
     {
+        "adlda.merge",
         "executor.fallback",
         "sweep",
     }
 )
 
-#: Counter, gauge and histogram names.
+#: Counter, gauge and histogram names. Sharded pipeline stages also
+#: emit spans named after ``stage.name`` ("shard-dataset-0003", ...);
+#: those are parameterised by shard index and stay out of SPANS the
+#: same way dynamic stage spans always have.
 METRICS: frozenset[str] = frozenset(
     {
         "cache.bytes_read",
         "cache.bytes_written",
+        "cache.chunk_bytes_read",
+        "cache.chunk_bytes_written",
+        "cache.chunks_read",
+        "cache.chunks_written",
         "cache.hit",
         "cache.miss",
         "executor.fallback",
         "executor.task_run_seconds",
         "executor.task_wait_seconds",
         "kernel.alias_refresh",
+        "sampler.adlda_merges",
         "sampler.kernel_selected",
         "sampler.sweep_log_likelihood",
         "sampler.sweep_seconds",

@@ -190,10 +190,10 @@ def load_model(
 # -- synthetic corpora ------------------------------------------------------
 
 
-def save_corpus(corpus: Any, path: str | Path) -> Path:
-    """Serialise a :class:`~repro.synth.generator.SyntheticCorpus` to
-    gzipped JSON at ``path``."""
-    body = {
+def corpus_body(corpus: Any) -> dict[str, Any]:
+    """The JSON-ready body of a corpus (shared by whole-corpus and
+    per-shard serialisation)."""
+    return {
         "format": CORPUS_FORMAT,
         "version": CORPUS_FORMAT_VERSION,
         "preset_name": corpus.preset_name,
@@ -228,27 +228,27 @@ def save_corpus(corpus: Any, path: str | Path) -> Path:
             for recipe_id, truth in corpus.truths.items()
         },
     }
+
+
+def save_corpus(corpus: Any, path: str | Path) -> Path:
+    """Serialise a :class:`~repro.synth.generator.SyntheticCorpus` to
+    gzipped JSON at ``path``."""
     path = Path(path)
     with gzip.open(path, "wt", encoding="utf-8") as handle:
-        json.dump(body, handle)
+        json.dump(corpus_body(corpus), handle)
     return path
 
 
-def load_corpus(path: str | Path) -> Any:
-    """Load a corpus saved by :func:`save_corpus`."""
+def corpus_from_body(body: Any, source: str) -> Any:
+    """Rebuild a :class:`~repro.synth.generator.SyntheticCorpus` from a
+    decoded :func:`corpus_body` dict (``source`` names it in errors)."""
     from repro.corpus.recipe import Ingredient, Recipe
     from repro.rheology.attributes import TextureProfile
     from repro.rheology.gel_system import Composition
     from repro.synth.generator import GroundTruth, SyntheticCorpus
 
-    path = Path(path)
-    try:
-        with gzip.open(path, "rt", encoding="utf-8") as handle:
-            body = json.load(handle)
-    except (OSError, ValueError) as exc:
-        raise ArtifactError(f"{path} is not a {CORPUS_FORMAT} archive") from exc
     if not isinstance(body, dict) or body.get("format") != CORPUS_FORMAT:
-        raise ArtifactError(f"{path} is not a {CORPUS_FORMAT} archive")
+        raise ArtifactError(f"{source} is not a {CORPUS_FORMAT} archive")
     if body.get("version") != CORPUS_FORMAT_VERSION:
         raise ArtifactError(f"unsupported corpus version {body.get('version')}")
     recipes = tuple(
@@ -286,6 +286,17 @@ def load_corpus(path: str | Path) -> Any:
     return SyntheticCorpus(
         recipes=recipes, truths=truths, preset_name=body["preset_name"]
     )
+
+
+def load_corpus(path: str | Path) -> Any:
+    """Load a corpus saved by :func:`save_corpus`."""
+    path = Path(path)
+    try:
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            body = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ArtifactError(f"{path} is not a {CORPUS_FORMAT} archive") from exc
+    return corpus_from_body(body, str(path))
 
 
 # -- texture datasets -------------------------------------------------------

@@ -1,0 +1,29 @@
+"""DET001 fixture: a chunked-payload digest helper that reads the clock.
+
+Posed as ``src/repro/artifacts/chunks.py`` in tests. Every function in
+that module is a purity root (chunk digests roll into artifact
+provenance), so the wall-clock read inside ``_stamp`` must be flagged
+as reachable from ``chunk_digest`` — one deliberate finding.
+"""
+
+import hashlib
+import time
+
+
+def _stamp() -> float:
+    # the seeded impurity: wall-clock in a digest helper
+    return time.time()
+
+
+def chunk_digest(data: bytes) -> str:
+    digest = hashlib.sha256()
+    digest.update(data)
+    digest.update(str(_stamp()).encode())
+    return digest.hexdigest()
+
+
+def combined_digest(digests: list) -> str:
+    rolled = hashlib.sha256()
+    for digest in digests:
+        rolled.update(digest.encode())
+    return rolled.hexdigest()

@@ -95,9 +95,14 @@ def test_merge_unions():
 
 
 def test_committed_baseline_matches_current_tree():
-    """The repo's own baseline stays loadable and versioned."""
+    """The repo's own baseline stays loadable and versioned.
+
+    The original tests/ debt has been paid down to zero; the file must
+    stay loadable (the ratchet reads it on every CI run) and internally
+    consistent, however many entries it carries.
+    """
     from pathlib import Path
 
     committed = Path(__file__).resolve().parents[2] / "analysis-baseline.json"
     baseline = Baseline.load(committed)
-    assert baseline.fingerprints  # non-empty: tests/ debt is recorded
+    assert len(baseline.fingerprints) == len(baseline.entries)

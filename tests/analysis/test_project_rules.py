@@ -197,6 +197,33 @@ class TestFingerprintPurity:
         assert [v.rule for v in violations] == ["DET001"]
         assert "unordered set" in violations[0].message
 
+    def test_chunk_digest_helpers_are_purity_roots(self):
+        """repro.artifacts.chunks is a root module: a wall-clock read in
+        a chunk-digest helper (even an internal one with no Stage in
+        sight) must be flagged — chunk digests roll into artifact
+        provenance."""
+        ctx = ctx_from_fixture(
+            "impure_chunks.py", "src/repro/artifacts/chunks.py"
+        )
+        violations = run_project(FingerprintPurityRule(), ctx)
+        assert len(violations) == 1
+        (v,) = violations
+        assert v.rule == "DET001"
+        assert "time.time" in v.message
+        assert "_stamp" in v.message
+
+    def test_clean_chunk_module_passes(self):
+        ctx = ctx_from_source(
+            """
+            import hashlib
+
+            def chunk_digest(data):
+                return hashlib.sha256(data).hexdigest()
+            """,
+            "src/repro/artifacts/chunks.py",
+        )
+        assert run_project(FingerprintPurityRule(), ctx) == []
+
     def test_wall_clock_off_the_compute_path_is_fine(self):
         # The hazard exists in the module but nothing reachable from
         # compute() calls it: DET001 must stay quiet.

@@ -24,12 +24,14 @@ from repro.core.kernels import (
     AliasKernel,
     CSRTokens,
     DenseKernel,
+    DistributedKernel,
     LegacyKernel,
     SparseKernel,
     build_alias_table,
     make_kernel,
     sample_from_cumulative,
     select_kernel,
+    shard_bounds,
 )
 from repro.core.lda import LatentDirichletAllocation, LDAConfig
 from repro.core.priors import DirichletPrior
@@ -474,6 +476,124 @@ class TestAliasKernel:
         assert kernel.alias_refreshes > before
 
 
+# -- adlda kernel -------------------------------------------------------------
+
+
+class TestDistributedKernel:
+    def test_counts_stay_consistent(self, rng):
+        """AD-LDA merges must restore exact global counts each round."""
+        docs = synthetic_docs(rng)
+        y = ensure_rng(0).integers(0, 4, size=len(docs))
+        generator = ensure_rng(0)
+        counts = TopicCounts(len(docs), 4, 9)
+        z = initialise_assignments(docs, counts, generator)
+        kernel = make_kernel(
+            "adlda", CSRTokens.from_docs(docs, z), counts,
+            DirichletPrior(1.0).vector(4), 0.1, n_shards=3,
+        )
+        assert isinstance(kernel, DistributedKernel)
+        assert kernel.n_shards == 3
+        for sweep in range(5):
+            kernel.sweep(generator, None if sweep % 2 else y)
+            kernel.counts.check()
+        assert kernel.counts.n_k.sum() == kernel.csr.n_tokens
+
+    def test_shard_bounds_cover_all_docs(self):
+        offsets = np.array([0, 5, 5, 9, 20, 21, 30], dtype=np.int64)
+        bounds = shard_bounds(offsets, 3)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 6
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+        # degenerate: more shards than docs still covers everything
+        tiny = shard_bounds(np.array([0, 4], dtype=np.int64), 8)
+        assert tiny == [(0, 1)]
+
+    def test_csr_shard_views(self, rng):
+        docs = synthetic_docs(rng)
+        generator = ensure_rng(0)
+        counts = TopicCounts(len(docs), 4, 9)
+        z = initialise_assignments(docs, counts, generator)
+        csr = CSRTokens.from_docs(docs, z)
+        shard = csr.shard(2, 5)
+        assert shard.n_docs == 3
+        assert shard.doc_offsets[0] == 0
+        lo, hi = csr.doc_offsets[2], csr.doc_offsets[5]
+        assert np.array_equal(shard.token_words, csr.token_words[lo:hi])
+        with pytest.raises(ModelError):
+            csr.shard(3, 2)
+
+    def test_matches_dense_partition(self):
+        """Distributed AD-LDA recovers the dense partition (NMI) over
+        three seeds — the same :func:`run_chains` harness the sparse and
+        alias kernels' statistical-equivalence tests use."""
+        from repro.core.collapsed import run_chains
+
+        rng = ensure_rng(1)
+        docs, gels, emulsions, truth = synthetic_joint_data(rng, n_docs=90)
+        assignments = {}
+        for kernel in ("dense", "adlda"):
+            config = JointModelConfig(
+                n_topics=3, n_sweeps=40, burn_in=20, thin=2, kernel=kernel,
+                n_shards=4 if kernel == "adlda" else None,
+            )
+            chains = run_chains(
+                config, docs, gels, emulsions, vocab_size=9, n_chains=3,
+                rng=2,
+            )
+            assignments[kernel] = [
+                chain.topic_assignments() for chain in chains
+            ]
+        for dense_z, adlda_z in zip(
+            assignments["dense"], assignments["adlda"]
+        ):
+            assert normalized_mutual_information(dense_z, adlda_z) > 0.8
+            assert normalized_mutual_information(adlda_z, truth) > 0.8
+
+    def test_single_shard_matches_inner_kernel_exactly(self, rng):
+        """One shard on the serial executor is the inner dense kernel:
+        same spawned stream, same trajectory, bitwise."""
+        from repro.rng import spawn
+
+        docs = synthetic_docs(rng)
+        results = {}
+        for name in ("dense", "adlda"):
+            generator = ensure_rng(3)
+            counts = TopicCounts(len(docs), 4, 9)
+            z = initialise_assignments(docs, counts, generator)
+            kernel = make_kernel(
+                name, CSRTokens.from_docs(docs, z), counts,
+                DirichletPrior(1.0).vector(4), 0.1,
+                n_shards=1 if name == "adlda" else None,
+            )
+            for _ in range(4):
+                # adlda spawns one child stream per sweep via run_tasks;
+                # mirror that spawn for the direct dense kernel.
+                if name == "dense":
+                    kernel.sweep(spawn(generator, 1)[0])
+                else:
+                    kernel.sweep(generator)
+            results[name] = (kernel.csr.token_topics.copy(), counts.n_kv.copy())
+        assert np.array_equal(results["dense"][0], results["adlda"][0])
+        assert np.array_equal(results["dense"][1], results["adlda"][1])
+
+    def test_rejects_nested_or_invalid_inner(self, rng):
+        docs = synthetic_docs(rng)
+        counts = TopicCounts(len(docs), 4, 9)
+        generator = ensure_rng(0)
+        z = initialise_assignments(docs, counts, generator)
+        csr = CSRTokens.from_docs(docs, z)
+        alpha = DirichletPrior(1.0).vector(4)
+        with pytest.raises(ModelError):
+            DistributedKernel(csr, counts, alpha, 0.1, inner="adlda")
+        with pytest.raises(ModelError):
+            DistributedKernel(csr, counts, alpha, 0.1, n_shards=0)
+        with pytest.raises(ModelError):
+            LDAConfig(kernel="adlda", n_shards=0)
+        with pytest.raises(ModelError):
+            JointModelConfig(kernel="adlda", n_shards=-1)
+
+
 # -- wiring -------------------------------------------------------------------
 
 
@@ -494,7 +614,7 @@ class TestKernelSelection:
             )
 
     def test_kernel_names_exported(self):
-        assert set(KERNELS) == {"alias", "dense", "legacy", "sparse"}
+        assert set(KERNELS) == {"adlda", "alias", "dense", "legacy", "sparse"}
         assert set(KERNEL_CHOICES) == set(KERNELS) | {"auto"}
 
     def test_auto_accepted_by_configs(self):

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.linalg import guarded_inv
 from repro.core.priors import DirichletPrior, NormalWishartPrior
 from repro.errors import ModelError
 
@@ -77,7 +78,7 @@ class TestVague:
         data = rng.normal(0.0, 2.0, size=(500, 2))
         prior = NormalWishartPrior.vague(data, scatter_weight=0.3)
         expected = np.diag(0.3 * data.var(axis=0))
-        assert np.allclose(np.linalg.inv(prior.scale), expected)
+        assert np.allclose(guarded_inv(prior.scale), expected)
 
     def test_needs_matrix(self):
         with pytest.raises(ModelError):

@@ -1,0 +1,134 @@
+"""Tests for repro.corpus.sharded — out-of-core corpus handles.
+
+The load-bearing guarantees:
+
+* ``generate_shards`` is deterministic per seed and assigns globally
+  unique, contiguous recipe ids across shards;
+* shard chunk bytes are a pure function of their recipes (gzip mtime
+  pinned), so regenerating an identical shard reproduces its digest;
+* ``ShardedCorpus`` mirrors the ``SyntheticCorpus`` read surface
+  (``len``, ``truth_of``, ``preset_name``) while keeping at most
+  ``max_resident_shards`` shards decoded;
+* ``plan_shards`` turns a memory ceiling into a shard count.
+"""
+
+import pytest
+
+from repro.artifacts.chunks import ChunkWriter
+from repro.corpus.sharded import (
+    ShardedCorpus,
+    decode_shard,
+    encode_shard,
+    plan_shards,
+    shard_sizes,
+)
+from repro.errors import ArtifactError, CorpusError
+from repro.rng import ensure_rng
+from repro.synth.generator import CorpusGenerator
+from repro.synth.presets import CorpusPreset
+
+PRESET = CorpusPreset(name="shard-test", n_recipes=60)
+
+
+def write_sharded(directory, preset=PRESET, n_shards=3, seed=5):
+    writer = ChunkWriter(directory)
+    generator = CorpusGenerator(rng=ensure_rng(seed))
+    for shard in generator.generate_shards(preset, n_shards):
+        writer.add(
+            encode_shard(shard),
+            meta={"n_recipes": len(shard.recipes), "preset_name": preset.name},
+        )
+    writer.finalize()
+    return ShardedCorpus.open(directory)
+
+
+class TestShardPlanning:
+    def test_shard_sizes_balanced_and_total(self):
+        assert shard_sizes(10, 3) == [4, 3, 3]
+        assert shard_sizes(9, 3) == [3, 3, 3]
+        assert shard_sizes(2, 5) == [1, 1]  # never more shards than recipes
+        with pytest.raises(CorpusError):
+            shard_sizes(0, 3)
+
+    def test_plan_shards_from_ceiling(self):
+        assert plan_shards(1000) == 1  # no ceiling → unsharded
+        # tiny ceiling forces many shards; generous ceiling forces none
+        assert plan_shards(200_000, max_resident_mb=64) > 1
+        assert plan_shards(100, max_resident_mb=4096) == 1
+        with pytest.raises(CorpusError):
+            plan_shards(100, max_resident_mb=0)
+
+
+class TestGenerateShards:
+    def test_ids_globally_unique_and_contiguous(self):
+        generator = CorpusGenerator(rng=ensure_rng(5))
+        shards = list(generator.generate_shards(PRESET, 4))
+        assert [len(s.recipes) for s in shards] == [15, 15, 15, 15]
+        ids = [r.recipe_id for s in shards for r in s.recipes]
+        assert ids == [f"R{i:06d}" for i in range(60)]
+        for shard in shards:
+            assert set(shard.truths) == {r.recipe_id for r in shard.recipes}
+
+    def test_deterministic_per_seed(self):
+        first = list(CorpusGenerator(rng=ensure_rng(5)).generate_shards(PRESET, 3))
+        second = list(CorpusGenerator(rng=ensure_rng(5)).generate_shards(PRESET, 3))
+        assert [encode_shard(a) for a in first] == [
+            encode_shard(b) for b in second
+        ]
+
+    def test_shard_bytes_are_pure_content(self):
+        shard = next(CorpusGenerator(rng=ensure_rng(5)).generate_shards(PRESET, 3))
+        assert encode_shard(shard) == encode_shard(shard)
+        round_tripped = decode_shard(encode_shard(shard))
+        assert round_tripped.recipes == shard.recipes
+        assert dict(round_tripped.truths) == dict(shard.truths)
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ArtifactError):
+            decode_shard(b"not gzip at all")
+
+
+class TestShardedCorpus:
+    def test_read_surface_matches_in_memory_corpus(self, tmp_path):
+        corpus = write_sharded(tmp_path)
+        assert len(corpus) == 60
+        assert corpus.n_shards == 3
+        assert corpus.preset_name == "shard-test"
+        truth = corpus.truth_of("R000037")
+        shard = corpus.load_shard(corpus.shard_of("R000037"))
+        assert truth == shard.truth_of("R000037")
+
+    def test_lru_keeps_at_most_max_resident(self, tmp_path):
+        corpus = write_sharded(tmp_path)
+        corpus.max_resident_shards = 2
+        for info in corpus.shards:
+            corpus.load_shard(info.index)
+        assert len(corpus._resident) == 2
+        # most-recently-used shard survives eviction
+        assert 2 in corpus._resident
+
+    def test_iter_shards_in_corpus_order(self, tmp_path):
+        corpus = write_sharded(tmp_path)
+        starts = [s.recipes[0].recipe_id for s in corpus.iter_shards()]
+        assert starts == ["R000000", "R000020", "R000040"]
+
+    def test_unknown_recipe_rejected(self, tmp_path):
+        corpus = write_sharded(tmp_path)
+        with pytest.raises(CorpusError):
+            corpus.shard_of("R999999")
+        with pytest.raises(CorpusError):
+            corpus.shard_of("not-an-id")
+
+    def test_open_requires_shard_metadata(self, tmp_path):
+        writer = ChunkWriter(tmp_path)
+        writer.add(b"payload without meta")
+        writer.finalize()
+        with pytest.raises(ArtifactError, match="lacks shard metadata"):
+            ShardedCorpus.open(tmp_path)
+
+    def test_describe_reports_layout(self, tmp_path):
+        corpus = write_sharded(tmp_path)
+        description = corpus.describe()
+        assert description["n_recipes"] == 60
+        assert description["n_shards"] == 3
+        assert [s["start"] for s in description["shards"]] == [0, 20, 40]

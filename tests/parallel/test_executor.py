@@ -82,7 +82,7 @@ class TestFallback:
     def test_unpicklable_fn_falls_back_to_serial(self):
         """A lambda cannot cross a process boundary; results must not."""
         serial = run_tasks(_draw, [1, 2, 3], rng=11)
-        got = run_tasks(
+        got = run_tasks(  # repro: noqa[PAR001] - deliberately unpicklable lambda: this test exercises the serial fallback
             lambda payload, rng: _draw(payload, rng), [1, 2, 3], rng=11,
             config=ParallelConfig(backend="process"),
         )
@@ -90,7 +90,7 @@ class TestFallback:
 
     def test_fallback_disabled_raises(self):
         with pytest.raises(ParallelError):
-            run_tasks(
+            run_tasks(  # repro: noqa[PAR001] - deliberately unpicklable lambda: this test asserts the raise
                 lambda payload, rng: payload, [1, 2], rng=0,
                 config=ParallelConfig(
                     backend="process", fallback_to_serial=False

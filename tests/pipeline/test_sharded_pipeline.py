@@ -1,0 +1,230 @@
+"""Tests for the sharded staged pipeline (``config.n_shards > 1``).
+
+The load-bearing guarantees:
+
+* a sharded run is cacheable end-to-end: a warm re-run hits every stage
+  and reloads bit-identical payloads;
+* invalidation is *per shard*: a model-knob change reuses the corpus,
+  filter, every shard dataset and the merge, refitting only the model
+  and linker;
+* the merged dataset is exactly what a monolithic featurise over the
+  same recipes (same exclusion set) would have produced;
+* a shard where the filter rejects every recipe is a legitimate empty
+  dataset, and only *all* shards empty is an error.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.joint_model import JointModelConfig
+from repro.errors import CorpusError, ExperimentError
+from repro.pipeline.dataset import DatasetBuilder, merge_datasets
+from repro.pipeline.experiment import (
+    ExperimentConfig,
+    clear_cache,
+    run_experiment,
+)
+from repro.pipeline.stages import (
+    BUILD_DATASET,
+    BUILD_LINKER,
+    FIT_MODEL,
+    GEL_FILTER,
+    SYNTH_CORPUS,
+    shard_stage_name,
+)
+from repro.synth.generator import CorpusGenerator
+from repro.synth.presets import CorpusPreset
+
+N_SHARDS = 3
+
+SHARDED_ORDER = [
+    SYNTH_CORPUS,
+    GEL_FILTER,
+    *(shard_stage_name(i) for i in range(N_SHARDS)),
+    BUILD_DATASET,
+    FIT_MODEL,
+    BUILD_LINKER,
+]
+
+
+def sharded_config(**overrides) -> ExperimentConfig:
+    base = dict(
+        preset=CorpusPreset(name="shardpipe", n_recipes=120),
+        model=JointModelConfig(n_topics=4, n_sweeps=12, burn_in=6, thin=2),
+        seed=41,
+        use_w2v_filter=False,  # the filter has its own tests; keep this fast
+        n_shards=N_SHARDS,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def assert_same_fit(a, b):
+    for name in ("phi_", "theta_", "gel_means_", "y_"):
+        assert np.array_equal(getattr(a.model, name), getattr(b.model, name))
+    assert a.dataset.vocabulary == b.dataset.vocabulary
+    assert np.array_equal(a.dataset.gel_log, b.dataset.gel_log)
+    for doc_a, doc_b in zip(a.dataset.docs, b.dataset.docs):
+        assert np.array_equal(doc_a, doc_b)
+
+
+class TestShardedDiskCache:
+    def test_warm_rerun_hits_every_stage_bit_identically(self, tmp_path):
+        config = sharded_config()
+        cold = run_experiment(config, cache_dir=tmp_path)
+        clear_cache()
+        warm = run_experiment(config, cache_dir=tmp_path)
+
+        n_stages = len(SHARDED_ORDER)
+        assert cold.provenance["order"] == SHARDED_ORDER
+        assert cold.provenance["misses"] == n_stages
+        assert warm.provenance["hits"] == n_stages
+        assert warm.provenance["misses"] == 0
+        assert_same_fit(cold, warm)
+
+    def test_run_manifest_records_shard_layout(self, tmp_path):
+        config = sharded_config()
+        result = run_experiment(config, cache_dir=tmp_path)
+        sharded = result.provenance["sharded"]
+        assert sharded["n_shards"] == N_SHARDS
+        assert sharded["n_recipes"] == 120
+        assert sharded["payload_digest"] == (
+            result.corpus.describe()["payload_digest"]
+        )
+        assert len(result.corpus) == 120
+
+    def test_sharded_and_unsharded_cache_keys_differ(self):
+        assert (
+            sharded_config().cache_key()
+            != sharded_config(n_shards=1).cache_key()
+        )
+
+
+class TestPerShardInvalidation:
+    def test_model_change_reuses_every_shard_dataset(self, tmp_path):
+        """A fit-model knob must not re-featurise any shard."""
+        base = run_experiment(sharded_config(), cache_dir=tmp_path)
+        clear_cache()
+        changed = run_experiment(
+            sharded_config(
+                model=JointModelConfig(
+                    n_topics=4, n_sweeps=16, burn_in=6, thin=2
+                )
+            ),
+            cache_dir=tmp_path,
+        )
+        before = base.provenance["stages"]
+        after = changed.provenance["stages"]
+        reused = [
+            SYNTH_CORPUS,
+            GEL_FILTER,
+            *(shard_stage_name(i) for i in range(N_SHARDS)),
+            BUILD_DATASET,
+        ]
+        for name in reused:
+            assert after[name]["hit"], name
+            assert after[name]["fingerprint"] == before[name]["fingerprint"]
+        for name in (FIT_MODEL, BUILD_LINKER):
+            assert not after[name]["hit"], name
+
+    def test_seed_change_invalidates_everything(self, tmp_path):
+        run_experiment(sharded_config(), cache_dir=tmp_path)
+        clear_cache()
+        reseeded = run_experiment(sharded_config(seed=42), cache_dir=tmp_path)
+        assert reseeded.provenance["hits"] == 0
+
+
+class TestMergeEquivalence:
+    def test_merged_dataset_matches_monolithic_build(self, tmp_path):
+        """Shard-by-shard featurise + merge == one featurise over the
+        concatenated recipes, for the same exclusion set."""
+        result = run_experiment(sharded_config(), cache_dir=tmp_path)
+        recipes = [
+            recipe
+            for shard in result.corpus.iter_shards()
+            for recipe in shard.recipes
+        ]
+        excluded = result.dataset.excluded_terms
+        reference = DatasetBuilder().build_shard(recipes, excluded=excluded)
+
+        merged = result.dataset
+        assert merged.vocabulary == reference.vocabulary
+        assert len(merged.docs) == len(reference.docs)
+        for doc_m, doc_r in zip(merged.docs, reference.docs):
+            assert np.array_equal(doc_m, doc_r)
+        assert np.array_equal(merged.gel_log, reference.gel_log)
+        assert np.array_equal(merged.emulsion_log, reference.emulsion_log)
+        assert merged.funnel["kept"] == reference.funnel["kept"]
+        assert merged.funnel["shards"] == N_SHARDS
+
+
+def small_shard_datasets():
+    """Two real shard datasets plus matching recipe lists."""
+    from repro.rng import ensure_rng
+
+    preset = CorpusPreset(name="merge-test", n_recipes=40)
+    generator = CorpusGenerator(rng=ensure_rng(11))
+    shards = list(generator.generate_shards(preset, 2))
+    builder = DatasetBuilder()
+    parts = [
+        builder.build_shard(shard.recipes, excluded=frozenset())
+        for shard in shards
+    ]
+    return builder, shards, parts
+
+
+class TestEmptyShardBoundary:
+    def test_zero_kept_shard_is_a_legitimate_empty_dataset(self):
+        builder, shards, parts = small_shard_datasets()
+        # Excluding the entire merged vocabulary strips every recipe of
+        # its texture terms: the funnel rejects all of them.
+        all_terms = frozenset(merge_datasets(parts).vocabulary)
+        empty = builder.build_shard(shards[0].recipes, excluded=all_terms)
+        assert len(empty.docs) == 0
+        assert empty.gel_log.shape == (0, 3)
+        assert empty.emulsion_log.shape == (0, 6)
+        assert empty.funnel["kept"] == 0
+        assert empty.funnel["collected"] == len(shards[0].recipes)
+        assert empty.funnel["rejected_no_terms"] > 0
+
+    def test_merge_tolerates_an_empty_shard(self):
+        builder, _, parts = small_shard_datasets()
+        empty = builder.build_shard([], excluded=frozenset())
+        merged = merge_datasets([parts[0], empty])
+        assert len(merged.docs) == len(parts[0].docs)
+        assert merged.vocabulary == parts[0].vocabulary
+        assert np.array_equal(merged.gel_log, parts[0].gel_log)
+        assert merged.funnel["shards"] == 2
+
+    def test_all_shards_empty_is_an_error(self):
+        builder, _, _ = small_shard_datasets()
+        empty = builder.build_shard([], excluded=frozenset())
+        with pytest.raises(CorpusError, match="rejected every recipe"):
+            merge_datasets([empty, dataclasses.replace(empty)])
+
+    def test_merge_rejects_disagreeing_exclusions(self):
+        builder, shards, parts = small_shard_datasets()
+        other = builder.build_shard(
+            shards[1].recipes, excluded=frozenset({"zzz-not-a-term"})
+        )
+        with pytest.raises(CorpusError, match="disagree on excluded"):
+            merge_datasets([parts[0], other])
+
+    def test_merge_requires_at_least_one_part(self):
+        with pytest.raises(CorpusError, match="no dataset shards"):
+            merge_datasets([])
+
+
+class TestConfigValidation:
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ExperimentError, match="n_shards"):
+            sharded_config(n_shards=0)

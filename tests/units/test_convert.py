@@ -74,7 +74,7 @@ class TestInformationQuantity:
 
     def test_zero_uses_floor(self):
         assert information_quantity(0.0) == pytest.approx(
-            -math.log(ABSENT_CONCENTRATION)
+            -math.log(ABSENT_CONCENTRATION)  # repro: noqa[NUM002] - positive module constant (the clamp floor itself)
         )
 
     def test_monotone_decreasing(self):
