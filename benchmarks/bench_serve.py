@@ -100,12 +100,26 @@ REQUEST_BODIES = [
 
 
 def _git_commit() -> str:
+    """Short hash of the worktree the bench actually measured.
+
+    A ``-dirty`` suffix marks uncommitted changes, so a trajectory row
+    can never silently impersonate the commit it diverged from.
+    """
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
             cwd=_ROOT, capture_output=True, text=True, timeout=10,
         )
-        return out.stdout.strip() or "unknown"
+        commit = out.stdout.strip()
+        if not commit:
+            return "unknown"
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=_ROOT, capture_output=True, text=True, timeout=10,
+        )
+        if status.stdout.strip():
+            commit += "-dirty"
+        return commit
     except OSError:  # repro: noqa[EXC001] - bench must run outside git checkouts too
         return "unknown"
 

@@ -1,6 +1,16 @@
 """``python -m repro`` entry point."""
 
+import os
+import sys
+
 from repro.cli import main
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        status = main()
+    except BrokenPipeError:  # repro: noqa[EXC001] - downstream pipe (e.g. `| head`) closed early
+        # Re-point stdout at devnull so the interpreter's shutdown flush
+        # does not raise a second time, then exit like a killed pipe peer.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        status = 141  # 128 + SIGPIPE, the conventional shell status
+    raise SystemExit(status)

@@ -108,6 +108,15 @@ def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
             "registry sets for repro.obs.names, then exit"
         ),
     )
+    parser.add_argument(
+        "--check-obs-names",
+        action="store_true",
+        help=(
+            "fail (exit 1) if the literal span/event/metric names in "
+            "the tree drift from the repro.obs.names registry (minus "
+            "its declared dynamic names)"
+        ),
+    )
     return parser
 
 
@@ -150,8 +159,8 @@ def _resolve_baseline(args: argparse.Namespace) -> tuple[Baseline | None, Path]:
     return None, path
 
 
-def _dump_obs_names(paths: Sequence[Path]) -> int:
-    """Scan ``paths`` and print ready-to-paste registry sets."""
+def _scan_obs_names(paths: Sequence[Path]) -> dict[str, set[str]]:
+    """Literal span/event/metric names found under ``paths``."""
     from repro.analysis.core import FileContext
     from repro.analysis.rules.obs import scan_names
     from repro.analysis.runner import discover
@@ -164,6 +173,12 @@ def _dump_obs_names(paths: Sequence[Path]) -> int:
             continue
         for kind, name, _ in scan_names(ctx):
             found[kind].add(name)
+    return found
+
+
+def _dump_obs_names(paths: Sequence[Path]) -> int:
+    """Scan ``paths`` and print ready-to-paste registry sets."""
+    found = _scan_obs_names(paths)
     for kind, label in (("span", "SPANS"), ("event", "EVENTS"), ("metric", "METRICS")):
         print(f"{label}: frozenset[str] = frozenset(")
         print("    {")
@@ -171,6 +186,53 @@ def _dump_obs_names(paths: Sequence[Path]) -> int:
             print(f"        {name!r},")
         print("    }")
         print(")")
+    return 0
+
+
+def _check_obs_names(paths: Sequence[Path]) -> int:
+    """Fail when the scanned names drift from the committed registry.
+
+    The registry's dynamically-emitted names (``DYNAMIC_*`` in
+    :mod:`repro.obs.names`) are subtracted before comparing — the
+    scanner cannot see them by construction.
+    """
+    from repro.obs.names import scanner_visible_names
+
+    found = _scan_obs_names(paths)
+    expected = scanner_visible_names()
+    problems: list[str] = []
+    for kind in ("span", "event", "metric"):
+        unregistered = found[kind] - expected[kind]
+        vanished = expected[kind] - found[kind]
+        for name in sorted(unregistered):
+            problems.append(
+                f"{kind} {name!r} is emitted but not registered in "
+                "repro/obs/names.py (add it; if the call site builds "
+                "the name dynamically, also add it to the DYNAMIC_* set)"
+            )
+        for name in sorted(vanished):
+            problems.append(
+                f"{kind} {name!r} is registered in repro/obs/names.py "
+                "but no literal call site emits it (remove it, or move "
+                "it to the DYNAMIC_* set if it became dynamic)"
+            )
+    if problems:
+        print(
+            f"obs-name registry drift ({len(problems)} problem(s)):",
+            file=sys.stderr,
+        )
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        print(
+            "regenerate with: python -m repro.analysis --dump-obs-names "
+            "src/repro",
+            file=sys.stderr,
+        )
+        return 1
+    counts = ", ".join(
+        f"{len(found[kind])} {kind}s" for kind in ("span", "event", "metric")
+    )
+    print(f"obs-name registry in sync ({counts})")
     return 0
 
 
@@ -199,6 +261,9 @@ def run_from_args(args: argparse.Namespace) -> int:
 
     if args.dump_obs_names:
         return _dump_obs_names(paths)
+
+    if args.check_obs_names:
+        return _check_obs_names(paths)
 
     try:
         result = analyze_paths(paths, rules=rules, baseline=baseline)

@@ -111,6 +111,10 @@ def run_pipeline(
             # The span is the single source of stage timing: the run
             # manifest reads the same number the trace records.
             elapsed = stage_span.duration_s
+            if not records[stage.name]["hit"]:
+                metrics.registry.histogram(
+                    "pipeline.stage_seconds"
+                ).observe(elapsed)
             records[stage.name]["elapsed_seconds"] = (
                 0.0 if records[stage.name]["hit"] else elapsed
             )

@@ -24,13 +24,24 @@ Commands
     pairs, e.g. ``python -m repro estimate gelatin=5g water=300ml``.
 ``trace``
     Inspect a JSONL trace file written by ``--trace`` / ``$REPRO_TRACE``
-    (``summary`` aggregates spans, ``tree`` renders the span forest).
+    (``summary`` aggregates spans, ``tree`` renders the span forest,
+    ``flame`` renders a sampling-profiler artifact as a hot-frame
+    table or folded stacks).
+``obs``
+    Inspect observability artifacts (``series`` renders a metric
+    time-series artifact written by ``--series``).
+``bench``
+    Bench trajectory tooling (``check`` fails on cross-run perf
+    regressions: median-of-recent rows vs the committed floors).
 ``lint``
     Run the project static analyser (``repro.analysis``) over the tree.
 
 Global flags: ``--log-level`` / ``-v`` configure the single ``repro``
 logger; ``--trace`` on ``run`` (or ``$REPRO_TRACE`` for any command)
-exports a span/event trace as JSON lines.
+exports a span/event trace as JSON lines; ``--profile`` on ``run`` (or
+``$REPRO_PROFILE`` for any command) writes a sampling-profiler
+artifact; ``--series`` on ``run``/``serve`` writes a metric
+time-series artifact.
 """
 
 from __future__ import annotations
@@ -42,6 +53,8 @@ from typing import Sequence
 
 from repro.errors import ModelError, ReproError
 from repro.obs import log as obs_log
+from repro.obs import profile as obs_profile
+from repro.obs import series as obs_series
 from repro.obs import trace as obs_trace
 from repro.pipeline.experiment import ExperimentConfig, quick_config, run_experiment
 
@@ -134,6 +147,29 @@ def _build_parser() -> argparse.ArgumentParser:
              f"(also enabled for any command via ${obs_trace.TRACE_ENV})",
     )
     run.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="write a wall-clock sampling-profiler artifact to PATH "
+             f"(also enabled for any command via ${obs_profile.PROFILE_ENV}; "
+             "render with `repro trace flame`)",
+    )
+    run.add_argument(
+        "--series",
+        metavar="PATH",
+        default=None,
+        help="sample the metrics registry periodically and write a "
+             "time-series artifact to PATH (render with "
+             "`repro obs series`)",
+    )
+    run.add_argument(
+        "--series-interval",
+        type=float,
+        default=obs_series.DEFAULT_INTERVAL_S,
+        metavar="SECONDS",
+        help="sampling interval for --series (default: 1.0)",
+    )
+    run.add_argument(
         "--shards",
         type=int,
         default=None,
@@ -217,9 +253,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fold-in-sweeps", type=int, default=48,
         help="Gibbs fold-in sweeps per request (burn-in is a third)",
     )
+    serve.add_argument(
+        "--series",
+        metavar="PATH",
+        default=None,
+        help="sample the metrics registry while serving and write a "
+             "time-series artifact to PATH on shutdown (p50/p99 "
+             "latency over time via `repro obs series`)",
+    )
+    serve.add_argument(
+        "--series-interval",
+        type=float,
+        default=obs_series.DEFAULT_INTERVAL_S,
+        metavar="SECONDS",
+        help="sampling interval for --series (default: 1.0)",
+    )
 
     trace_cmd = sub.add_parser(
-        "trace", help="inspect a JSONL trace file"
+        "trace", help="inspect trace and profile artifacts"
     )
     trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
     trace_summary = trace_sub.add_parser(
@@ -231,6 +282,70 @@ def _build_parser() -> argparse.ArgumentParser:
         "tree", help="render the span forest with durations"
     )
     trace_tree.add_argument("file", help="JSONL trace file")
+    trace_flame = trace_sub.add_parser(
+        "flame",
+        help="render a sampling-profiler artifact (--profile / "
+             f"${obs_profile.PROFILE_ENV})",
+    )
+    trace_flame.add_argument("file", help="profile JSON artifact")
+    trace_flame.add_argument(
+        "--folded", action="store_true",
+        help="emit flamegraph folded-stack lines instead of the table",
+    )
+    trace_flame.add_argument(
+        "--limit", type=int, default=15,
+        help="rows in the hot-frame table (default: 15)",
+    )
+
+    obs_cmd = sub.add_parser(
+        "obs", help="inspect observability artifacts"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_series_cmd = obs_sub.add_parser(
+        "series",
+        help="render a metric time-series artifact (--series)",
+    )
+    obs_series_cmd.add_argument("file", help="series JSON artifact")
+    obs_series_cmd.add_argument(
+        "--metric", default=None,
+        help="one metric to tabulate (default: sparkline per metric)",
+    )
+    obs_series_cmd.add_argument(
+        "--quantile", type=float, action="append", default=None,
+        metavar="Q",
+        help="quantiles for a histogram metric's over-time table "
+             "(repeatable; default: 0.5 and 0.99)",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="bench trajectory tooling"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_check = bench_sub.add_parser(
+        "check",
+        help="fail on cross-run perf regressions (median of recent "
+             "rows vs committed floors)",
+    )
+    bench_check.add_argument(
+        "--sampler", default="BENCH_sampler.json",
+        help="sampler bench trajectory (default: BENCH_sampler.json)",
+    )
+    bench_check.add_argument(
+        "--sampler-floor", default="benchmarks/sampler_floor.json",
+        help="sampler floor file (default: benchmarks/sampler_floor.json)",
+    )
+    bench_check.add_argument(
+        "--serve", default="BENCH_serve.json",
+        help="serve bench trajectory (default: BENCH_serve.json)",
+    )
+    bench_check.add_argument(
+        "--serve-floor", default="benchmarks/serve_floor.json",
+        help="serve floor file (default: benchmarks/serve_floor.json)",
+    )
+    bench_check.add_argument(
+        "--recent", type=int, default=None,
+        help="trajectory rows per cell fed into the median (default: 5)",
+    )
 
     estimate = sub.add_parser("estimate", help="estimate a recipe's texture")
     estimate.add_argument(
@@ -680,11 +795,86 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import read_trace, render_tree, summarise
 
+    if args.trace_command == "flame":
+        report = obs_profile.read_report(args.file)
+        if args.folded:
+            for line in report.folded():
+                print(line)
+        else:
+            print(report.render(limit=args.limit))
+        return 0
     records = read_trace(args.file)
     if args.trace_command == "summary":
         print(summarise(records))
     else:
         print(render_tree(records))
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    report = obs_series.read_series(args.file)
+    if args.metric is None:
+        if not report.names():
+            print("no metrics recorded")
+            return 0
+        for name in report.names():
+            print(report.render(name))
+        return 0
+    name = args.metric
+    if report.kind(name) == "histogram":
+        quantiles = args.quantile if args.quantile else [0.5, 0.99]
+        columns = {
+            q: dict(report.quantile_series(name, q)) for q in quantiles
+        }
+        rate = dict(report.rate_series(name))
+        times = sorted(set().union(rate, *columns.values()))
+        header = "t_offset_s " + " ".join(
+            f"{'p' + format(q * 100, 'g'):>12}" for q in quantiles
+        )
+        print(f"{name} ({len(times)} intervals)")
+        print(header + f" {'obs_per_sec':>12}")
+        t0 = times[0] if times else 0.0
+        for t in times:
+            cells = " ".join(
+                f"{columns[q][t]:>12.6g}" if t in columns[q] else
+                f"{'-':>12}"
+                for q in quantiles
+            )
+            rate_cell = (
+                f"{rate[t]:>12.6g}" if t in rate else f"{'-':>12}"
+            )
+            print(f"{t - t0:>10.1f} {cells} {rate_cell}")
+        return 0
+    print(f"{name}")
+    print(f"{'t_offset_s':>10} {'value':>14}")
+    pairs = report.values(name)
+    t0 = pairs[0][0] if pairs else 0.0
+    for t, value in pairs:
+        cell = f"{value:>14.6g}" if value is not None else f"{'-':>14}"
+        print(f"{t - t0:>10.1f} {cell}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import regress
+
+    recent = args.recent if args.recent is not None else regress.DEFAULT_RECENT
+    findings = regress.check_files(
+        sampler_path=args.sampler,
+        sampler_floor_path=args.sampler_floor,
+        serve_path=args.serve,
+        serve_floor_path=args.serve_floor,
+        recent=recent,
+    )
+    if findings:
+        print(f"{len(findings)} perf regression(s) detected:", file=sys.stderr)
+        for finding in findings:
+            print(f"  {finding.message()}", file=sys.stderr)
+        return 1
+    print(
+        f"bench check ok: trajectories clear the committed floors "
+        f"(median of last {recent} rows per cell)"
+    )
     return 0
 
 
@@ -696,14 +886,36 @@ def _trace_target(args: argparse.Namespace) -> str | None:
     return os.environ.get(obs_trace.TRACE_ENV) or None
 
 
+def _profile_target(args: argparse.Namespace) -> str | None:
+    """The profile path for this invocation: --profile wins over the env."""
+    explicit = getattr(args, "profile", None)
+    if explicit:
+        return str(explicit)
+    return os.environ.get(obs_profile.PROFILE_ENV) or None
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     obs_log.configure(level=args.log_level, verbosity=args.verbose)
-    trace_path = None if args.command == "trace" else _trace_target(args)
+    # The inspection commands never self-instrument: `repro trace` on a
+    # trace file must not append to it, and `obs`/`bench` are readers.
+    inspecting = args.command in ("trace", "obs", "bench")
+    trace_path = None if inspecting else _trace_target(args)
+    profile_path = None if inspecting else _profile_target(args)
+    series_path = None if inspecting else getattr(args, "series", None)
     try:
         if trace_path is not None:
             obs_trace.enable(trace_path)
+        if profile_path is not None:
+            obs_profile.enable(profile_path)
+        if series_path is not None:
+            obs_series.enable(
+                series_path,
+                interval_s=getattr(
+                    args, "series_interval", obs_series.DEFAULT_INTERVAL_S
+                ),
+            )
         if args.command == "lint":
             return _cmd_lint(args)
         if args.command == "table1":
@@ -720,6 +932,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "obs":
+            return _cmd_obs(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "search":
             return _cmd_search(args)
         if args.command == "rules":
@@ -733,6 +949,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
+        if series_path is not None:
+            obs_series.disable()
+            print(f"wrote metric series to {series_path}", file=sys.stderr)
+        if profile_path is not None:
+            obs_profile.disable()
+            print(f"wrote profile to {profile_path}", file=sys.stderr)
         if trace_path is not None:
             obs_trace.disable()
             print(f"wrote trace to {trace_path}", file=sys.stderr)

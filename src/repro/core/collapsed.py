@@ -497,6 +497,7 @@ class CollapsedJointModel:
                     self.log_likelihoods_[-1],
                     kernel.csr.n_tokens,
                     sweep_seconds,
+                    kernel=kernel.name,
                 )
 
             if sweep >= cfg.burn_in and (sweep - cfg.burn_in) % cfg.thin == 0:

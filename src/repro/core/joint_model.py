@@ -388,6 +388,7 @@ class JointTextureTopicModel:
                     self.log_likelihoods_[-1],
                     kernel.csr.n_tokens,
                     sweep_seconds,
+                    kernel=kernel.name,
                 )
             if (sweep + 1) % _LOG_EVERY == 0 or sweep + 1 == cfg.n_sweeps:
                 logger.info(

@@ -226,6 +226,10 @@ class TokenKernel:
     :meth:`sweep` returns.
     """
 
+    #: Canonical kernel name (one of :data:`KERNELS`); telemetry keys
+    #: the per-kernel ``kernel.sweep_seconds.<name>`` histograms on it.
+    name: str = ""
+
     def __init__(
         self,
         csr: CSRTokens,
@@ -258,6 +262,8 @@ class LegacyKernel(TokenKernel):
     benchmark baseline and the reference the dense kernel must match
     bit-for-bit.
     """
+
+    name = "legacy"
 
     def sweep(
         self, generator: np.random.Generator, y: np.ndarray | None = None
@@ -314,6 +320,8 @@ class DenseKernel(TokenKernel):
     ``α`` falls back to the unfused loop (incremental float updates
     would not be exact there).
     """
+
+    name = "dense"
 
     def __init__(
         self,
@@ -510,6 +518,8 @@ class SparseKernel(TokenKernel):
     extra uniform per smoothing-bucket hit) and sums the buckets in a
     different order.
     """
+
+    name = "sparse"
 
     def __init__(
         self,
@@ -757,6 +767,8 @@ class AliasKernel(TokenKernel):
     bit-identical. Amortised cost per token is O(1 + K/alias_refresh),
     independent of K for the default budget ``max(4K, 256)``.
     """
+
+    name = "alias"
 
     def __init__(
         self,
@@ -1055,6 +1067,8 @@ class DistributedKernel(TokenKernel):
     (serial / thread / process) comes from the ``parallel`` config.
     """
 
+    name = "adlda"
+
     def __init__(
         self,
         csr: CSRTokens,
@@ -1078,6 +1092,17 @@ class DistributedKernel(TokenKernel):
         self.inner = inner
         self.bounds = shard_bounds(csr.doc_offsets, n_shards)
         self.n_shards = len(self.bounds)
+        # Shard token imbalance (max/mean shard size) is fixed by the
+        # bounds; computed once here, exported as a gauge per traced
+        # sweep so dashboards see it alongside the merge health.
+        shard_tokens = [
+            int(csr.doc_offsets[hi]) - int(csr.doc_offsets[lo])
+            for lo, hi in self.bounds
+        ]
+        mean_tokens = sum(shard_tokens) / max(1, len(shard_tokens))
+        self.shard_imbalance = (
+            max(shard_tokens) / mean_tokens if mean_tokens > 0 else 1.0
+        )
 
     def sweep(
         self, generator: np.random.Generator, y: np.ndarray | None = None
@@ -1115,11 +1140,22 @@ class DistributedKernel(TokenKernel):
         counts.n_kv += delta_total
         counts.n_k += delta_total.sum(axis=1)
         if trace.is_enabled():
-            metrics.registry.counter("sampler.adlda_merges").inc()
+            moved = int(np.abs(delta_total).sum() // 2)
+            registry = metrics.registry
+            registry.counter("sampler.adlda_merges").inc()
+            # Merge staleness: the fraction of tokens that changed
+            # topic within the round — how much of the word-topic
+            # matrix every shard sampled against was already stale.
+            registry.gauge("adlda.merge_staleness").set(
+                moved / max(1, csr.n_tokens)
+            )
+            registry.gauge("adlda.shard_imbalance").set(
+                self.shard_imbalance
+            )
             trace.event(
                 "adlda.merge",
                 n_shards=self.n_shards,
-                moved=int(np.abs(delta_total).sum() // 2),
+                moved=moved,
             )
 
 

@@ -130,6 +130,7 @@ class LatentDirichletAllocation:
                         self.log_likelihoods_[-1],
                         kernel.csr.n_tokens,
                         sweep_seconds,
+                        kernel=kernel.name,
                     )
                 if sweep >= cfg.burn_in and (sweep - cfg.burn_in) % cfg.thin == 0:
                     phi_acc += (counts.n_kv + gamma) / (

@@ -39,12 +39,16 @@ def sweep_telemetry(
     log_likelihood: float,
     n_tokens: int,
     sweep_seconds: float,
+    kernel: str | None = None,
 ) -> None:
     """Emit one per-sweep event and feed the sampler metrics.
 
     ``sweep_seconds`` is the z-sweep (kernel) wall-clock, so
     ``tokens_per_sec`` isolates the sampling hot loop from the Gaussian
-    side of a sweep.
+    side of a sweep. ``kernel`` (the kernel's ``name`` attribute)
+    additionally attributes the sweep time to a per-kernel histogram
+    (``kernel.sweep_seconds.<name>``; registered by hand in
+    :mod:`repro.obs.names` since the name is built dynamically).
     """
     tokens_per_sec = (
         n_tokens / sweep_seconds if sweep_seconds > 0.0 else 0.0
@@ -57,6 +61,7 @@ def sweep_telemetry(
         log_likelihood=float(log_likelihood),
         tokens_per_sec=tokens_per_sec,
         sweep_seconds=sweep_seconds,
+        kernel=kernel,
     )
     registry = metrics.registry
     registry.counter("sampler.sweeps").inc()
@@ -64,6 +69,10 @@ def sweep_telemetry(
     if sweep_seconds > 0.0:
         registry.histogram("sampler.tokens_per_sec").observe(tokens_per_sec)
         registry.histogram("sampler.sweep_seconds").observe(sweep_seconds)
+        if kernel is not None:
+            registry.histogram(
+                f"kernel.sweep_seconds.{kernel}"
+            ).observe(sweep_seconds)
 
 
 def generator_seed(rng: np.random.Generator) -> int | None:

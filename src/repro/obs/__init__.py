@@ -12,7 +12,16 @@ Zero-dependency substrate the rest of the package reports through:
 * :mod:`repro.obs.log` — the single ``repro`` root logger and the
   idempotent CLI handler configuration;
 * :mod:`repro.obs.export` — trace-file schema, reading and validation;
-* :mod:`repro.obs.summary` — the ``repro trace summary|tree`` views.
+* :mod:`repro.obs.summary` — the ``repro trace summary|tree`` views;
+* :mod:`repro.obs.profile` — wall-clock sampling profiler (daemon
+  thread over ``sys._current_frames``, folded stacks keyed to the
+  active span), strictly no-op when disabled;
+* :mod:`repro.obs.series` — periodic registry sampling into bounded
+  ring-buffer time-series artifacts (p50/p99-over-time views);
+* :mod:`repro.obs.prom` — Prometheus text exposition of the registry
+  (``/metricz?format=prometheus``) plus a minimal parser;
+* :mod:`repro.obs.regress` — cross-run perf regression detection over
+  the committed ``BENCH_*.json`` trajectories (``repro bench check``).
 
 Enable tracing with ``repro run --trace out.jsonl``, the
 ``REPRO_TRACE`` environment variable, or programmatically::
@@ -23,7 +32,7 @@ Enable tracing with ``repro run --trace out.jsonl``, the
     trace.disable()
 """
 
-from repro.obs import metrics, trace
+from repro.obs import metrics, profile, prom, regress, series, trace
 from repro.obs.export import read_trace, validate_record, validate_trace
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
@@ -54,7 +63,11 @@ __all__ = [
     "get_logger",
     "is_enabled",
     "metrics",
+    "profile",
+    "prom",
     "read_trace",
+    "regress",
+    "series",
     "registry",
     "render_tree",
     "replay",

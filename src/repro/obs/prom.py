@@ -1,0 +1,275 @@
+"""Prometheus text exposition (and a minimal parser) for the registry.
+
+:func:`render` turns a :meth:`MetricsRegistry.snapshot` mapping into
+Prometheus text-format 0.0.4: dotted metric names are mangled to
+underscore form, counters gain the conventional ``_total`` suffix,
+and histograms expand into cumulative ``_bucket{le="..."}`` series
+plus ``_sum`` / ``_count`` (with the mandatory ``+Inf`` bucket).
+Optional base labels (e.g. the serving model fingerprint) are attached
+to every sample with spec-compliant value escaping.
+
+:func:`parse` is the inverse — deliberately minimal, implemented only
+so tests (and ``repro bench check``-style tooling) can round-trip the
+exposition without a prometheus client dependency. It understands the
+subset :func:`render` emits: ``# HELP`` / ``# TYPE`` comments, sample
+lines with optional labels, and escaped label values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.errors import ObservabilityError
+
+#: Content type of the text exposition format (0.0.4).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def mangle(name: str) -> str:
+    """Dotted registry name → Prometheus metric name."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    mangled = "".join(out)
+    if not mangled or mangled[0].isdigit():
+        mangled = "_" + mangled
+    return mangled
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition spec."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value`."""
+    out: list[str] = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        if nxt == "n":
+            out.append("\n")
+        elif nxt in ("\\", '"'):
+            out.append(nxt)
+        else:
+            out.append(ch + nxt)
+    return "".join(out)
+
+
+def format_value(value: float) -> str:
+    """Float formatting matching prometheus conventions."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def _labels_text(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _merged(
+    base: Mapping[str, str], extra: Mapping[str, str]
+) -> dict[str, str]:
+    merged = dict(base)
+    merged.update(extra)
+    return merged
+
+
+def render(
+    snapshot: Mapping[str, Mapping[str, Any]],
+    labels: Mapping[str, str] | None = None,
+) -> str:
+    """Render a registry snapshot as Prometheus exposition text.
+
+    ``snapshot`` is the output of
+    :meth:`repro.obs.metrics.MetricsRegistry.snapshot`; ``labels`` are
+    attached to every emitted sample. Gauges whose value was never set
+    are skipped (Prometheus has no notion of an unset gauge).
+    """
+    base = dict(labels or {})
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        snap = snapshot[name]
+        kind = snap.get("kind")
+        metric = mangle(name)
+        if kind == "counter":
+            metric += "_total"
+            lines.append(f"# HELP {metric} repro counter {name}")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(
+                f"{metric}{_labels_text(base)} "
+                f"{format_value(float(snap.get('value') or 0.0))}"
+            )
+        elif kind == "gauge":
+            value = snap.get("value")
+            if value is None:
+                continue
+            lines.append(f"# HELP {metric} repro gauge {name}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(
+                f"{metric}{_labels_text(base)} "
+                f"{format_value(float(value))}"
+            )
+        elif kind == "histogram":
+            lines.append(f"# HELP {metric} repro histogram {name}")
+            lines.append(f"# TYPE {metric} histogram")
+            bounds = [float(b) for b in snap.get("bounds") or []]
+            counts = [int(c) for c in snap.get("bucket_counts") or []]
+            cumulative = 0
+            for bound, count in zip(bounds, counts):
+                cumulative += count
+                bucket_labels = _merged(base, {"le": format_value(bound)})
+                lines.append(
+                    f"{metric}_bucket{_labels_text(bucket_labels)} "
+                    f"{cumulative}"
+                )
+            total_count = int(snap.get("count") or 0)
+            inf_labels = _merged(base, {"le": "+Inf"})
+            lines.append(
+                f"{metric}_bucket{_labels_text(inf_labels)} {total_count}"
+            )
+            lines.append(
+                f"{metric}_sum{_labels_text(base)} "
+                f"{format_value(float(snap.get('total') or 0.0))}"
+            )
+            lines.append(
+                f"{metric}_count{_labels_text(base)} {total_count}"
+            )
+        else:
+            raise ObservabilityError(
+                f"metric {name!r} has unknown kind {kind!r}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+class Sample:
+    """One parsed exposition sample line."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(
+        self, name: str, labels: dict[str, str], value: float
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Sample({self.name!r}, {self.labels!r}, {self.value!r})"
+
+
+def _parse_labels(text: str, lineno: int) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    n = len(text)
+    while i < n:
+        try:
+            j = text.index("=", i)
+        except ValueError as exc:
+            raise ObservabilityError(
+                f"exposition line {lineno}: label without '='"
+            ) from exc
+        key = text[i:j].strip()
+        if not key:
+            raise ObservabilityError(
+                f"exposition line {lineno}: empty label name"
+            )
+        i = j + 1
+        if i >= n or text[i] != '"':
+            raise ObservabilityError(
+                f"exposition line {lineno}: label value must be quoted"
+            )
+        i += 1
+        raw: list[str] = []
+        while i < n:
+            ch = text[i]
+            if ch == "\\" and i + 1 < n:
+                raw.append(text[i : i + 2])
+                i += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            i += 1
+        else:
+            raise ObservabilityError(
+                f"exposition line {lineno}: unterminated label value"
+            )
+        labels[key] = unescape_label_value("".join(raw))
+        i += 1  # past the closing quote
+        if i < n and text[i] == ",":
+            i += 1
+        i = i + len(text[i:]) - len(text[i:].lstrip())
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    stripped = text.strip()
+    if stripped == "+Inf":
+        return float("inf")
+    if stripped == "-Inf":
+        return float("-inf")
+    if stripped == "NaN":
+        return float("nan")
+    return float(stripped)
+
+
+def iter_samples(text: str) -> Iterator[Sample]:
+    """Yield :class:`Sample` rows from exposition text.
+
+    Raises :class:`~repro.errors.ObservabilityError` on malformed
+    lines so tests can assert the endpoint output parses cleanly.
+    """
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        brace = stripped.find("{")
+        if brace >= 0:
+            close = stripped.rfind("}")
+            if close < brace:
+                raise ObservabilityError(
+                    f"exposition line {lineno}: unbalanced braces"
+                )
+            name = stripped[:brace]
+            labels = _parse_labels(stripped[brace + 1 : close], lineno)
+            value_text = stripped[close + 1 :]
+        else:
+            parts = stripped.split(None, 1)
+            if len(parts) != 2:
+                raise ObservabilityError(
+                    f"exposition line {lineno}: expected 'name value'"
+                )
+            name, value_text = parts
+            labels = {}
+        if not name:
+            raise ObservabilityError(
+                f"exposition line {lineno}: empty metric name"
+            )
+        try:
+            value = _parse_value(value_text)
+        except ValueError as exc:
+            raise ObservabilityError(
+                f"exposition line {lineno}: bad value {value_text!r}"
+            ) from exc
+        yield Sample(name, labels, value)
+
+
+def parse(text: str) -> list[Sample]:
+    """Parse exposition text into a list of samples."""
+    return list(iter_samples(text))

@@ -1,0 +1,415 @@
+"""Metric time-series: periodic registry sampling into ring buffers.
+
+A :class:`SeriesRecorder` thread snapshots a
+:class:`~repro.obs.metrics.MetricsRegistry` every ``interval_s``
+seconds into per-metric ring buffers (``collections.deque`` with
+``maxlen``), so memory stays bounded no matter how long a run or a
+server lives. Counters and gauges store ``(t, value)`` points;
+histograms store ``(t, count, total, bucket_counts)`` so quantiles
+*over time* can be derived after the fact from successive bucket-count
+deltas — the registry itself never has to pay for quantile sketches on
+the hot path.
+
+The persisted artifact (``format: repro-series``, schema v1) carries
+provenance and one point-list per metric; :class:`SeriesReport` parses
+it back and renders terminal views (``repro obs series``), including
+p50/p99-over-time for histogram metrics such as
+``serve.latency_seconds``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, TextIO
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import registry as default_registry
+
+#: Schema version stamped into every series artifact.
+SERIES_SCHEMA_VERSION = 1
+
+#: ``format`` key value identifying series artifacts.
+SERIES_FORMAT = "repro-series"
+
+#: Default sampling interval between registry snapshots.
+DEFAULT_INTERVAL_S = 1.0
+
+#: Default ring-buffer capacity per metric (points, not bytes).
+DEFAULT_MAX_POINTS = 600
+
+#: Glyphs for the terminal sparkline renderer.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+class SeriesRecorder:
+    """Samples a registry on a daemon thread into bounded ring buffers.
+
+    Use via the module-level :func:`enable` / :func:`disable` pair in
+    production code; direct construction with explicit ``start`` /
+    ``stop`` (or manual :meth:`sample` calls) is for tests.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        max_points: int = DEFAULT_MAX_POINTS,
+    ) -> None:
+        if interval_s <= 0:
+            raise ObservabilityError(
+                f"series interval_s must be > 0, got {interval_s}"
+            )
+        if max_points < 2:
+            raise ObservabilityError("series max_points must be >= 2")
+        self.registry = registry if registry is not None else default_registry
+        self.interval_s = float(interval_s)
+        self.max_points = max_points
+        self.started_unix = 0.0
+        self.n_samples = 0
+        self._kinds: dict[str, str] = {}
+        self._bounds: dict[str, list[float]] = {}
+        self._points: dict[str, deque[list[Any]]] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise ObservabilityError("series recorder already started")
+        self._stop.clear()
+        with self._lock:
+            self.started_unix = time.time()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-series", daemon=True
+            )
+        self._thread.start()
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)  # never under the lock: sample holds it
+        with self._lock:
+            self._thread = None
+        self.sample()  # final point so short runs still get data
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample()
+
+    def sample(self, now: float | None = None) -> None:
+        """Take one snapshot of every registered metric."""
+        t = time.time() if now is None else now
+        snapshot = self.registry.snapshot()
+        with self._lock:
+            self.n_samples += 1
+            for name, snap in snapshot.items():
+                kind = str(snap.get("kind"))
+                points = self._points.get(name)
+                if points is None:
+                    points = deque(maxlen=self.max_points)
+                    self._points[name] = points
+                    self._kinds[name] = kind
+                    if kind == "histogram":
+                        self._bounds[name] = list(snap.get("bounds") or [])
+                if kind == "histogram":
+                    points.append(
+                        [
+                            t,
+                            int(snap.get("count") or 0),
+                            float(snap.get("total") or 0.0),
+                            list(snap.get("bucket_counts") or []),
+                        ]
+                    )
+                else:
+                    value = snap.get("value")
+                    points.append(
+                        [t, float(value) if value is not None else None]
+                    )
+
+    def to_json(self) -> dict[str, Any]:
+        """The persisted artifact payload (``repro-series`` v1)."""
+        with self._lock:
+            metrics = {}
+            for name, points in sorted(self._points.items()):
+                entry: dict[str, Any] = {
+                    "kind": self._kinds[name],
+                    "points": [list(p) for p in points],
+                }
+                if name in self._bounds:
+                    entry["bounds"] = list(self._bounds[name])
+                metrics[name] = entry
+        return {
+            "format": SERIES_FORMAT,
+            "v": SERIES_SCHEMA_VERSION,
+            "interval_s": self.interval_s,
+            "max_points": self.max_points,
+            "started_unix": self.started_unix,
+            "n_samples": self.n_samples,
+            "pid": os.getpid(),
+            "python": platform.python_version(),
+            "argv": list(sys.argv),
+            "metrics": metrics,
+        }
+
+    def report(self) -> "SeriesReport":
+        return SeriesReport.from_json(self.to_json())
+
+
+class SeriesReport:
+    """A parsed series artifact with derived views."""
+
+    def __init__(
+        self,
+        interval_s: float,
+        n_samples: int,
+        started_unix: float,
+        metrics: dict[str, dict[str, Any]],
+    ) -> None:
+        self.interval_s = interval_s
+        self.n_samples = n_samples
+        self.started_unix = started_unix
+        self.metrics = metrics
+
+    @classmethod
+    def from_json(cls, payload: Any) -> "SeriesReport":
+        if not isinstance(payload, dict):
+            raise ObservabilityError("series artifact must be a JSON object")
+        if payload.get("format") != SERIES_FORMAT:
+            raise ObservabilityError(
+                f"not a series artifact (format={payload.get('format')!r})"
+            )
+        if payload.get("v") != SERIES_SCHEMA_VERSION:
+            raise ObservabilityError(
+                f"unsupported series schema v{payload.get('v')!r}"
+            )
+        metrics = payload.get("metrics")
+        if not isinstance(metrics, dict):
+            raise ObservabilityError("series artifact has no metrics map")
+        for name, entry in metrics.items():
+            if not isinstance(entry, dict) or not isinstance(
+                entry.get("points"), list
+            ):
+                raise ObservabilityError(
+                    f"series metric {name!r} needs a points list"
+                )
+        return cls(
+            interval_s=float(payload.get("interval_s", 0.0)),
+            n_samples=int(payload.get("n_samples", 0)),
+            started_unix=float(payload.get("started_unix", 0.0)),
+            metrics=metrics,
+        )
+
+    def names(self) -> list[str]:
+        return sorted(self.metrics)
+
+    def kind(self, name: str) -> str:
+        return str(self._entry(name).get("kind"))
+
+    def _entry(self, name: str) -> dict[str, Any]:
+        entry = self.metrics.get(name)
+        if entry is None:
+            raise ObservabilityError(f"no series for metric {name!r}")
+        return entry
+
+    def values(self, name: str) -> list[tuple[float, float | None]]:
+        """``(t, value)`` points for a counter or gauge series."""
+        entry = self._entry(name)
+        if entry.get("kind") == "histogram":
+            raise ObservabilityError(
+                f"{name!r} is a histogram; use quantile_series or "
+                "rate_series"
+            )
+        return [(float(p[0]), p[1]) for p in entry["points"]]
+
+    def rate_series(self, name: str) -> list[tuple[float, float]]:
+        """Per-second increase between consecutive points.
+
+        For counters this is the classic rate view; for histograms it
+        is the observation rate (``count`` deltas over time).
+        """
+        entry = self._entry(name)
+        points = entry["points"]
+        is_hist = entry.get("kind") == "histogram"
+        out: list[tuple[float, float]] = []
+        for prev, cur in zip(points, points[1:]):
+            dt = float(cur[0]) - float(prev[0])
+            if dt <= 0:
+                continue
+            a = float(prev[1]) if prev[1] is not None else 0.0
+            b = float(cur[1]) if cur[1] is not None else 0.0
+            if is_hist:
+                a, b = float(prev[1]), float(cur[1])
+            out.append((float(cur[0]), max(0.0, (b - a) / dt)))
+        return out
+
+    def quantile_series(
+        self, name: str, q: float
+    ) -> list[tuple[float, float]]:
+        """Per-interval quantile estimates for a histogram series.
+
+        For each pair of consecutive snapshots, computes the ``q``
+        quantile of the observations that happened *between* them from
+        the bucket-count deltas (the estimate is the upper bound of the
+        bucket where the cumulative delta crosses ``q``). Intervals
+        with no new observations are skipped.
+        """
+        if not 0.0 < q < 1.0:
+            raise ObservabilityError(f"quantile must be in (0, 1), got {q}")
+        entry = self._entry(name)
+        if entry.get("kind") != "histogram":
+            raise ObservabilityError(
+                f"{name!r} is not a histogram; quantiles need buckets"
+            )
+        bounds = [float(b) for b in entry.get("bounds") or []]
+        points = entry["points"]
+        out: list[tuple[float, float]] = []
+        for prev, cur in zip(points, points[1:]):
+            prev_counts = prev[3]
+            cur_counts = cur[3]
+            deltas = [
+                max(0, int(b) - int(a))
+                for a, b in zip(prev_counts, cur_counts)
+            ]
+            total = sum(deltas)
+            if total == 0:
+                continue
+            threshold = q * total
+            cumulative = 0
+            estimate = bounds[-1] if bounds else float("inf")
+            for index, delta in enumerate(deltas):
+                cumulative += delta
+                if cumulative >= threshold:
+                    # the overflow bucket has no upper edge; report the
+                    # last finite bound as a floor
+                    estimate = (
+                        bounds[index]
+                        if index < len(bounds)
+                        else bounds[-1]
+                    )
+                    break
+            out.append((float(cur[0]), estimate))
+        return out
+
+    def render(self, name: str, width: int = 60) -> str:
+        """A sparkline + summary line for one metric's series."""
+        entry = self._entry(name)
+        if entry.get("kind") == "histogram":
+            pairs = self.quantile_series(name, 0.5)
+            label = f"{name} p50"
+        else:
+            pairs = [
+                (t, v) for t, v in self.values(name) if v is not None
+            ]
+            label = name
+        if not pairs:
+            return f"{name}: no data"
+        values = [v for _, v in pairs][-width:]
+        lo, hi = min(values), max(values)
+        if hi > lo:
+            glyphs = "".join(
+                _SPARK[
+                    min(
+                        len(_SPARK) - 1,
+                        int((v - lo) / (hi - lo) * len(_SPARK)),
+                    )
+                ]
+                for v in values
+            )
+        else:
+            glyphs = _SPARK[0] * len(values)
+        return (
+            f"{label}: {glyphs} "
+            f"[min {lo:.6g} max {hi:.6g} last {values[-1]:.6g}]"
+        )
+
+
+#: The module-level flag: ``None`` means series recording is disabled.
+_recorder: SeriesRecorder | None = None
+#: Output path bound at :func:`enable` time, written by :func:`disable`.
+_output_path: str | None = None
+
+
+def is_enabled() -> bool:
+    """Whether a series recorder is running."""
+    return _recorder is not None
+
+
+def active() -> SeriesRecorder | None:
+    """The running recorder, if any."""
+    return _recorder
+
+
+def enable(
+    path: str | os.PathLike[str] | None = None,
+    interval_s: float = DEFAULT_INTERVAL_S,
+    max_points: int = DEFAULT_MAX_POINTS,
+    registry: MetricsRegistry | None = None,
+) -> SeriesRecorder:
+    """Start a recorder; :func:`disable` writes the artifact to ``path``.
+
+    Replaces any running recorder (persisting its artifact first).
+    """
+    global _recorder, _output_path
+    disable()
+    recorder = SeriesRecorder(
+        registry=registry, interval_s=interval_s, max_points=max_points
+    )
+    recorder.start()
+    _recorder = recorder
+    _output_path = os.fspath(path) if path is not None else None
+    return recorder
+
+
+def disable() -> SeriesReport | None:
+    """Stop the recorder, persist its artifact, return the report.
+
+    A no-op returning ``None`` when no recorder is running.
+    """
+    global _recorder, _output_path
+    recorder = _recorder
+    if recorder is None:
+        return None
+    path = _output_path
+    _recorder = None
+    _output_path = None
+    recorder.stop()
+    report = recorder.report()
+    if path is not None:
+        write_series(recorder, path)
+    return report
+
+
+def write_series(
+    recorder: SeriesRecorder, target: str | os.PathLike[str] | TextIO
+) -> None:
+    """Serialise a recorder's series as JSON to a path or stream."""
+    payload = json.dumps(recorder.to_json(), sort_keys=True)
+    if hasattr(target, "write"):
+        target.write(payload + "\n")  # type: ignore[union-attr]
+        return
+    with open(os.fspath(target), "w", encoding="utf-8") as handle:
+        handle.write(payload + "\n")
+
+
+def read_series(path: str | os.PathLike[str]) -> SeriesReport:
+    """Load and validate a persisted series artifact."""
+    fspath = os.fspath(path)
+    if not os.path.exists(fspath):
+        raise ObservabilityError(f"no series file at {fspath}")
+    try:
+        with open(fspath, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(
+            f"{fspath} is not valid JSON: {exc}"
+        ) from exc
+    return SeriesReport.from_json(payload)

@@ -55,6 +55,36 @@ SWEEP_EVERY_ENV = "REPRO_TRACE_SWEEP_EVERY"
 _ids = itertools.count(1)
 _current_span: ContextVar[str | None] = ContextVar("repro_obs_span", default=None)
 
+#: When true, open spans also maintain a per-thread name stack readable
+#: from *other* threads (the sampling profiler cannot read another
+#: thread's context variables). Off by default so the common traced
+#: path pays one extra flag check per span, and the disabled path none.
+_span_tracking = False
+_thread_spans: dict[int, list[str]] = {}
+
+
+def set_span_tracking(on: bool) -> None:
+    """Toggle cross-thread span-name tracking (profiler support).
+
+    Only :mod:`repro.obs.profile` should call this; the per-thread name
+    stacks rely on the GIL (each thread mutates only its own list).
+    """
+    global _span_tracking
+    _span_tracking = on
+    if not on:
+        _thread_spans.clear()
+
+
+def thread_span_name(ident: int) -> str | None:
+    """Innermost open span name on thread ``ident``, if tracking."""
+    stack = _thread_spans.get(ident)
+    if stack:
+        try:
+            return stack[-1]
+        except IndexError:  # raced with the owning thread's pop
+            return None
+    return None
+
 
 def _new_id() -> str:
     """Process-unique span id without consuming any randomness."""
@@ -206,6 +236,7 @@ class Span:
         "status",
         "_started",
         "_token",
+        "_tracked",
     )
 
     def __init__(self, name: str, attrs: dict[str, Any]) -> None:
@@ -218,6 +249,7 @@ class Span:
         self.status = "ok"
         self._started = 0.0
         self._token: Any = None
+        self._tracked = False
 
     def set(self, **attrs: Any) -> None:
         """Attach attributes to the span while it is open."""
@@ -226,6 +258,11 @@ class Span:
     def __enter__(self) -> "Span":
         self.parent_id = _current_span.get()
         self._token = _current_span.set(self.span_id)
+        if _span_tracking:
+            _thread_spans.setdefault(
+                threading.get_ident(), []
+            ).append(self.name)
+            self._tracked = True
         self.start_unix = time.time()
         self._started = time.perf_counter()
         return self
@@ -238,6 +275,10 @@ class Span:
     ) -> None:
         self.duration_s = time.perf_counter() - self._started
         _current_span.reset(self._token)
+        if self._tracked:
+            stack = _thread_spans.get(threading.get_ident())
+            if stack and stack[-1] == self.name:
+                stack.pop()
         if exc_type is not None:
             self.status = "error"
             self.attrs.setdefault("error", exc_type.__name__)

@@ -244,18 +244,26 @@ def _run_pooled(
     # fixed before dispatch, so recomputation is bit-identical to what
     # the worker would have produced.
     results: list[Any] = []
+    max_wait_s = 0.0
     for i, outcome in enumerate(outcomes):
         if outcome is _PENDING:
             results.append(_run_timed(fn, payloads[i], rngs[i]))
             continue
         status, value, telemetry = outcome
-        _observe_task(telemetry.get("wait_s"), telemetry.get("run_s", 0.0))
+        wait_s = telemetry.get("wait_s")
+        if wait_s is not None and wait_s > max_wait_s:
+            max_wait_s = wait_s
+        _observe_task(wait_s, telemetry.get("run_s", 0.0))
         records = telemetry.get("trace")
         if records:
             trace.replay(records)
         if status == "err":
             raise value
         results.append(value)
+    # Worst queueing delay of the batch: the straggler signal the
+    # adlda merge-round health view keys on (a shard that waits is a
+    # round that stalls), distinct from the per-task wait histogram.
+    metrics.registry.gauge("executor.batch_max_wait_seconds").set(max_wait_s)
     return results
 
 

@@ -47,6 +47,7 @@ from repro.artifacts.store import ArtifactStore
 from repro.core.linkage import TopicLinker
 from repro.corpus.sharded import ShardInfo, ShardedCorpus, encode_shard
 from repro.lexicon.dictionary import build_dictionary
+from repro.obs import metrics
 from repro.persistence import (
     load_corpus,
     load_dataset,
@@ -502,6 +503,7 @@ def run_staged_sharded(
         ShardDatasetStage(info, corpus, payloads[GEL_FILTER])
         for info in corpus.shards
     ]
+    metrics.registry.gauge("pipeline.shards").set(len(shard_stages))
     tail_stages: tuple[Stage[Any], ...] = (
         *shard_stages,
         MergeDatasetStage([stage.name for stage in shard_stages]),

@@ -11,7 +11,8 @@ Endpoints::
     POST /v1/texture      recipe -> fold-in posterior, terms, rheology
     GET  /v1/terms/{term} term -> topic/rheology profile
     GET  /healthz         liveness + model identity
-    GET  /metricz         repro.obs metrics snapshot
+    GET  /metricz         repro.obs metrics snapshot (JSON), or
+                          Prometheus text with ?format=prometheus
 
 Error contract: every :class:`~repro.errors.ReproError` family maps to
 one HTTP status (see :func:`status_of`), and every non-2xx body carries
@@ -25,7 +26,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
-from urllib.parse import unquote
+from urllib.parse import parse_qs, unquote
 
 from repro.errors import (
     ArtifactError,
@@ -46,7 +47,7 @@ from repro.errors import (
     UnknownIngredientError,
     UnknownTermError,
 )
-from repro.obs import metrics, trace
+from repro.obs import metrics, prom, trace
 from repro.obs.log import get_logger
 from repro.serve.batch import MicroBatcher
 from repro.serve.engine import InferenceEngine, validate_request
@@ -112,13 +113,19 @@ class ServeApp:
 
     def handle(
         self, method: str, path: str, body: bytes = b""
-    ) -> tuple[int, dict[str, Any]]:
-        """Route one request; never raises for request-level failures."""
-        path = path.split("?", 1)[0]
+    ) -> tuple[int, dict[str, Any] | str]:
+        """Route one request; never raises for request-level failures.
+
+        The payload is a JSON-ready dict for every route except the
+        Prometheus exposition, which returns preformatted text (the
+        transport layer switches ``Content-Type`` on the payload type).
+        """
+        path, _, query = path.partition("?")
         started = time.perf_counter()
+        payload: dict[str, Any] | str
         with trace.span("serve.request", method=method, path=path) as span:
             try:
-                status, payload = self._route(method, path, body)
+                status, payload = self._route(method, path, query, body)
             except ReproError as exc:
                 status = status_of(exc)
                 # str() on KeyError-derived errors repr-quotes the
@@ -136,8 +143,8 @@ class ServeApp:
     # -- routing -------------------------------------------------------------
 
     def _route(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict[str, Any]]:
+        self, method: str, path: str, query: str, body: bytes
+    ) -> tuple[int, dict[str, Any] | str]:
         if path in _ROUTES:
             if method not in _ROUTES[path]:
                 return 405, error_body(
@@ -146,7 +153,7 @@ class ServeApp:
             if path == "/healthz":
                 return 200, self._health()
             if path == "/metricz":
-                return 200, self._metricz()
+                return 200, self._metricz(query)
             return 200, self._texture(body)
         if path.startswith(_TERMS_PREFIX):
             if method != "GET":
@@ -190,7 +197,17 @@ class ServeApp:
             "uptime_seconds": time.time() - self.started_unix,
         }
 
-    def _metricz(self) -> dict[str, Any]:
+    def _metricz(self, query: str) -> dict[str, Any] | str:
+        fmt = (parse_qs(query).get("format") or ["json"])[-1]
+        if fmt == "prometheus":
+            return prom.render(
+                metrics.registry.snapshot(),
+                labels={"fingerprint": self.engine.bundle.fingerprint},
+            )
+        if fmt != "json":
+            raise BadRequestError(
+                f"unknown metricz format {fmt!r} (json or prometheus)"
+            )
         return {
             "schema_version": SCHEMA_VERSION,
             "metrics": metrics.registry.snapshot(),
@@ -236,9 +253,14 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             body = self.rfile.read(length) if length else b""
             status, payload = self._app.handle(method, self.path, body)
-        data = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            data = payload.encode("utf-8")
+            content_type = prom.CONTENT_TYPE
+        else:
+            data = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)

@@ -139,3 +139,42 @@ def test_default_paths_pass_with_committed_baseline(monkeypatch, capsys):
     monkeypatch.chdir(REPO_ROOT)
     assert main([]) == 0
     assert "0 blocking" in capsys.readouterr().out
+
+
+def test_dump_obs_names_prints_registry_sets(capsys):
+    assert main(["--dump-obs-names", str(REPO_ROOT / "src" / "repro")]) == 0
+    out = capsys.readouterr().out
+    for label in ("SPANS", "EVENTS", "METRICS"):
+        assert f"{label}: frozenset[str] = frozenset(" in out
+    assert "'serve.requests'" in out
+
+
+def test_check_obs_names_in_sync_on_shipped_tree(capsys):
+    """Acceptance: the committed registry matches a fresh scan."""
+    assert main(["--check-obs-names", str(REPO_ROOT / "src" / "repro")]) == 0
+    assert "obs-name registry in sync" in capsys.readouterr().out
+
+
+def test_check_obs_names_flags_unregistered_emission(tmp_path, capsys):
+    scratch = write_scratch(
+        tmp_path,
+        """
+        from repro.obs import trace
+        with trace.span("totally.new.span"):
+            pass
+        """,
+    )
+    assert main(["--check-obs-names", str(scratch)]) == 1
+    err = capsys.readouterr().err
+    assert "obs-name registry drift" in err
+    assert "'totally.new.span'" in err
+    assert "--dump-obs-names" in err  # regenerate hint
+
+
+def test_check_obs_names_flags_vanished_name(tmp_path, capsys):
+    # an empty tree emits nothing, so every registered scanner-visible
+    # name reads as vanished
+    scratch = write_scratch(tmp_path, "X = 1\n")
+    assert main(["--check-obs-names", str(scratch)]) == 1
+    err = capsys.readouterr().err
+    assert "no literal call site emits it" in err

@@ -10,20 +10,23 @@ calls a tiny fit performs, and asserts the product stays under 5% of
 that fit's measured duration.
 """
 
+import threading
 import time
 
 import numpy as np
 import pytest
 
 from repro.core.joint_model import JointModelConfig, JointTextureTopicModel
-from repro.obs import trace
+from repro.obs import profile, trace
 from repro.rng import ensure_rng
 
 
 @pytest.fixture(autouse=True)
 def _tracing_off():
+    profile.disable()
     trace.disable()
     yield
+    profile.disable()
     trace.disable()
 
 
@@ -73,3 +76,38 @@ def test_disabled_event_allocates_no_tracer_state():
     trace.event("sweep", anything=1)
     assert trace.tracer() is None
     assert not trace.is_enabled()
+
+
+def test_disabled_profiler_overhead_below_five_percent():
+    """With no profiler, a fit pays only the span-tracking flag check.
+
+    The profiler adds zero code to the sampler hot loops; its only
+    disabled-path footprint is one ``if _span_tracking:`` branch per
+    span enter/exit plus the module guard. Pin that budget the same way
+    the tracing test does: per-call cost x calls-per-fit < 5% of the
+    fit itself.
+    """
+    assert not profile.is_enabled()
+    assert not trace._span_tracking
+    fit_seconds, n_sweeps = _tiny_fit_seconds()
+
+    guard_cost = _per_call_cost(profile.is_enabled)
+
+    def untracked_span():
+        with trace.span("fit"):
+            pass
+
+    span_cost = _per_call_cost(untracked_span, repetitions=20_000)
+
+    budget = n_sweeps * guard_cost + 10 * span_cost
+    assert budget < 0.05 * fit_seconds, (
+        f"disabled-profiler overhead {budget:.6f}s exceeds 5% of "
+        f"tiny-fit duration {fit_seconds:.6f}s"
+    )
+
+
+def test_disabled_profiler_runs_no_thread_and_no_tracking():
+    names = {t.name for t in threading.enumerate()}
+    assert "repro-profiler" not in names
+    assert "repro-series" not in names
+    assert not trace._thread_spans

@@ -1,0 +1,170 @@
+"""Tests for repro.obs.prom — exposition rendering and round-trip."""
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import prom
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestMangle:
+    @pytest.mark.parametrize(
+        ("dotted", "expected"),
+        [
+            ("cache.hit", "cache_hit"),
+            ("serve.latency_seconds", "serve_latency_seconds"),
+            ("a-b.c", "a_b_c"),
+            ("9lives", "_9lives"),
+            ("", "_"),
+        ],
+    )
+    def test_cases(self, dotted, expected):
+        assert prom.mangle(dotted) == expected
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize(
+        "value",
+        ["plain", 'ab"c\\d\ne', "\\", '"', "\n", "trailing\\"],
+    )
+    def test_round_trip(self, value):
+        escaped = prom.escape_label_value(value)
+        assert "\n" not in escaped
+        assert prom.unescape_label_value(escaped) == value
+
+
+class TestFormatValue:
+    def test_special_values(self):
+        assert prom.format_value(float("nan")) == "NaN"
+        assert prom.format_value(float("inf")) == "+Inf"
+        assert prom.format_value(float("-inf")) == "-Inf"
+        assert prom.format_value(2.5) == "2.5"
+
+
+class TestRender:
+    def test_counter_gets_total_suffix(self, registry):
+        registry.counter("cache.hit").inc(3)
+        text = prom.render(registry.snapshot())
+        assert "# TYPE cache_hit_total counter" in text
+        assert "cache_hit_total 3.0" in text
+
+    def test_unset_gauge_is_skipped(self, registry):
+        registry.gauge("queue.depth")
+        assert "queue_depth" not in prom.render(registry.snapshot())
+
+    def test_set_gauge_renders(self, registry):
+        registry.gauge("queue.depth").set(4)
+        text = prom.render(registry.snapshot())
+        assert "# TYPE queue_depth gauge" in text
+        assert "queue_depth 4.0" in text
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ObservabilityError, match="unknown kind"):
+            prom.render({"x": {"kind": "bogus"}})
+
+    def test_base_labels_attached_to_every_sample(self, registry):
+        registry.counter("c").inc()
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        text = prom.render(registry.snapshot(), labels={"fp": "abc"})
+        for sample in prom.parse(text):
+            assert sample.labels["fp"] == "abc"
+
+    def test_label_values_escape_and_round_trip(self, registry):
+        registry.counter("c").inc()
+        nasty = 'ab"c\\d\ne'
+        text = prom.render(registry.snapshot(), labels={"fp": nasty})
+        (sample,) = prom.parse(text)
+        assert sample.labels == {"fp": nasty}
+
+
+class TestHistogramExposition:
+    def test_buckets_are_cumulative_and_inf_matches_count(self, registry):
+        hist = registry.histogram("lat", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.7, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        samples = prom.parse(prom.render(registry.snapshot()))
+        buckets = [s for s in samples if s.name == "lat_bucket"]
+        finite = [s.value for s in buckets if s.labels["le"] != "+Inf"]
+        assert finite == sorted(finite)  # cumulative => monotone
+        assert finite == [2.0, 3.0, 4.0]
+        (inf,) = [s for s in buckets if s.labels["le"] == "+Inf"]
+        (count,) = [s for s in samples if s.name == "lat_count"]
+        assert inf.value == count.value == 5.0
+        (total,) = [s for s in samples if s.name == "lat_sum"]
+        assert total.value == pytest.approx(105.7)
+
+    def test_bucket_le_labels_are_bounds(self, registry):
+        registry.histogram("lat", bounds=(0.5, 1.0)).observe(0.1)
+        samples = prom.parse(prom.render(registry.snapshot()))
+        les = [
+            s.labels["le"] for s in samples if s.name == "lat_bucket"
+        ]
+        assert les == ["0.5", "1.0", "+Inf"]
+
+
+class TestParse:
+    def test_unlabelled_sample(self):
+        (sample,) = prom.parse("# HELP x y\nx_total 3.0\n")
+        assert sample.name == "x_total"
+        assert sample.labels == {}
+        assert sample.value == 3.0
+
+    def test_special_values_parse(self):
+        text = "a +Inf\nb -Inf\nc NaN\n"
+        a, b, c = prom.parse(text)
+        assert a.value == float("inf")
+        assert b.value == float("-inf")
+        assert math.isnan(c.value)
+
+    def test_repr_is_stable(self):
+        (sample,) = prom.parse('x{a="b"} 1.0\n')
+        assert "Sample" in repr(sample)
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            'x{nokey} 1.0',
+            'x{a=b} 1.0',
+            'x{a="unterminated} 1.0',
+            'x{="v"} 1.0',
+            "x",
+            "x notanumber",
+            '{a="b"} 1.0',
+            "x} 1.0{",
+        ],
+    )
+    def test_malformed_lines_rejected(self, line):
+        with pytest.raises(ObservabilityError, match="exposition line 1"):
+            prom.parse(line + "\n")
+
+    def test_comments_and_blanks_skipped(self):
+        assert prom.parse("# TYPE x counter\n\n   \n") == []
+
+
+class TestFullRegistryRoundTrip:
+    def test_realistic_snapshot_parses_cleanly(self, registry):
+        registry.counter("serve.requests").inc(12)
+        registry.counter("serve.errors")
+        registry.gauge("serve.queue_depth").set(2)
+        lat = registry.histogram("serve.latency_seconds")
+        for value in (0.001, 0.01, 0.02, 0.5):
+            lat.observe(value)
+        text = prom.render(
+            registry.snapshot(), labels={"fingerprint": "deadbeef"}
+        )
+        samples = prom.parse(text)
+        names = {s.name for s in samples}
+        assert "serve_requests_total" in names
+        assert "serve_latency_seconds_bucket" in names
+        assert "serve_latency_seconds_sum" in names
+        assert "serve_latency_seconds_count" in names
+        assert all(
+            s.labels["fingerprint"] == "deadbeef" for s in samples
+        )

@@ -1,0 +1,171 @@
+"""Tests for repro.obs.regress — cross-run perf regression detection."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import regress
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+FLOOR = {"tolerance": 0.7, "floors": {"dense": {"50": 1000.0}}}
+
+SERVE_FLOOR = {"requests_per_sec": 100.0}
+
+
+def _sampler_row(tokens_per_sec, kernel="dense", k=50, preset="full"):
+    return {
+        "commit": "abc1234",
+        "preset": preset,
+        "kernel": kernel,
+        "n_topics": k,
+        "tokens_per_sec": tokens_per_sec,
+    }
+
+
+def _serve_row(requests_per_sec, preset="full"):
+    return {
+        "commit": "abc1234",
+        "preset": preset,
+        "requests_per_sec": requests_per_sec,
+    }
+
+
+class TestCheckSampler:
+    def test_healthy_trajectory_passes(self):
+        rows = [_sampler_row(1200.0) for _ in range(5)]
+        assert regress.check_sampler(rows, FLOOR) == []
+
+    def test_regression_detected(self):
+        rows = [_sampler_row(100.0) for _ in range(5)]
+        (finding,) = regress.check_sampler(rows, FLOOR)
+        assert finding.bench == "sampler"
+        assert finding.cell == "kernel=dense K=50"
+        assert finding.observed == 100.0
+        assert finding.threshold == pytest.approx(700.0)
+        assert "median of last 5" in finding.message()
+        assert "Regression" in repr(finding)
+
+    def test_median_shrugs_off_one_noisy_row(self):
+        rows = [_sampler_row(1200.0)] * 4 + [_sampler_row(10.0)]
+        assert regress.check_sampler(rows, FLOOR) == []
+
+    def test_median_of_recent_ignores_old_good_rows(self):
+        # the regression persists across the recent window even though
+        # ancient rows were healthy
+        rows = [_sampler_row(5000.0)] * 10 + [_sampler_row(100.0)] * 5
+        (finding,) = regress.check_sampler(rows, FLOOR)
+        assert finding.observed == 100.0
+
+    def test_missing_rows_is_a_finding(self):
+        (finding,) = regress.check_sampler([], FLOOR)
+        assert finding.observed is None
+        assert "no trajectory rows" in finding.detail
+
+    def test_tiny_preset_rows_are_ignored(self):
+        rows = [_sampler_row(100.0, preset="tiny")]
+        (finding,) = regress.check_sampler(rows, FLOOR)
+        assert "no trajectory rows" in finding.detail
+
+    def test_kernels_without_floor_are_skipped(self):
+        rows = [
+            _sampler_row(1200.0),
+            _sampler_row(1.0, kernel="adlda"),
+        ]
+        assert regress.check_sampler(rows, FLOOR) == []
+
+    def test_validates_inputs(self):
+        with pytest.raises(ObservabilityError, match="recent"):
+            regress.check_sampler([], FLOOR, recent=0)
+        with pytest.raises(ObservabilityError, match="floors map"):
+            regress.check_sampler([], {"tolerance": 0.7})
+        with pytest.raises(ObservabilityError, match="must be a map"):
+            regress.check_sampler([], {"floors": {"dense": 3}})
+
+
+class TestCheckServe:
+    def test_healthy_trajectory_passes(self):
+        rows = [_serve_row(150.0), _serve_row(140.0, preset="tiny")]
+        assert regress.check_serve(rows, SERVE_FLOOR) == []
+
+    def test_regression_detected_per_preset(self):
+        rows = [_serve_row(150.0), _serve_row(30.0, preset="tiny")]
+        (finding,) = regress.check_serve(rows, SERVE_FLOOR)
+        assert finding.cell == "preset=tiny"
+        assert "req/sec" in finding.detail
+
+    def test_empty_trajectory_is_a_finding(self):
+        (finding,) = regress.check_serve([], SERVE_FLOOR)
+        assert finding.cell == "preset=*"
+        assert finding.observed is None
+
+    def test_rows_without_throughput_are_a_finding(self):
+        (finding,) = regress.check_serve(
+            [{"preset": "full"}], SERVE_FLOOR
+        )
+        assert "none carry requests_per_sec" in finding.detail
+
+    def test_validates_inputs(self):
+        with pytest.raises(ObservabilityError, match="recent"):
+            regress.check_serve([], SERVE_FLOOR, recent=0)
+        with pytest.raises(ObservabilityError, match="requests_per_sec"):
+            regress.check_serve([], {})
+
+
+class TestCheckFiles:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_both_pairs_checked(self, tmp_path):
+        sampler = self._write(
+            tmp_path, "s.json", [_sampler_row(100.0)] * 5
+        )
+        sampler_floor = self._write(tmp_path, "sf.json", FLOOR)
+        serve = self._write(tmp_path, "v.json", [_serve_row(30.0)] * 5)
+        serve_floor = self._write(tmp_path, "vf.json", SERVE_FLOOR)
+        findings = regress.check_files(
+            sampler, sampler_floor, serve, serve_floor
+        )
+        assert {f.bench for f in findings} == {"sampler", "serve"}
+
+    def test_partial_pairs_are_skipped(self, tmp_path):
+        serve = self._write(tmp_path, "v.json", [_serve_row(300.0)])
+        serve_floor = self._write(tmp_path, "vf.json", SERVE_FLOOR)
+        assert regress.check_files(
+            serve_path=serve, serve_floor_path=serve_floor
+        ) == []
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="no serve"):
+            regress.check_files(
+                serve_path=tmp_path / "absent.json",
+                serve_floor_path=tmp_path / "also-absent.json",
+            )
+
+    def test_bad_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{")
+        with pytest.raises(ObservabilityError, match="not valid JSON"):
+            regress.check_files(
+                serve_path=path, serve_floor_path=path
+            )
+
+    def test_trajectory_must_be_a_list(self, tmp_path):
+        rows = self._write(tmp_path, "v.json", {"not": "a list"})
+        floor = self._write(tmp_path, "vf.json", SERVE_FLOOR)
+        with pytest.raises(ObservabilityError, match="JSON list"):
+            regress.check_files(serve_path=rows, serve_floor_path=floor)
+
+    def test_committed_trajectories_clear_committed_floors(self):
+        """The repo's own bench history must pass its own gate."""
+        findings = regress.check_files(
+            REPO_ROOT / "BENCH_sampler.json",
+            REPO_ROOT / "benchmarks" / "sampler_floor.json",
+            REPO_ROOT / "BENCH_serve.json",
+            REPO_ROOT / "benchmarks" / "serve_floor.json",
+        )
+        assert findings == []

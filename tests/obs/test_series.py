@@ -1,0 +1,234 @@
+"""Tests for repro.obs.series — metric time-series ring buffers."""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import series
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _series_off():
+    series.disable()
+    yield
+    series.disable()
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestRecorderConstruction:
+    def test_rejects_nonpositive_interval(self, registry):
+        with pytest.raises(ObservabilityError, match="interval"):
+            series.SeriesRecorder(registry, interval_s=0)
+
+    def test_rejects_tiny_ring(self, registry):
+        with pytest.raises(ObservabilityError, match="max_points"):
+            series.SeriesRecorder(registry, max_points=1)
+
+    def test_double_start_rejected(self, registry):
+        recorder = series.SeriesRecorder(registry, interval_s=0.01)
+        recorder.start()
+        try:
+            with pytest.raises(ObservabilityError, match="already"):
+                recorder.start()
+        finally:
+            recorder.stop()
+
+
+class TestSampling:
+    def test_counter_and_gauge_points(self, registry):
+        recorder = series.SeriesRecorder(registry)
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        recorder.sample(now=10.0)
+        registry.counter("c").inc(3)
+        recorder.sample(now=11.0)
+        report = recorder.report()
+        assert report.names() == ["c", "g"]
+        assert report.kind("c") == "counter"
+        assert report.values("c") == [(10.0, 2.0), (11.0, 5.0)]
+        assert report.values("g") == [(10.0, 1.5), (11.0, 1.5)]
+
+    def test_unset_gauge_stores_none(self, registry):
+        registry.gauge("g")
+        recorder = series.SeriesRecorder(registry)
+        recorder.sample(now=1.0)
+        assert recorder.report().values("g") == [(1.0, None)]
+
+    def test_histogram_points_carry_buckets(self, registry):
+        hist = registry.histogram("h", bounds=(1.0, 2.0, 4.0))
+        recorder = series.SeriesRecorder(registry)
+        hist.observe(0.5)
+        recorder.sample(now=1.0)
+        report = recorder.report()
+        entry = report.metrics["h"]
+        assert entry["bounds"] == [1.0, 2.0, 4.0]
+        t, count, total, buckets = entry["points"][0]
+        assert (t, count, total) == (1.0, 1, 0.5)
+        assert buckets == [1, 0, 0, 0]  # 3 finite buckets + overflow
+
+    def test_ring_buffer_is_bounded(self, registry):
+        registry.counter("c")
+        recorder = series.SeriesRecorder(registry, max_points=3)
+        for i in range(10):
+            recorder.sample(now=float(i))
+        points = recorder.report().metrics["c"]["points"]
+        assert [p[0] for p in points] == [7.0, 8.0, 9.0]
+
+    def test_thread_samples_and_final_point(self, registry):
+        registry.counter("c").inc()
+        recorder = series.SeriesRecorder(registry, interval_s=0.01)
+        recorder.start()
+        time.sleep(0.05)
+        recorder.stop()
+        assert recorder.n_samples >= 1  # stop() takes a final sample
+        assert len(recorder.report().metrics["c"]["points"]) >= 1
+
+
+class TestDerivedViews:
+    def _quantile_fixture(self, registry):
+        hist = registry.histogram("h", bounds=(1.0, 2.0, 4.0))
+        recorder = series.SeriesRecorder(registry)
+        recorder.sample(now=0.0)
+        hist.observe(0.5)
+        hist.observe(0.5)
+        hist.observe(3.0)
+        recorder.sample(now=1.0)
+        return recorder.report()
+
+    def test_quantile_series_from_bucket_deltas(self, registry):
+        report = self._quantile_fixture(registry)
+        # 2 of 3 new observations fall in the first bucket (edge 1.0)
+        assert report.quantile_series("h", 0.5) == [(1.0, 1.0)]
+        assert report.quantile_series("h", 0.99) == [(1.0, 4.0)]
+
+    def test_quantile_skips_idle_intervals(self, registry):
+        registry.histogram("h", bounds=(1.0,))
+        recorder = series.SeriesRecorder(registry)
+        recorder.sample(now=0.0)
+        recorder.sample(now=1.0)
+        assert recorder.report().quantile_series("h", 0.5) == []
+
+    def test_quantile_overflow_reports_last_bound(self, registry):
+        hist = registry.histogram("h", bounds=(1.0, 2.0))
+        recorder = series.SeriesRecorder(registry)
+        recorder.sample(now=0.0)
+        hist.observe(100.0)
+        recorder.sample(now=1.0)
+        assert recorder.report().quantile_series("h", 0.5) == [(1.0, 2.0)]
+
+    def test_quantile_validates_inputs(self, registry):
+        report = self._quantile_fixture(registry)
+        with pytest.raises(ObservabilityError, match="quantile"):
+            report.quantile_series("h", 1.5)
+        with pytest.raises(ObservabilityError, match="no series"):
+            report.quantile_series("absent", 0.5)
+        registry.counter("c")
+        recorder = series.SeriesRecorder(registry)
+        recorder.sample(now=0.0)
+        with pytest.raises(ObservabilityError, match="not a histogram"):
+            recorder.report().quantile_series("c", 0.5)
+
+    def test_values_rejects_histograms(self, registry):
+        report = self._quantile_fixture(registry)
+        with pytest.raises(ObservabilityError, match="histogram"):
+            report.values("h")
+
+    def test_rate_series_counter(self, registry):
+        counter = registry.counter("c")
+        recorder = series.SeriesRecorder(registry)
+        recorder.sample(now=0.0)
+        counter.inc(10)
+        recorder.sample(now=2.0)
+        assert recorder.report().rate_series("c") == [(2.0, 5.0)]
+
+    def test_rate_series_histogram_counts(self, registry):
+        hist = registry.histogram("h", bounds=(1.0,))
+        recorder = series.SeriesRecorder(registry)
+        recorder.sample(now=0.0)
+        hist.observe(0.5)
+        hist.observe(0.5)
+        recorder.sample(now=1.0)
+        assert recorder.report().rate_series("h") == [(1.0, 2.0)]
+
+    def test_render_sparkline(self, registry):
+        gauge = registry.gauge("g")
+        recorder = series.SeriesRecorder(registry)
+        for i in range(5):
+            gauge.set(float(i))
+            recorder.sample(now=float(i))
+        out = recorder.report().render("g")
+        assert out.startswith("g: ")
+        assert "last 4" in out
+        assert any(glyph in out for glyph in "▁▂▃▄▅▆▇█")
+
+    def test_render_no_data(self, registry):
+        registry.gauge("g")
+        recorder = series.SeriesRecorder(registry)
+        recorder.sample(now=0.0)
+        assert recorder.report().render("g") == "g: no data"
+
+
+class TestRoundTrip:
+    def test_artifact_round_trip(self, registry):
+        registry.counter("c").inc()
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        recorder = series.SeriesRecorder(registry, interval_s=0.5)
+        recorder.sample(now=1.0)
+        payload = json.loads(json.dumps(recorder.to_json()))
+        assert payload["format"] == series.SERIES_FORMAT
+        assert payload["v"] == series.SERIES_SCHEMA_VERSION
+        for key in ("pid", "python", "argv", "interval_s", "n_samples"):
+            assert key in payload
+        back = series.SeriesReport.from_json(payload)
+        assert back.names() == ["c", "h"]
+        assert back.interval_s == 0.5
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],
+            {"format": "nope", "v": 1, "metrics": {}},
+            {"format": "repro-series", "v": 99, "metrics": {}},
+            {"format": "repro-series", "v": 1, "metrics": []},
+            {"format": "repro-series", "v": 1, "metrics": {"x": {}}},
+        ],
+    )
+    def test_from_json_rejects_malformed(self, payload):
+        with pytest.raises(ObservabilityError):
+            series.SeriesReport.from_json(payload)
+
+
+class TestModuleApi:
+    def test_disabled_by_default(self):
+        assert not series.is_enabled()
+        assert series.active() is None
+        assert series.disable() is None
+
+    def test_enable_disable_writes_artifact(self, tmp_path, registry):
+        registry.counter("c").inc()
+        path = tmp_path / "series.json"
+        series.enable(path, interval_s=0.01, registry=registry)
+        assert series.is_enabled()
+        time.sleep(0.03)
+        report = series.disable()
+        assert report is not None
+        assert not series.is_enabled()
+        back = series.read_series(path)
+        assert "c" in back.names()
+
+    def test_read_series_missing_file(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="no series file"):
+            series.read_series(tmp_path / "absent.json")
+
+    def test_read_series_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{")
+        with pytest.raises(ObservabilityError, match="not valid JSON"):
+            series.read_series(path)

@@ -360,3 +360,190 @@ class TestServeCli:
         )
         assert code == 2
         assert "fold-in-sweeps" in capsys.readouterr().err
+
+
+class TestTraceCliErrors:
+    def test_trace_tree_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["trace", "tree", str(tmp_path / "none.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1  # friendly, not a traceback
+
+    def test_trace_summary_truncated_file_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "cut.jsonl"
+        path.write_text('{"kind": "span", "v": 1, "name": "x"\n')
+        assert main(["trace", "summary", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert ":1" in err  # points at the offending line
+        assert len(err.strip().splitlines()) == 1
+
+    def test_trace_tree_truncated_file_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "cut.jsonl"
+        path.write_text('{"kind": "span"')
+        assert main(["trace", "tree", str(path)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestProfileCli:
+    ARGS = ["run", "--recipes", "250", "--sweeps", "20", "--seed", "3"]
+
+    def test_run_profiled_then_flame(self, capsys, tmp_path):
+        profile_file = tmp_path / "profile.json"
+        assert main([*self.ARGS, "--profile", str(profile_file)]) == 0
+        captured = capsys.readouterr()
+        assert f"wrote profile to {profile_file}" in captured.err
+        assert profile_file.exists()
+
+        assert main(["trace", "flame", str(profile_file)]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "samples" in out
+
+        assert main(["trace", "flame", str(profile_file), "--folded"]) == 0
+        capsys.readouterr()
+
+    def test_env_var_enables_profiling(self, capsys, tmp_path, monkeypatch):
+        path = tmp_path / "env-profile.json"
+        monkeypatch.setenv("REPRO_PROFILE", str(path))
+        assert main(self.ARGS) == 0
+        capsys.readouterr()
+        assert path.exists()
+
+    def test_flame_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["trace", "flame", str(tmp_path / "none.json")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_flame_rejects_series_artifact(self, capsys, tmp_path):
+        series_file = tmp_path / "series.json"
+        assert main(
+            [*self.ARGS, "--series", str(series_file),
+             "--series-interval", "0.05"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "flame", str(series_file)]) == 2
+        assert "not a profile artifact" in capsys.readouterr().err
+
+
+class TestObsCli:
+    ARGS = ["run", "--recipes", "250", "--sweeps", "20", "--seed", "3"]
+
+    def _series_file(self, tmp_path, capsys):
+        series_file = tmp_path / "series.json"
+        assert main(
+            [*self.ARGS, "--series", str(series_file),
+             "--series-interval", "0.05"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert f"wrote metric series to {series_file}" in captured.err
+        assert series_file.exists()
+        return series_file
+
+    def test_series_sparkline_view(self, capsys, tmp_path):
+        series_file = self._series_file(tmp_path, capsys)
+        assert main(["obs", "series", str(series_file)]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()  # one sparkline per recorded metric
+
+    def test_series_single_metric_view(self, capsys, tmp_path):
+        series_file = self._series_file(tmp_path, capsys)
+        from repro.obs.series import read_series
+
+        report = read_series(series_file)
+        names = report.names()
+        assert names, "a run must record at least one metric"
+        name = names[0]
+        assert main(["obs", "series", str(series_file), "--metric", name]) == 0
+        out = capsys.readouterr().out
+        assert name in out
+
+    def test_series_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["obs", "series", str(tmp_path / "none.json")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_series_unknown_metric_exits_2(self, capsys, tmp_path):
+        series_file = self._series_file(tmp_path, capsys)
+        assert main(
+            ["obs", "series", str(series_file), "--metric", "no.such"]
+        ) == 2
+        assert "no series for metric" in capsys.readouterr().err
+
+
+class TestBenchCli:
+    def _floor_files(self, tmp_path):
+        import json as _json
+
+        sampler_floor = tmp_path / "sampler_floor.json"
+        sampler_floor.write_text(_json.dumps(
+            {"tolerance": 0.7, "floors": {"dense": {"50": 1000.0}}}
+        ))
+        serve_floor = tmp_path / "serve_floor.json"
+        serve_floor.write_text(_json.dumps({"requests_per_sec": 100.0}))
+        return sampler_floor, serve_floor
+
+    def _trajectories(self, tmp_path, tokens_per_sec, requests_per_sec):
+        import json as _json
+
+        sampler = tmp_path / "BENCH_sampler.json"
+        sampler.write_text(_json.dumps([
+            {"preset": "full", "kernel": "dense", "n_topics": 50,
+             "tokens_per_sec": tokens_per_sec}
+            for _ in range(5)
+        ]))
+        serve = tmp_path / "BENCH_serve.json"
+        serve.write_text(_json.dumps([
+            {"preset": "full", "requests_per_sec": requests_per_sec}
+            for _ in range(5)
+        ]))
+        return sampler, serve
+
+    def test_committed_trajectories_pass(self, capsys):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        code = main([
+            "bench", "check",
+            "--sampler", str(root / "BENCH_sampler.json"),
+            "--sampler-floor", str(root / "benchmarks" / "sampler_floor.json"),
+            "--serve", str(root / "BENCH_serve.json"),
+            "--serve-floor", str(root / "benchmarks" / "serve_floor.json"),
+        ])
+        assert code == 0
+        assert "bench check ok" in capsys.readouterr().out
+
+    def test_injected_regression_exits_1(self, capsys, tmp_path):
+        sampler_floor, serve_floor = self._floor_files(tmp_path)
+        sampler, serve = self._trajectories(tmp_path, 100.0, 30.0)
+        code = main([
+            "bench", "check",
+            "--sampler", str(sampler), "--sampler-floor", str(sampler_floor),
+            "--serve", str(serve), "--serve-floor", str(serve_floor),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "perf regression(s) detected" in err
+        assert "kernel=dense K=50" in err
+        assert "preset=full" in err
+
+    def test_healthy_trajectories_pass(self, capsys, tmp_path):
+        sampler_floor, serve_floor = self._floor_files(tmp_path)
+        sampler, serve = self._trajectories(tmp_path, 5000.0, 400.0)
+        code = main([
+            "bench", "check",
+            "--sampler", str(sampler), "--sampler-floor", str(sampler_floor),
+            "--serve", str(serve), "--serve-floor", str(serve_floor),
+        ])
+        assert code == 0
+        assert "bench check ok" in capsys.readouterr().out
+
+    def test_missing_trajectory_exits_2(self, capsys, tmp_path):
+        sampler_floor, serve_floor = self._floor_files(tmp_path)
+        code = main([
+            "bench", "check",
+            "--sampler", str(tmp_path / "none.json"),
+            "--sampler-floor", str(sampler_floor),
+            "--serve", str(tmp_path / "also-none.json"),
+            "--serve-floor", str(serve_floor),
+        ])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
